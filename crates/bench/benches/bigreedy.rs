@@ -1,0 +1,61 @@
+//! End-to-end `BiGreedy` / `BiGreedy+` — the multi-dimensional solvers
+//! behind Figures 5–9 — plus the lazy-vs-eager greedy ablation called out
+//! in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
+use fairhms_core::bigreedy::{bigreedy, BiGreedyConfig};
+use fairhms_core::types::FairHmsInstance;
+use fairhms_data::gen::anti_correlated_dataset;
+use fairhms_data::skyline::group_skyline_indices;
+use fairhms_matroid::proportional_bounds;
+
+fn instance(n: usize, d: usize, k: usize) -> FairHmsInstance {
+    let mut rng = StdRng::seed_from_u64(6);
+    let data = anti_correlated_dataset(n, d, 3, &mut rng);
+    let input = data.subset(&group_skyline_indices(&data));
+    let (l, h) = proportional_bounds(&input.group_sizes(), k, 0.1);
+    FairHmsInstance::new(input, k, l, h).unwrap()
+}
+
+fn bench_bigreedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigreedy");
+    group.sample_size(10);
+    let k = 10;
+    for (n, d) in [(500usize, 4usize), (1_000, 6)] {
+        let inst = instance(n, d, k);
+        group.bench_with_input(
+            BenchmarkId::new("bigreedy", format!("n{n}_d{d}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| bigreedy(inst, &BiGreedyConfig::paper_default(k, d)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bigreedy_plus", format!("n{n}_d{d}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| bigreedy_plus(inst, &BiGreedyPlusConfig::paper_default(k, d)).unwrap())
+            },
+        );
+        // Ablation: lazy vs eager greedy inside BiGreedy.
+        group.bench_with_input(
+            BenchmarkId::new("bigreedy_eager", format!("n{n}_d{d}")),
+            &inst,
+            |b, inst| {
+                let cfg = BiGreedyConfig {
+                    use_lazy: false,
+                    ..BiGreedyConfig::paper_default(k, d)
+                };
+                b.iter(|| bigreedy(inst, &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigreedy);
+criterion_main!(benches);

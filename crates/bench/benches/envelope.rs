@@ -1,0 +1,35 @@
+//! Upper-envelope construction and τ-interval queries — the inner loops of
+//! `IntCov` (Figure 4's runtime driver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::gen::anti_correlated;
+use fairhms_geometry::envelope::Envelope;
+use fairhms_geometry::line::Line;
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope");
+    for n in [100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = anti_correlated(n, 2, &mut rng);
+        let lines: Vec<Line> = pts.chunks_exact(2).map(Line::from_point).collect();
+        group.bench_with_input(BenchmarkId::new("upper", n), &lines, |b, lines| {
+            b.iter(|| Envelope::upper(std::hint::black_box(lines)))
+        });
+        let env = Envelope::upper(&lines);
+        group.bench_with_input(BenchmarkId::new("tau_intervals", n), &lines, |b, lines| {
+            b.iter(|| {
+                lines
+                    .iter()
+                    .filter_map(|l| env.tau_interval(std::hint::black_box(l), 0.95))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_envelope);
+criterion_main!(benches);

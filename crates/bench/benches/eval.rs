@@ -1,0 +1,35 @@
+//! MHR evaluation: envelope-exact (2D) vs LP-exact vs δ-net sampling — the
+//! trade-off behind Lemma 4.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::eval::{mhr_exact_2d, mhr_exact_lp, NetEvaluator};
+use fairhms_data::gen::anti_correlated_dataset;
+use fairhms_geometry::sphere::random_net;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let ds2 = anti_correlated_dataset(2_000, 2, 3, &mut rng);
+    let ds6 = anti_correlated_dataset(500, 6, 3, &mut rng);
+    let sel2: Vec<usize> = (0..10).map(|i| i * 37 % ds2.len()).collect();
+    let sel6: Vec<usize> = (0..10).map(|i| i * 17 % ds6.len()).collect();
+
+    let mut group = c.benchmark_group("mhr_eval");
+    group.bench_function("exact_2d_envelope", |b| {
+        b.iter(|| mhr_exact_2d(std::hint::black_box(&ds2), std::hint::black_box(&sel2)))
+    });
+    group.bench_function("exact_6d_lp", |b| {
+        b.iter(|| mhr_exact_lp(std::hint::black_box(&ds6), std::hint::black_box(&sel6)))
+    });
+    let net = random_net(6, 600, &mut rng);
+    let ev = NetEvaluator::new(&ds6, net);
+    group.bench_function("net_6d_m600", |b| {
+        b.iter(|| ev.mhr(std::hint::black_box(&ds6), std::hint::black_box(&sel6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end `IntCov` — the exact 2D solver behind Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::intcov::intcov;
+use fairhms_core::types::FairHmsInstance;
+use fairhms_data::gen::anti_correlated_dataset;
+use fairhms_data::skyline::group_skyline_indices;
+use fairhms_matroid::proportional_bounds;
+
+fn bench_intcov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intcov");
+    group.sample_size(10);
+    for n in [200usize, 500, 1_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = anti_correlated_dataset(n, 2, 3, &mut rng);
+        let input = data.subset(&group_skyline_indices(&data));
+        let (l, h) = proportional_bounds(&input.group_sizes(), 5, 0.1);
+        let inst = FairHmsInstance::new(input, 5, l, h).unwrap();
+        group.bench_with_input(BenchmarkId::new("k5_c3", n), &inst, |b, inst| {
+            b.iter(|| intcov(std::hint::black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intcov);
+criterion_main!(benches);

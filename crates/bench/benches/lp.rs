@@ -1,0 +1,27 @@
+//! Regret-LP solve times — the unit cost of exact evaluation, RDP-Greedy,
+//! and F-Greedy (the paper attributes F-Greedy's slowness to exactly this).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::gen::anti_correlated;
+use fairhms_lp::hms::point_regret;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regret_lp");
+    for (d, s) in [(2usize, 5usize), (4, 10), (6, 20), (8, 40)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = anti_correlated(s, d, &mut rng);
+        let p = anti_correlated(1, d, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{d}"), format!("S{s}")),
+            &(sel, p),
+            |b, (sel, p)| b.iter(|| point_regret(d, std::hint::black_box(sel), std::hint::black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

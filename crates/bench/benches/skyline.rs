@@ -1,0 +1,32 @@
+//! Skyline computation — the preprocessing step of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::gen::{anti_correlated, uniform};
+use fairhms_data::skyline::skyline_of;
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline");
+    for (name, d, n) in [
+        ("anticor_2d", 2usize, 10_000usize),
+        ("anticor_6d", 6, 5_000),
+        ("uniform_4d", 4, 10_000),
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = if name.starts_with("anticor") {
+            anti_correlated(n, d, &mut rng)
+        } else {
+            uniform(n, d, &mut rng)
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pts, |b, pts| {
+            b.iter(|| skyline_of(std::hint::black_box(pts), d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Experiment harness for the FairHMS reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; this library
+//! holds the shared plumbing:
+//!
+//! * [`workloads`] — constructs every dataset variant the evaluation uses
+//!   (simulated real datasets × group attributes, anti-correlated sweeps),
+//!   normalized and restricted to the union of per-group skylines;
+//! * [`harness`] — timed algorithm runs, exact/estimated MHR evaluation,
+//!   aligned-table printing, and CSV persistence under `results/`.
+
+pub mod harness;
+pub mod workloads;

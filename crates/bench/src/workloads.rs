@@ -1,0 +1,151 @@
+//! Dataset variants used across the paper's figures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::types::FairHmsInstance;
+use fairhms_data::gen::anti_correlated_dataset;
+use fairhms_data::realsim;
+use fairhms_data::skyline::group_skyline_indices;
+use fairhms_data::Dataset;
+use fairhms_matroid::proportional_bounds;
+
+/// Default seed shared by every harness binary for reproducibility.
+pub const SEED: u64 = 1;
+
+/// A named, normalized, skyline-restricted dataset ready for instances.
+pub struct Workload {
+    /// Label as used in the paper's figure captions.
+    pub name: String,
+    /// Skyline-union input (what the algorithms actually consume).
+    pub input: Dataset,
+    /// Size of the original dataset before skyline restriction.
+    pub full_n: usize,
+}
+
+fn prepare(name: &str, mut data: Dataset) -> Workload {
+    data.normalize();
+    let full_n = data.len();
+    let sky = group_skyline_indices(&data);
+    Workload {
+        name: name.to_string(),
+        input: data.subset(&sky),
+        full_n,
+    }
+}
+
+/// Lawschs grouped by one attribute (`"gender"` or `"race"`).
+pub fn lawschs(attr: &str) -> Workload {
+    let t = realsim::lawschs(SEED);
+    prepare(
+        &format!("Lawschs ({attr})"),
+        t.dataset(&[attr]).expect("known attribute"),
+    )
+}
+
+/// Adult grouped by the given attributes (e.g. `["gender", "race"]`).
+pub fn adult(attrs: &[&str]) -> Workload {
+    let t = realsim::adult(SEED);
+    prepare(
+        &format!("Adult ({})", attrs.join("+")),
+        t.dataset(attrs).expect("known attributes"),
+    )
+}
+
+/// Compas grouped by the given attributes.
+pub fn compas(attrs: &[&str]) -> Workload {
+    let t = realsim::compas(SEED);
+    prepare(
+        &format!("Compas ({})", attrs.join("+")),
+        t.dataset(attrs).expect("known attributes"),
+    )
+}
+
+/// Credit grouped by one attribute.
+pub fn credit(attr: &str) -> Workload {
+    let t = realsim::credit(SEED);
+    prepare(
+        &format!("Credit ({attr})"),
+        t.dataset(&[attr]).expect("known attribute"),
+    )
+}
+
+/// Anti-correlated synthetic data (Börzsönyi generator + sum-quantile
+/// groups), the paper's scalability workload.
+pub fn anticor(n: usize, d: usize, c: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = anti_correlated_dataset(n, d, c, &mut rng);
+    prepare(&format!("AntiCor_{d}D (n={n}, C={c})"), data)
+}
+
+/// The paper's proportional-representation instance (α = 0.1, Section 5.1)
+/// on a workload.
+pub fn proportional_instance(w: &Workload, k: usize, alpha: f64) -> FairHmsInstance {
+    let (lower, upper) = proportional_bounds(&w.input.group_sizes(), k, alpha);
+    FairHmsInstance::new(w.input.clone(), k, lower, upper)
+        .expect("proportional bounds are repaired to feasibility")
+}
+
+/// The ten multi-dimensional dataset variants of Figures 5, 6, 8–11.
+pub fn md_suite(anticor_n: usize) -> Vec<Workload> {
+    vec![
+        adult(&["gender"]),
+        adult(&["race"]),
+        adult(&["gender", "race"]),
+        anticor(anticor_n, 6, 3),
+        compas(&["gender"]),
+        compas(&["isRecid"]),
+        compas(&["gender", "isRecid"]),
+        credit("job"),
+        credit("housing"),
+        credit("working_years"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_matroid::Matroid;
+
+    #[test]
+    fn workloads_are_normalized_and_restricted() {
+        let w = credit("job");
+        assert!(w.input.len() < w.full_n, "skyline restriction applied");
+        for j in 0..w.input.dim() {
+            let maxj = (0..w.input.len())
+                .map(|i| w.input.point(i)[j])
+                .fold(0.0_f64, f64::max);
+            assert!(maxj <= 1.0 + 1e-12, "attribute {j} exceeds 1");
+        }
+    }
+
+    #[test]
+    fn proportional_instances_are_valid() {
+        for w in [credit("housing"), compas(&["gender"]), anticor(500, 4, 3)] {
+            let inst = proportional_instance(&w, 10, 0.1);
+            assert_eq!(inst.k(), 10);
+            // a feasible completion must exist from scratch
+            let sel = inst.complete_to_feasible(&[]).unwrap();
+            assert!(inst.matroid().is_feasible(&sel));
+        }
+    }
+
+    #[test]
+    fn md_suite_covers_all_ten_panels() {
+        let suite = md_suite(500);
+        assert_eq!(suite.len(), 10);
+        let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("Adult (gender+race)")));
+        assert!(names.iter().any(|n| n.contains("AntiCor_6D")));
+        assert!(names.iter().any(|n| n.contains("Compas (gender+isRecid)")));
+        assert!(names.iter().any(|n| n.contains("Credit (working_years)")));
+    }
+
+    #[test]
+    fn workloads_deterministic() {
+        let a = lawschs("gender");
+        let b = lawschs("gender");
+        assert_eq!(a.input.len(), b.input.len());
+        assert_eq!(a.input.points_flat(), b.input.points_flat());
+    }
+}

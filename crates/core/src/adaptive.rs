@@ -1,0 +1,173 @@
+//! `BiGreedy+`: adaptive δ-net sampling (Algorithm 4 of the paper).
+//!
+//! `BiGreedy`'s cost is dominated by the net size `m = O(δ^{-d})`.
+//! `BiGreedy+` starts from a small sample `m₀`, doubles it until the
+//! achieved capped value stabilizes (`τ_{i−1} − τ_i < λ`) or the cap `M` is
+//! reached, and returns the best solution found across rounds. Worst-case
+//! cost matches `BiGreedy` at `m = M`; in practice it stops much earlier.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_geometry::sphere::random_net_with_basis;
+
+use crate::bigreedy::{bigreedy_on_net, BiGreedyConfig, BiGreedyMode};
+use crate::eval::NetEvaluator;
+use crate::types::{CoreError, FairHmsInstance, Solution};
+
+/// Configuration for [`bigreedy_plus`].
+#[derive(Debug, Clone)]
+pub struct BiGreedyPlusConfig {
+    /// Cap-search accuracy `ε` (shared with the inner `BiGreedy` runs).
+    pub epsilon: f64,
+    /// Stabilization threshold `λ`: stop once `τ_{i−1} − τ_i < λ`.
+    pub lambda: f64,
+    /// Initial sample size `m₀`; the paper uses `0.05·M`.
+    pub m0: Option<usize>,
+    /// Maximum sample size `M`; the paper uses `10·k·d`.
+    pub max_m: Option<usize>,
+    /// Output contract for the inner runs.
+    pub mode: BiGreedyMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BiGreedyPlusConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.02,
+            lambda: 0.04,
+            m0: None,
+            max_m: None,
+            mode: BiGreedyMode::Feasible,
+            seed: 42,
+        }
+    }
+}
+
+impl BiGreedyPlusConfig {
+    /// The paper's experimental configuration: `M = 10kd`, `m₀ = 0.05·M`,
+    /// `ε = 0.02`, `λ = 0.04`.
+    pub fn paper_default(k: usize, d: usize) -> Self {
+        let m = 10 * k * d;
+        Self {
+            m0: Some(((m as f64) * 0.05).ceil() as usize),
+            max_m: Some(m),
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs `BiGreedy+` on `inst`. [`Solution::mhr`] is the estimate on the
+/// final (largest) net, which is also used to compare candidate solutions
+/// across rounds on an equal footing.
+pub fn bigreedy_plus(
+    inst: &FairHmsInstance,
+    config: &BiGreedyPlusConfig,
+) -> Result<Solution, CoreError> {
+    let d = inst.dim();
+    let k = inst.k();
+    let max_m = config.max_m.unwrap_or(10 * k * d).max(4);
+    let m0 = config.m0.unwrap_or(((max_m as f64) * 0.05).ceil() as usize);
+    let m0 = m0.clamp(2, max_m);
+
+    let inner = BiGreedyConfig {
+        epsilon: config.epsilon,
+        sample_size: None, // nets are supplied explicitly below
+        delta: 0.1,
+        mode: config.mode,
+        seed: config.seed,
+        ..BiGreedyConfig::default()
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut m = m0;
+    let mut prev_tau: Option<f64> = None;
+    let mut rounds: Vec<(Solution, usize)> = Vec::new(); // (solution, net size)
+    let mut last_net: Vec<Vec<f64>>;
+    loop {
+        let net = random_net_with_basis(d, m, &mut rng);
+        let (sol, tau) = bigreedy_on_net(inst, &net, &inner)?;
+        rounds.push((sol, m));
+        last_net = net;
+        let stop = match prev_tau {
+            // τ estimates shrink as nets tighten (Lemma 4.1); stabilization
+            // within λ means more samples no longer change the answer.
+            Some(prev) => (prev - tau).abs() < config.lambda,
+            None => false,
+        };
+        prev_tau = Some(tau);
+        if stop || m >= max_m {
+            break;
+        }
+        m = (m * 2).min(max_m);
+    }
+
+    // Compare all round solutions on the final net (the tightest estimate).
+    let ev = NetEvaluator::new(inst.data(), last_net);
+    let best = rounds
+        .into_iter()
+        .filter(|(s, _)| !s.is_empty())
+        .map(|(s, _)| {
+            let est = ev.mhr(inst.data(), &s.indices);
+            (s, est)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    match best {
+        Some((sol, est)) => Ok(Solution::new(sol.indices, Some(est))),
+        None => Err(CoreError::NoFeasibleSolution),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigreedy::bigreedy;
+    use crate::eval::mhr_exact_2d;
+    use fairhms_data::realsim::lsac_example;
+
+    fn lsac_instance(k: usize) -> FairHmsInstance {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        let c = ds.num_groups();
+        FairHmsInstance::new(ds, k, vec![1; c], vec![k - 1; c]).unwrap()
+    }
+
+    #[test]
+    fn feasible_and_close_to_bigreedy() {
+        let inst = lsac_instance(3);
+        let plus = bigreedy_plus(&inst, &BiGreedyPlusConfig::paper_default(3, 2)).unwrap();
+        assert_eq!(plus.len(), 3);
+        assert!(inst.matroid().is_feasible(&plus.indices));
+        let full = bigreedy(&inst, &BiGreedyConfig::paper_default(3, 2)).unwrap();
+        let exact_plus = mhr_exact_2d(inst.data(), &plus.indices);
+        let exact_full = mhr_exact_2d(inst.data(), &full.indices);
+        // BiGreedy+ trades a bit of quality for speed (paper Section 4.3).
+        assert!(
+            exact_plus >= exact_full - 0.1,
+            "plus {exact_plus} vs full {exact_full}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = lsac_instance(2);
+        let cfg = BiGreedyPlusConfig::paper_default(2, 2);
+        let a = bigreedy_plus(&inst, &cfg).unwrap();
+        let b = bigreedy_plus(&inst, &cfg).unwrap();
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn respects_max_m() {
+        let inst = lsac_instance(2);
+        let cfg = BiGreedyPlusConfig {
+            m0: Some(2),
+            max_m: Some(8),
+            lambda: 0.0, // never stabilizes: must stop at max_m
+            ..BiGreedyPlusConfig::default()
+        };
+        let sol = bigreedy_plus(&inst, &cfg).unwrap();
+        assert_eq!(sol.len(), 2);
+    }
+}

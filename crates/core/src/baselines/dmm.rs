@@ -1,0 +1,152 @@
+//! `DMM` (Asudeh et al., SIGMOD 2017): discretized matrix min-max.
+//!
+//! The utility space is discretized into a grid of directions; a binary
+//! search over the regret threshold finds the smallest `τ`-gap for which a
+//! greedy set cover selects at most `k` points whose happiness ratio is at
+//! least `τ` on every grid direction.
+//!
+//! Faithfulness notes:
+//! * Like the original, the discretization is a per-dimension grid, so the
+//!   direction count — and the `n × m` score matrix — grows exponentially
+//!   with `d`. The paper reports DMM cannot finish beyond `d = 7` due to
+//!   memory; we enforce the same gate explicitly ([`DmmConfig::max_dim`])
+//!   and also cap the matrix size so pathological inputs fail fast instead
+//!   of thrashing.
+//! * Like the original, DMM requires `k ≥ d` (its seed/cover structure is
+//!   degenerate otherwise); smaller `k` returns
+//!   [`CoreError::ResourceLimit`], which is why `G-DMM` curves are missing
+//!   whenever some group budget `h_c < d` (paper Section 5.2).
+
+use fairhms_data::Dataset;
+use fairhms_geometry::sphere::simplex_grid;
+
+use crate::baselines::{greedy_cover, pad_to_k, score_matrix};
+use crate::types::CoreError;
+
+/// Configuration for [`dmm`].
+#[derive(Debug, Clone)]
+pub struct DmmConfig {
+    /// Grid subdivisions per dimension (the paper's γ).
+    pub steps: usize,
+    /// Dimension gate mirroring the paper's observed memory blowup.
+    pub max_dim: usize,
+    /// Hard cap on `n × m` score-matrix entries.
+    pub max_entries: usize,
+    /// Bisection iterations for the regret threshold.
+    pub bisection_iters: usize,
+}
+
+impl Default for DmmConfig {
+    fn default() -> Self {
+        Self {
+            steps: 8,
+            max_dim: 7,
+            max_entries: 80_000_000,
+            bisection_iters: 40,
+        }
+    }
+}
+
+/// Runs DMM for an unconstrained size-`k` HMS.
+pub fn dmm(data: &Dataset, k: usize, config: &DmmConfig) -> Result<Vec<usize>, CoreError> {
+    let n = data.len();
+    let d = data.dim();
+    if n == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(CoreError::KZero);
+    }
+    if k > n {
+        return Err(CoreError::KTooLarge { k, n });
+    }
+    if d > config.max_dim {
+        return Err(CoreError::ResourceLimit {
+            what: "DMM's direction grid exceeds memory beyond 7 dimensions",
+        });
+    }
+    if k < d {
+        return Err(CoreError::ResourceLimit {
+            what: "DMM requires k >= d",
+        });
+    }
+    let net = simplex_grid(d, config.steps);
+    let m = net.len();
+    if n.saturating_mul(m) > config.max_entries {
+        return Err(CoreError::ResourceLimit {
+            what: "DMM score matrix exceeds the configured memory cap",
+        });
+    }
+    let scores = score_matrix(data, &net);
+
+    // Bisect the largest τ whose greedy cover fits in k points.
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut best: Option<Vec<usize>> = greedy_cover(&scores, n, m, 0.0, k);
+    for _ in 0..config.bisection_iters {
+        let mid = 0.5 * (lo + hi);
+        match greedy_cover(&scores, n, m, mid, k) {
+            Some(cover) => {
+                best = Some(cover);
+                lo = mid;
+            }
+            None => hi = mid,
+        }
+    }
+    let cover = best.ok_or(CoreError::NoFeasibleSolution)?;
+    Ok(pad_to_k(data, cover, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mhr_exact_2d;
+    use fairhms_data::realsim::lsac_example;
+
+    fn lsac() -> Dataset {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        ds
+    }
+
+    #[test]
+    fn produces_k_points_with_good_mhr() {
+        let ds = lsac();
+        let sel = dmm(&ds, 3, &DmmConfig::default()).unwrap();
+        assert_eq!(sel.len(), 3);
+        let mhr = mhr_exact_2d(&ds, &sel);
+        assert!(mhr > 0.9, "DMM mhr = {mhr}");
+    }
+
+    #[test]
+    fn dimension_gate_enforced() {
+        let pts: Vec<f64> = (0..20 * 9).map(|i| (i % 7) as f64 / 7.0).collect();
+        let ds = Dataset::ungrouped("9d", 9, pts).unwrap();
+        assert!(matches!(
+            dmm(&ds, 9, &DmmConfig::default()).unwrap_err(),
+            CoreError::ResourceLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn requires_k_at_least_d() {
+        let ds = lsac();
+        assert!(matches!(
+            dmm(&ds, 1, &DmmConfig::default()).unwrap_err(),
+            CoreError::ResourceLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn memory_cap_enforced() {
+        let ds = lsac();
+        let cfg = DmmConfig {
+            max_entries: 4,
+            ..DmmConfig::default()
+        };
+        assert!(matches!(
+            dmm(&ds, 3, &cfg).unwrap_err(),
+            CoreError::ResourceLimit { .. }
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! The RMS/HMS baselines the paper compares against, implemented from
+//! their original publications:
+//!
+//! * [`fn@rdp_greedy`] — the LP-driven greedy of Nanongkai et al. (VLDB 2010);
+//! * [`fn@dmm`] — the discretized min-max set-cover algorithm of Asudeh et
+//!   al. (SIGMOD 2017);
+//! * [`fn@sphere`] — the ε-kernel-flavoured algorithm of Xie et al.
+//!   (SIGMOD 2018);
+//! * [`fn@hitting_set`] — the hitting-set algorithm of Agarwal et al. /
+//!   Kumar & Sintos (SEA 2017 / ALENEX 2018).
+//!
+//! All four solve *unconstrained* HMS (they predate group fairness); the
+//! fair adaptations `G-<Alg>` and `F-Greedy` live in [`crate::adapt`].
+
+pub mod dmm;
+pub mod hitting_set;
+pub mod rdp_greedy;
+pub mod sphere;
+
+pub use dmm::{dmm, DmmConfig};
+pub use hitting_set::{hitting_set, HsConfig};
+pub use rdp_greedy::rdp_greedy;
+pub use sphere::sphere;
+
+use fairhms_data::Dataset;
+use fairhms_geometry::vecmath::dot;
+use fairhms_geometry::EPS;
+
+/// Normalized score matrix `hr(u, {p})` — row-major `n × m` — plus the
+/// per-utility database maxima. Shared by the set-cover-based baselines.
+pub(crate) fn score_matrix(data: &Dataset, net: &[Vec<f64>]) -> Vec<f64> {
+    let n = data.len();
+    let m = net.len();
+    let mut db_max = vec![0.0_f64; m];
+    for i in 0..n {
+        let p = data.point(i);
+        for (j, u) in net.iter().enumerate() {
+            db_max[j] = db_max[j].max(dot(p, u));
+        }
+    }
+    let mut scores = Vec::with_capacity(n * m);
+    for i in 0..n {
+        let p = data.point(i);
+        for (j, u) in net.iter().enumerate() {
+            scores.push(if db_max[j] <= EPS {
+                1.0
+            } else {
+                (dot(p, u) / db_max[j]).clamp(0.0, 1.0)
+            });
+        }
+    }
+    scores
+}
+
+/// Greedy set cover of `m` utilities by points: point `i` covers utility
+/// `j` iff `scores[i·m + j] ≥ tau`. Returns the cover (≤ `limit` points) or
+/// `None` when the limit is exceeded or some utility is uncoverable.
+pub(crate) fn greedy_cover(
+    scores: &[f64],
+    n: usize,
+    m: usize,
+    tau: f64,
+    limit: usize,
+) -> Option<Vec<usize>> {
+    let mut covered = vec![false; m];
+    let mut n_covered = 0usize;
+    let mut picked: Vec<usize> = Vec::new();
+    while n_covered < m {
+        if picked.len() >= limit {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None; // (count, point)
+        for i in 0..n {
+            if picked.contains(&i) {
+                continue;
+            }
+            let row = &scores[i * m..(i + 1) * m];
+            let count = row
+                .iter()
+                .zip(&covered)
+                .filter(|(&s, &c)| !c && s >= tau - EPS)
+                .count();
+            match best {
+                Some((bc, _)) if count <= bc => {}
+                _ => {
+                    if count > 0 {
+                        best = Some((count, i));
+                    }
+                }
+            }
+        }
+        let (_, point) = best?; // None: some utility is uncoverable at τ
+        let row = &scores[point * m..(point + 1) * m];
+        for (j, c) in covered.iter_mut().enumerate() {
+            if !*c && row[j] >= tau - EPS {
+                *c = true;
+                n_covered += 1;
+            }
+        }
+        picked.push(point);
+    }
+    Some(picked)
+}
+
+/// Pads `sel` to `k` distinct points, preferring points with the largest
+/// coordinate sums (a cheap quality heuristic for leftover slots).
+pub(crate) fn pad_to_k(data: &Dataset, mut sel: Vec<usize>, k: usize) -> Vec<usize> {
+    sel.sort_unstable();
+    sel.dedup();
+    if sel.len() >= k {
+        sel.truncate(k);
+        return sel;
+    }
+    let mut rest: Vec<usize> = (0..data.len()).filter(|i| !sel.contains(i)).collect();
+    rest.sort_by(|&a, &b| {
+        let sa: f64 = data.point(a).iter().sum();
+        let sb: f64 = data.point(b).iter().sum();
+        sb.partial_cmp(&sa).unwrap()
+    });
+    for i in rest {
+        if sel.len() >= k {
+            break;
+        }
+        sel.push(i);
+    }
+    sel.sort_unstable();
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_geometry::sphere::grid_net_2d;
+
+    fn toy() -> Dataset {
+        Dataset::ungrouped("t", 2, vec![1.0, 0.0, 0.0, 1.0, 0.8, 0.8, 0.1, 0.1]).unwrap()
+    }
+
+    #[test]
+    fn score_matrix_normalized() {
+        let ds = toy();
+        let net = grid_net_2d(5);
+        let s = score_matrix(&ds, &net);
+        assert_eq!(s.len(), 4 * 5);
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // grid_net_2d(5)[0] = (1, 0): point 0 = (1, 0) achieves it exactly,
+        // and grid_net_2d(5)[4] = (0, 1) is achieved by point 1.
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert!((s[5 + 4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_cover_finds_small_cover() {
+        let ds = toy();
+        let net = grid_net_2d(9);
+        let s = score_matrix(&ds, &net);
+        // τ = 0.8: the diagonal point plus the extremes cover everything.
+        let cover = greedy_cover(&s, 4, 9, 0.8, 4).unwrap();
+        assert!(cover.len() <= 3);
+        // impossible τ with limit 1
+        assert!(greedy_cover(&s, 4, 9, 0.999, 1).is_none());
+    }
+
+    #[test]
+    fn pad_to_k_prefers_large_points() {
+        let ds = toy();
+        let p = pad_to_k(&ds, vec![3], 2);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&2)); // (0.8, 0.8) has the largest sum
+        let q = pad_to_k(&ds, vec![0, 1, 2, 3], 2);
+        assert_eq!(q.len(), 2);
+    }
+}

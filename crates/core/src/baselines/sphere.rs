@@ -1,0 +1,151 @@
+//! `Sphere` (Xie et al., SIGMOD 2018), ε-kernel flavoured.
+//!
+//! The original algorithm seeds the solution with `d` per-dimension extreme
+//! ("boundary") points and then covers the utility sphere with a bounded
+//! direction set, adding the best point per direction. We reproduce that
+//! two-stage structure (seeds + deterministic direction cover) without the
+//! original's recursive cell refinement; the behaviour the paper's
+//! evaluation exercises is preserved — in particular, when `k` is close to
+//! `d` the output is dominated by the extreme points, which is why
+//! `G-Sphere` is fast but weak (Section 5.2), and `k < d` is rejected,
+//! which is why `G-Sphere` curves vanish whenever some `h_c < d`.
+
+use fairhms_data::Dataset;
+use fairhms_geometry::kernel::cover_directions;
+use fairhms_geometry::vecmath::dot;
+
+use crate::types::CoreError;
+
+/// Runs Sphere for an unconstrained size-`k` HMS. Requires `k ≥ d`.
+pub fn sphere(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
+    let n = data.len();
+    let d = data.dim();
+    if n == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(CoreError::KZero);
+    }
+    if k > n {
+        return Err(CoreError::KTooLarge { k, n });
+    }
+    if k < d {
+        return Err(CoreError::ResourceLimit {
+            what: "Sphere requires k >= d",
+        });
+    }
+
+    let mut sel: Vec<usize> = Vec::with_capacity(k);
+    let push_unique = |sel: &mut Vec<usize>, i: usize| {
+        if !sel.contains(&i) {
+            sel.push(i);
+        }
+    };
+
+    // Stage 1: per-dimension extremes (ties to larger coordinate sums).
+    for j in 0..d {
+        let best = (0..n)
+            .max_by(|&a, &b| {
+                let pa = data.point(a);
+                let pb = data.point(b);
+                pa[j]
+                    .partial_cmp(&pb[j])
+                    .unwrap()
+                    .then_with(|| {
+                        pa.iter()
+                            .sum::<f64>()
+                            .partial_cmp(&pb.iter().sum::<f64>())
+                            .unwrap()
+                    })
+            })
+            .expect("non-empty");
+        push_unique(&mut sel, best);
+    }
+
+    // Stage 2: cover directions, best point per direction, progressively
+    // finer covers until k points are collected (or the data is exhausted).
+    let mut want = k.max(2 * d);
+    while sel.len() < k {
+        let dirs = cover_directions(d, want);
+        for u in &dirs {
+            if sel.len() >= k {
+                break;
+            }
+            let best = (0..n)
+                .max_by(|&a, &b| {
+                    dot(data.point(a), u)
+                        .partial_cmp(&dot(data.point(b), u))
+                        .unwrap()
+                })
+                .expect("non-empty");
+            push_unique(&mut sel, best);
+        }
+        if want > 64 * k + 64 {
+            // Directions keep hitting already-selected points: fall back to
+            // the largest remaining points.
+            let mut rest: Vec<usize> = (0..n).filter(|i| !sel.contains(i)).collect();
+            rest.sort_by(|&a, &b| {
+                let sa: f64 = data.point(a).iter().sum();
+                let sb: f64 = data.point(b).iter().sum();
+                sb.partial_cmp(&sa).unwrap()
+            });
+            for i in rest {
+                if sel.len() >= k {
+                    break;
+                }
+                sel.push(i);
+            }
+            break;
+        }
+        want *= 2;
+    }
+    sel.sort_unstable();
+    sel.truncate(k);
+    Ok(sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mhr_exact_2d;
+    use fairhms_data::realsim::lsac_example;
+
+    fn lsac() -> Dataset {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        ds
+    }
+
+    #[test]
+    fn includes_extreme_points() {
+        let ds = lsac();
+        let sel = sphere(&ds, 2).unwrap();
+        // a5 (index 4) has max LSAT, a7 (index 6) max GPA.
+        assert_eq!(sel, vec![4, 6]);
+    }
+
+    #[test]
+    fn rejects_k_below_d() {
+        let ds = lsac();
+        assert!(matches!(
+            sphere(&ds, 1).unwrap_err(),
+            CoreError::ResourceLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn larger_k_improves_quality() {
+        let ds = lsac();
+        let m2 = mhr_exact_2d(&ds, &sphere(&ds, 2).unwrap());
+        let m5 = mhr_exact_2d(&ds, &sphere(&ds, 5).unwrap());
+        assert!(m5 >= m2 - 1e-12, "m2={m2}, m5={m5}");
+        assert_eq!(sphere(&ds, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn k_equals_n_selects_everything() {
+        let ds = lsac();
+        let sel = sphere(&ds, ds.len()).unwrap();
+        assert_eq!(sel.len(), ds.len());
+    }
+}

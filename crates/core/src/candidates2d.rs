@@ -1,0 +1,97 @@
+//! Candidate MHR values for the 2D exact algorithm (Algorithm 1, lines 1–8).
+//!
+//! By [Asudeh et al. 2017, Theorem 2], the minimum happiness ratio of any
+//! subset `S` is attained either at an axis utility `(1,0)` / `(0,1)` or at
+//! a utility where two points of `S` score equally. The optimal MHR of
+//! FairHMS therefore lies in the set `H` containing, for every point, its
+//! happiness ratios at the axes and, for every pair of points, the
+//! happiness ratio of the pair at their crossing utility.
+
+use fairhms_data::Dataset;
+use fairhms_geometry::envelope::Envelope;
+use fairhms_geometry::line::Line;
+use fairhms_geometry::EPS;
+
+/// All candidate MHR values of `data`, sorted ascending and deduplicated
+/// (within [`EPS`]). `O(n²)` pairs; callers restrict `data` to the skyline
+/// union first.
+pub fn candidate_mhrs(data: &Dataset) -> Vec<f64> {
+    assert_eq!(data.dim(), 2, "candidate_mhrs requires 2D data");
+    let n = data.len();
+    let lines: Vec<Line> = (0..n).map(|i| Line::from_point(data.point(i))).collect();
+    let env = Envelope::upper(&lines);
+
+    let mut h: Vec<f64> = Vec::with_capacity(n * (n + 1) / 2 + 2 * n);
+    // Axis utilities: λ = 1 is u = (1, 0); λ = 0 is u = (0, 1).
+    let max_at = |lambda: f64| env.eval(lambda);
+    let (m1, m0) = (max_at(1.0), max_at(0.0));
+    for i in 0..n {
+        let p = data.point(i);
+        if m1 > EPS {
+            h.push((p[0] / m1).clamp(0.0, 1.0));
+        }
+        if m0 > EPS {
+            h.push((p[1] / m0).clamp(0.0, 1.0));
+        }
+    }
+    // Pairwise crossing utilities.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Some(lambda) = Line::crossing_of_points(data.point(i), data.point(j)) {
+                let denom = env.eval(lambda);
+                if denom > EPS {
+                    let score = lines[i].eval(lambda);
+                    h.push((score / denom).clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+    h.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    h.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mhr_exact_2d;
+    use fairhms_data::realsim::lsac_example;
+
+    fn lsac() -> Dataset {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        ds
+    }
+
+    #[test]
+    fn candidates_sorted_unique_in_unit_range() {
+        let ds = lsac();
+        let h = candidate_mhrs(&ds);
+        assert!(!h.is_empty());
+        for w in h.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(h.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((h.last().copied().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_mhr_of_every_pair_is_a_candidate() {
+        // Theorem 2 instantiated: mhr of any subset must appear in H.
+        let ds = lsac();
+        let h = candidate_mhrs(&ds);
+        let contains = |v: f64| h.iter().any(|&c| (c - v).abs() < 1e-7);
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let m = mhr_exact_2d(&ds, &[i, j]);
+                assert!(contains(m), "mhr({i},{j}) = {m} missing from H");
+            }
+        }
+        // ...and of some triples
+        for tri in [[0, 1, 2], [3, 4, 6], [4, 5, 7]] {
+            let m = mhr_exact_2d(&ds, &tri);
+            assert!(contains(m), "mhr({tri:?}) = {m} missing from H");
+        }
+    }
+}

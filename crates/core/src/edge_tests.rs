@@ -1,0 +1,149 @@
+//! Edge-case and failure-injection tests across the core algorithms.
+//!
+//! Every algorithm must behave sensibly on degenerate inputs: duplicate
+//! points, identical points, single groups, exact bounds (`l = h`),
+//! infeasible bounds, and `k = n`. These are deliberately nasty inputs the
+//! figure harness never produces.
+
+#![cfg(test)]
+
+use fairhms_data::Dataset;
+
+use crate::adapt::{f_greedy, g_greedy};
+use crate::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
+use crate::bigreedy::{bigreedy, BiGreedyConfig};
+use crate::eval::{mhr_exact_2d, mhr_exact_lp};
+use crate::intcov::intcov;
+use crate::streaming::{streaming_fairhms, StreamingFairHmsConfig};
+use crate::types::{CoreError, FairHmsInstance};
+
+fn duplicated_dataset() -> Dataset {
+    // Three distinct points, each duplicated, alternating groups.
+    let pts = vec![
+        1.0, 0.2, 1.0, 0.2, //
+        0.2, 1.0, 0.2, 1.0, //
+        0.7, 0.7, 0.7, 0.7,
+    ];
+    Dataset::new("dups", 2, pts, vec![0, 1, 0, 1, 0, 1], vec![]).unwrap()
+}
+
+#[test]
+fn intcov_handles_duplicate_points() {
+    let inst = FairHmsInstance::new(duplicated_dataset(), 3, vec![1, 1], vec![2, 2]).unwrap();
+    let sol = intcov(&inst).unwrap();
+    assert_eq!(sol.len(), 3);
+    assert!(inst.matroid().is_feasible(&sol.indices));
+    // duplicates mean the unconstrained optimum is also fair-reachable
+    assert!(sol.mhr.unwrap() > 0.9);
+}
+
+#[test]
+fn all_identical_points_give_mhr_one() {
+    let pts = [0.5, 0.5].repeat(6);
+    let ds = Dataset::new("same", 2, pts, vec![0, 0, 0, 1, 1, 1], vec![]).unwrap();
+    let inst = FairHmsInstance::new(ds, 2, vec![1, 1], vec![1, 1]).unwrap();
+    let a = intcov(&inst).unwrap();
+    assert!((a.mhr.unwrap() - 1.0).abs() < 1e-9);
+    let b = bigreedy(&inst, &BiGreedyConfig::paper_default(2, 2)).unwrap();
+    assert!((mhr_exact_2d(inst.data(), &b.indices) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn single_group_reduces_to_vanilla_hms() {
+    let mut ds = fairhms_data::realsim::lsac_example()
+        .dataset(&["gender"])
+        .unwrap();
+    ds.normalize();
+    // collapse all labels into one group
+    let flat = ds.points_flat().to_vec();
+    let one = Dataset::new("one", 2, flat, vec![0; ds.len()], vec!["all".into()]).unwrap();
+    let via_single = intcov(&FairHmsInstance::new(one, 2, vec![2], vec![2]).unwrap()).unwrap();
+    let via_unconstrained =
+        intcov(&FairHmsInstance::unconstrained(ds, 2).unwrap()).unwrap();
+    assert_eq!(via_single.indices, via_unconstrained.indices);
+    assert!((via_single.mhr.unwrap() - via_unconstrained.mhr.unwrap()).abs() < 1e-12);
+}
+
+#[test]
+fn exact_bounds_force_exact_counts() {
+    let ds = duplicated_dataset();
+    let inst = FairHmsInstance::new(ds, 4, vec![2, 2], vec![2, 2]).unwrap();
+    for sol in [
+        intcov(&inst).unwrap(),
+        bigreedy(&inst, &BiGreedyConfig::paper_default(4, 2)).unwrap(),
+        f_greedy(&inst).unwrap(),
+        g_greedy(&inst).unwrap(),
+        streaming_fairhms(&inst, &StreamingFairHmsConfig::default()).unwrap(),
+    ] {
+        let counts = inst.matroid().counts(&sol.indices);
+        assert_eq!(counts, vec![2, 2]);
+    }
+}
+
+#[test]
+fn k_equals_n_selects_everything_feasible() {
+    let ds = duplicated_dataset();
+    let n = ds.len();
+    let inst = FairHmsInstance::new(ds, n, vec![3, 3], vec![3, 3]).unwrap();
+    let sol = intcov(&inst).unwrap();
+    assert_eq!(sol.len(), n);
+    assert!((sol.mhr.unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn infeasible_bounds_rejected_at_construction() {
+    let ds = duplicated_dataset();
+    // lower bound exceeds group size
+    assert!(matches!(
+        FairHmsInstance::new(ds.clone(), 5, vec![4, 1], vec![4, 4]).unwrap_err(),
+        CoreError::Bounds(_)
+    ));
+    // Σ lower > k
+    assert!(matches!(
+        FairHmsInstance::new(ds, 2, vec![2, 2], vec![3, 3]).unwrap_err(),
+        CoreError::Bounds(_)
+    ));
+}
+
+#[test]
+fn bigreedy_plus_on_tiny_instances() {
+    // m0 clamps, k = 1 with one group: the smallest legal problem.
+    let ds = Dataset::new("tiny", 2, vec![0.9, 0.1, 0.1, 0.9], vec![0, 0], vec![]).unwrap();
+    let inst = FairHmsInstance::new(ds, 1, vec![1], vec![1]).unwrap();
+    let sol = bigreedy_plus(&inst, &BiGreedyPlusConfig::paper_default(1, 2)).unwrap();
+    assert_eq!(sol.len(), 1);
+}
+
+#[test]
+fn zero_coordinate_points_are_legal() {
+    // points on the axes + origin-ish point
+    let pts = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.5, 0.5];
+    let ds = Dataset::new("axes", 2, pts, vec![0, 0, 1, 1], vec![]).unwrap();
+    let inst = FairHmsInstance::new(ds, 2, vec![1, 1], vec![1, 1]).unwrap();
+    let sol = intcov(&inst).unwrap();
+    assert!(inst.matroid().is_feasible(&sol.indices));
+    let bg = bigreedy(&inst, &BiGreedyConfig::paper_default(2, 2)).unwrap();
+    assert!(inst.matroid().is_feasible(&bg.indices));
+}
+
+#[test]
+fn evaluators_agree_on_degenerate_selections() {
+    let ds = duplicated_dataset();
+    // selection of two copies of the same point
+    let sel = vec![0, 2];
+    let a = mhr_exact_2d(&ds, &sel);
+    let b = mhr_exact_lp(&ds, &sel);
+    assert!((a - b).abs() < 1e-6);
+}
+
+#[test]
+fn streaming_order_independence_of_feasibility() {
+    // feasibility must hold regardless of stream order (here: row order of
+    // a reversed dataset).
+    let ds = duplicated_dataset();
+    let rev: Vec<usize> = (0..ds.len()).rev().collect();
+    let reversed = ds.subset(&rev);
+    let inst = FairHmsInstance::new(reversed, 3, vec![1, 1], vec![2, 2]).unwrap();
+    let sol = streaming_fairhms(&inst, &StreamingFairHmsConfig::default()).unwrap();
+    assert!(inst.matroid().is_feasible(&sol.indices));
+}

@@ -1,0 +1,185 @@
+//! Extended evaluators: average happiness and `k`-happiness.
+//!
+//! The RMS/HMS literature the paper builds on studies two prominent
+//! relaxations (Section 6, Related Work):
+//!
+//! * **Average regret/happiness** (Shetiya et al., Storandt & Funke,
+//!   Zeighami & Wong): replace the worst case `min_u hr(u, S)` by the
+//!   expectation over utilities. [`avg_happiness_ratio`] estimates it on a
+//!   utility sample; it is exactly the `τ = 1` truncated objective, so the
+//!   same greedy machinery optimizes it.
+//! * **`k`-regret / `k`HMS** (Chester et al.): compare against the `t`-th
+//!   best tuple instead of the best, i.e.
+//!   `hr_t(u, S) = max_{p∈S}⟨u,p⟩ / t-th-max_{p∈D}⟨u,p⟩` capped at 1.
+//!   A selection with `mhr_t = 1` satisfies every user who is happy with a
+//!   top-`t` answer. [`KthNetEvaluator`] estimates `mhr_t(S|N)`.
+//!
+//! Both are evaluation-only extensions: they let downstream users measure
+//! their FairHMS solutions against the relaxed objectives without changing
+//! the solvers.
+
+use fairhms_data::Dataset;
+use fairhms_geometry::vecmath::dot;
+use fairhms_geometry::EPS;
+
+/// Average happiness ratio of `sel` over a utility sample:
+/// `(1/m) Σ_{u∈N} hr(u, S)`.
+pub fn avg_happiness_ratio(data: &Dataset, sel: &[usize], net: &[Vec<f64>]) -> f64 {
+    assert!(!sel.is_empty(), "selection must be non-empty");
+    if net.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for u in net {
+        let db = (0..data.len())
+            .map(|i| dot(data.point(i), u))
+            .fold(0.0_f64, f64::max);
+        if db <= EPS {
+            total += 1.0;
+            continue;
+        }
+        let best = sel
+            .iter()
+            .map(|&i| dot(data.point(i), u))
+            .fold(0.0_f64, f64::max);
+        total += (best / db).clamp(0.0, 1.0);
+    }
+    total / net.len() as f64
+}
+
+/// `k`-happiness evaluator: denominators are the `t`-th largest database
+/// score per sampled utility (`t = 1` recovers the ordinary evaluator).
+#[derive(Debug, Clone)]
+pub struct KthNetEvaluator {
+    net: Vec<Vec<f64>>,
+    /// `t`-th-max database score per utility.
+    db_kth: Vec<f64>,
+    t: usize,
+}
+
+impl KthNetEvaluator {
+    /// Builds the evaluator for rank `t ≥ 1` over `net`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0` or `t > |D|`.
+    pub fn new(data: &Dataset, net: Vec<Vec<f64>>, t: usize) -> Self {
+        assert!(t >= 1 && t <= data.len(), "rank t must be in 1..=n");
+        let db_kth = net
+            .iter()
+            .map(|u| {
+                let mut scores: Vec<f64> = (0..data.len())
+                    .map(|i| dot(data.point(i), u))
+                    .collect();
+                // t-th largest via partial sort
+                scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                scores[t - 1]
+            })
+            .collect();
+        Self { net, db_kth, t }
+    }
+
+    /// The rank `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// `mhr_t(S|N) = min_{u∈N} min(1, max_S⟨u,p⟩ / t-th-max_D⟨u,p⟩)`.
+    pub fn mhr(&self, data: &Dataset, sel: &[usize]) -> f64 {
+        assert!(!sel.is_empty(), "selection must be non-empty");
+        let mut out = f64::INFINITY;
+        for (u, &kth) in self.net.iter().zip(&self.db_kth) {
+            let ratio = if kth <= EPS {
+                1.0
+            } else {
+                let best = sel
+                    .iter()
+                    .map(|&i| dot(data.point(i), u))
+                    .fold(0.0_f64, f64::max);
+                (best / kth).min(1.0)
+            };
+            out = out.min(ratio);
+            if out <= 0.0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NetEvaluator;
+    use fairhms_data::realsim::lsac_example;
+    use fairhms_geometry::sphere::grid_net_2d;
+
+    fn lsac() -> Dataset {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        ds
+    }
+
+    #[test]
+    fn avg_bounds_min() {
+        let ds = lsac();
+        let net = grid_net_2d(33);
+        for sel in [vec![3, 4], vec![0], vec![4, 7]] {
+            let avg = avg_happiness_ratio(&ds, &sel, &net);
+            let ev = NetEvaluator::new(&ds, net.clone());
+            let min = ev.mhr(&ds, &sel);
+            assert!(avg >= min - 1e-12, "avg {avg} below min {min}");
+            assert!(avg <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn avg_of_full_dataset_is_one() {
+        let ds = lsac();
+        let net = grid_net_2d(17);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        assert!((avg_happiness_ratio(&ds, &all, &net) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_happiness_rank1_matches_plain_evaluator() {
+        let ds = lsac();
+        let net = grid_net_2d(21);
+        let k1 = KthNetEvaluator::new(&ds, net.clone(), 1);
+        let ev = NetEvaluator::new(&ds, net);
+        for sel in [vec![3, 4], vec![4, 7], vec![2]] {
+            assert!((k1.mhr(&ds, &sel) - ev.mhr(&ds, &sel)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_happiness_monotone_in_rank() {
+        // Larger t weakens the denominator: mhr_t is non-decreasing in t.
+        let ds = lsac();
+        let net = grid_net_2d(21);
+        let sel = vec![4, 7];
+        let mut prev = 0.0;
+        for t in 1..=4 {
+            let ev = KthNetEvaluator::new(&ds, net.clone(), t);
+            let v = ev.mhr(&ds, &sel);
+            assert!(v >= prev - 1e-12, "t={t}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn k_happiness_saturates_at_one() {
+        // With t = 2 a single second-best point can reach mhr_t = 1.
+        let ds = lsac();
+        let net = grid_net_2d(21);
+        let ev = KthNetEvaluator::new(&ds, net, 3);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        assert_eq!(ev.mhr(&ds, &all), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_zero_rejected() {
+        let ds = lsac();
+        KthNetEvaluator::new(&ds, grid_net_2d(5), 0);
+    }
+}

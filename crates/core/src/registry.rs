@@ -1,0 +1,376 @@
+//! A uniform algorithm interface for the experiment harness.
+//!
+//! Every figure in the paper compares a fixed cast of algorithms; the
+//! [`Algorithm`] trait lets the harness iterate over them generically.
+//! Fair algorithms guarantee `err(S) = 0`; the *unfair* entries run the
+//! original baselines ignoring the bounds (used by Figure 3 to measure
+//! their violations).
+
+use crate::adapt::{f_greedy, g_adapt, g_greedy};
+use crate::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
+use crate::baselines::{dmm, hitting_set, rdp_greedy, sphere, DmmConfig, HsConfig};
+use crate::bigreedy::{bigreedy, BiGreedyConfig};
+use crate::intcov::intcov;
+use crate::types::{CoreError, FairHmsInstance, Solution};
+
+/// An algorithm the harness can run on a [`FairHmsInstance`].
+pub trait Algorithm: Send + Sync {
+    /// Display name, matching the paper's figures (e.g. `"BiGreedy+"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the output is guaranteed to satisfy the fairness bounds.
+    fn is_fair(&self) -> bool;
+
+    /// Solves the instance.
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError>;
+}
+
+/// `IntCov` — exact, 2D only.
+pub struct IntCovAlg;
+
+impl Algorithm for IntCovAlg {
+    fn name(&self) -> &'static str {
+        "IntCov"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        intcov(inst)
+    }
+}
+
+/// `BiGreedy` with the paper's `m = mult·k·d` sampling.
+pub struct BiGreedyAlg {
+    /// Net-size multiplier (`m = mult·k·d`); the paper uses 10.
+    pub m_multiplier: usize,
+    /// Cap-search accuracy ε.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BiGreedyAlg {
+    fn default() -> Self {
+        Self {
+            m_multiplier: 10,
+            epsilon: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+impl Algorithm for BiGreedyAlg {
+    fn name(&self) -> &'static str {
+        "BiGreedy"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        let cfg = BiGreedyConfig {
+            epsilon: self.epsilon,
+            sample_size: Some(self.m_multiplier * inst.k() * inst.dim()),
+            seed: self.seed,
+            ..BiGreedyConfig::default()
+        };
+        bigreedy(inst, &cfg)
+    }
+}
+
+/// `BiGreedy+` with the paper's `M = mult·k·d`, `m₀ = 0.05·M`.
+pub struct BiGreedyPlusAlg {
+    /// Net-size multiplier for `M`.
+    pub m_multiplier: usize,
+    /// Cap-search accuracy ε.
+    pub epsilon: f64,
+    /// Stabilization threshold λ.
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BiGreedyPlusAlg {
+    fn default() -> Self {
+        Self {
+            m_multiplier: 10,
+            epsilon: 0.02,
+            lambda: 0.04,
+            seed: 42,
+        }
+    }
+}
+
+impl Algorithm for BiGreedyPlusAlg {
+    fn name(&self) -> &'static str {
+        "BiGreedy+"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        let m = self.m_multiplier * inst.k() * inst.dim();
+        let cfg = BiGreedyPlusConfig {
+            epsilon: self.epsilon,
+            lambda: self.lambda,
+            m0: Some(((m as f64) * 0.05).ceil() as usize),
+            max_m: Some(m),
+            seed: self.seed,
+            ..BiGreedyPlusConfig::default()
+        };
+        bigreedy_plus(inst, &cfg)
+    }
+}
+
+/// `F-Greedy` — the matroid-constrained LP greedy.
+pub struct FGreedyAlg;
+
+impl Algorithm for FGreedyAlg {
+    fn name(&self) -> &'static str {
+        "F-Greedy"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        f_greedy(inst)
+    }
+}
+
+/// `G-Greedy` — per-group `RDP-Greedy`.
+pub struct GGreedyAlg;
+
+impl Algorithm for GGreedyAlg {
+    fn name(&self) -> &'static str {
+        "G-Greedy"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        g_greedy(inst)
+    }
+}
+
+/// `G-DMM` — per-group `DMM`.
+#[derive(Default)]
+pub struct GDmmAlg {
+    /// DMM discretization configuration.
+    pub config: DmmConfig,
+}
+
+
+impl Algorithm for GDmmAlg {
+    fn name(&self) -> &'static str {
+        "G-DMM"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        g_adapt(inst, |d, k| dmm(d, k, &self.config))
+    }
+}
+
+/// `G-Sphere` — per-group `Sphere`.
+pub struct GSphereAlg;
+
+impl Algorithm for GSphereAlg {
+    fn name(&self) -> &'static str {
+        "G-Sphere"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        g_adapt(inst, sphere)
+    }
+}
+
+/// `G-HS` — per-group hitting set.
+#[derive(Default)]
+pub struct GHsAlg {
+    /// Hitting-set configuration.
+    pub config: HsConfig,
+}
+
+
+impl Algorithm for GHsAlg {
+    fn name(&self) -> &'static str {
+        "G-HS"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        g_adapt(inst, |d, k| hitting_set(d, k, &self.config))
+    }
+}
+
+/// Two-pass streaming FairHMS (extension; see [`crate::streaming`]).
+#[derive(Default)]
+pub struct StreamingAlg {
+    /// Streaming configuration.
+    pub config: crate::streaming::StreamingFairHmsConfig,
+}
+
+
+impl Algorithm for StreamingAlg {
+    fn name(&self) -> &'static str {
+        "Streaming"
+    }
+    fn is_fair(&self) -> bool {
+        true
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        crate::streaming::streaming_fairhms(inst, &self.config)
+    }
+}
+
+/// Original (unfair) `Greedy`, ignoring the bounds — Figure 3's subject.
+pub struct UnfairGreedyAlg;
+
+impl Algorithm for UnfairGreedyAlg {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+    fn is_fair(&self) -> bool {
+        false
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        rdp_greedy(inst.data(), inst.k()).map(|v| Solution::new(v, None))
+    }
+}
+
+/// Original (unfair) `DMM`.
+#[derive(Default)]
+pub struct UnfairDmmAlg {
+    /// DMM discretization configuration.
+    pub config: DmmConfig,
+}
+
+
+impl Algorithm for UnfairDmmAlg {
+    fn name(&self) -> &'static str {
+        "DMM"
+    }
+    fn is_fair(&self) -> bool {
+        false
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        dmm(inst.data(), inst.k(), &self.config).map(|v| Solution::new(v, None))
+    }
+}
+
+/// Original (unfair) `Sphere`.
+pub struct UnfairSphereAlg;
+
+impl Algorithm for UnfairSphereAlg {
+    fn name(&self) -> &'static str {
+        "Sphere"
+    }
+    fn is_fair(&self) -> bool {
+        false
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        sphere(inst.data(), inst.k()).map(|v| Solution::new(v, None))
+    }
+}
+
+/// Original (unfair) `HS`.
+#[derive(Default)]
+pub struct UnfairHsAlg {
+    /// Hitting-set configuration.
+    pub config: HsConfig,
+}
+
+
+impl Algorithm for UnfairHsAlg {
+    fn name(&self) -> &'static str {
+        "HS"
+    }
+    fn is_fair(&self) -> bool {
+        false
+    }
+    fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
+        hitting_set(inst.data(), inst.k(), &self.config).map(|v| Solution::new(v, None))
+    }
+}
+
+/// The fair cast of the multi-dimensional figures (5–7): our algorithms
+/// plus every adapted baseline.
+pub fn fair_algorithms() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(BiGreedyAlg::default()),
+        Box::new(BiGreedyPlusAlg::default()),
+        Box::new(FGreedyAlg),
+        Box::new(GGreedyAlg),
+        Box::new(GDmmAlg::default()),
+        Box::new(GHsAlg::default()),
+        Box::new(GSphereAlg),
+    ]
+}
+
+/// The unfair cast of Figure 3 plus our (fair) algorithms for contrast.
+pub fn fig3_algorithms() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(BiGreedyAlg::default()),
+        Box::new(BiGreedyPlusAlg::default()),
+        Box::new(UnfairGreedyAlg),
+        Box::new(UnfairDmmAlg::default()),
+        Box::new(UnfairHsAlg::default()),
+        Box::new(UnfairSphereAlg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_data::realsim::lsac_example;
+
+    fn lsac_instance(k: usize) -> FairHmsInstance {
+        let mut ds = lsac_example().dataset(&["gender"]).unwrap();
+        ds.normalize();
+        let c = ds.num_groups();
+        FairHmsInstance::new(ds, k, vec![1; c], vec![k - 1; c]).unwrap()
+    }
+
+    #[test]
+    fn fair_algorithms_produce_feasible_solutions() {
+        let inst = lsac_instance(4);
+        for alg in fair_algorithms() {
+            let sol = match alg.solve(&inst) {
+                Ok(s) => s,
+                // G-DMM / G-Sphere may legitimately refuse tiny quotas
+                Err(CoreError::ResourceLimit { .. }) => continue,
+                Err(e) => panic!("{} failed: {e}", alg.name()),
+            };
+            assert!(alg.is_fair());
+            assert_eq!(sol.len(), 4, "{}", alg.name());
+            assert!(
+                inst.matroid().is_feasible(&sol.indices),
+                "{} infeasible",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unfair_algorithms_report_unfair() {
+        for alg in fig3_algorithms() {
+            match alg.name() {
+                "BiGreedy" | "BiGreedy+" => assert!(alg.is_fair()),
+                _ => assert!(!alg.is_fair(), "{}", alg.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = fair_algorithms().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["BiGreedy", "BiGreedy+", "F-Greedy", "G-Greedy", "G-DMM", "G-HS", "G-Sphere"]
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Problem instance and solution types.
+
+use fairhms_data::Dataset;
+use fairhms_matroid::{FairnessError, FairnessMatroid};
+
+/// Errors shared by the FairHMS algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The fairness bounds are inconsistent (see inner error).
+    Bounds(FairnessError),
+    /// `k` exceeds the number of points.
+    KTooLarge {
+        /// Requested size.
+        k: usize,
+        /// Available points.
+        n: usize,
+    },
+    /// `k` must be positive.
+    KZero,
+    /// The algorithm requires 2D data but the instance is not 2D.
+    Not2D {
+        /// Actual dimensionality.
+        dim: usize,
+    },
+    /// The dataset is empty.
+    EmptyDataset,
+    /// The algorithm could not produce a feasible solution (reported
+    /// instead of silently returning an infeasible set).
+    NoFeasibleSolution,
+    /// The algorithm hit a documented resource gate — e.g. DMM's memory
+    /// blowup above seven dimensions (paper Section 5.2) or a `k < d`
+    /// requirement of Sphere/DMM.
+    ResourceLimit {
+        /// Human-readable reason.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Bounds(e) => write!(f, "fairness bounds: {e}"),
+            CoreError::KTooLarge { k, n } => write!(f, "k = {k} exceeds dataset size {n}"),
+            CoreError::KZero => write!(f, "k must be positive"),
+            CoreError::Not2D { dim } => write!(f, "algorithm requires 2D data, got d = {dim}"),
+            CoreError::EmptyDataset => write!(f, "dataset is empty"),
+            CoreError::NoFeasibleSolution => write!(f, "no feasible solution found"),
+            CoreError::ResourceLimit { what } => write!(f, "resource limit: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FairnessError> for CoreError {
+    fn from(e: FairnessError) -> Self {
+        CoreError::Bounds(e)
+    }
+}
+
+/// A FairHMS problem: a normalized grouped dataset, the solution size `k`,
+/// and per-group bounds `l_c ≤ |S ∩ D_c| ≤ h_c`.
+///
+/// The dataset is typically restricted to the union of per-group skylines
+/// before constructing the instance (see
+/// [`fairhms_data::skyline::group_skyline_indices`]); the restriction is
+/// lossless because the global skyline — which realizes every utility's
+/// maximum — is contained in that union.
+#[derive(Debug, Clone)]
+pub struct FairHmsInstance {
+    data: Dataset,
+    k: usize,
+    matroid: FairnessMatroid,
+}
+
+impl FairHmsInstance {
+    /// Builds an instance, validating `k` and the bounds.
+    pub fn new(
+        data: Dataset,
+        k: usize,
+        lower: Vec<usize>,
+        upper: Vec<usize>,
+    ) -> Result<Self, CoreError> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        if k == 0 {
+            return Err(CoreError::KZero);
+        }
+        if k > data.len() {
+            return Err(CoreError::KTooLarge { k, n: data.len() });
+        }
+        let matroid = FairnessMatroid::new(data.groups().to_vec(), lower, upper, k)?;
+        Ok(Self { data, k, matroid })
+    }
+
+    /// An unconstrained (vanilla HMS) instance: bounds `0 ≤ |S ∩ D_c| ≤ k`.
+    pub fn unconstrained(data: Dataset, k: usize) -> Result<Self, CoreError> {
+        let c = data.num_groups();
+        Self::new(data, k, vec![0; c], vec![k; c])
+    }
+
+    /// The dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Solution size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The fairness matroid encoding the bounds.
+    pub fn matroid(&self) -> &FairnessMatroid {
+        &self.matroid
+    }
+
+    /// Dimensionality shortcut.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// Number of points shortcut.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Never empty (validated at construction); required by clippy pairing.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Completes `partial` (an independent set) to a feasible size-`k`
+    /// selection: first satisfies unmet lower bounds, then fills remaining
+    /// slots from any group with headroom. Points are drawn in index order.
+    ///
+    /// Returns `Err(NoFeasibleSolution)` only if the instance bounds are
+    /// unattainable, which construction-time validation precludes.
+    pub fn complete_to_feasible(&self, partial: &[usize]) -> Result<Vec<usize>, CoreError> {
+        let mut sel: Vec<usize> = partial.to_vec();
+        sel.sort_unstable();
+        sel.dedup();
+        let mut counts = self.matroid.counts(&sel);
+        let in_sel = |sel: &[usize], i: usize| sel.binary_search(&i).is_ok();
+
+        // Pass 1: unmet lower bounds.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..self.matroid.num_groups() {
+            if counts[c] >= self.matroid.lower()[c] {
+                continue;
+            }
+            for i in 0..self.data.len() {
+                if counts[c] >= self.matroid.lower()[c] {
+                    break;
+                }
+                if self.data.group_of(i) == c && !in_sel(&sel, i) {
+                    let pos = sel.binary_search(&i).unwrap_err();
+                    sel.insert(pos, i);
+                    counts[c] += 1;
+                }
+            }
+        }
+        // Pass 2: fill to k within upper bounds.
+        let mut total: usize = counts.iter().sum();
+        if total < self.k {
+            for i in 0..self.data.len() {
+                if total >= self.k {
+                    break;
+                }
+                let c = self.data.group_of(i);
+                if counts[c] < self.matroid.upper()[c] && !in_sel(&sel, i) {
+                    let pos = sel.binary_search(&i).unwrap_err();
+                    sel.insert(pos, i);
+                    counts[c] += 1;
+                    total += 1;
+                }
+            }
+        }
+        if self.matroid.counts_feasible(&counts) {
+            Ok(sel)
+        } else {
+            Err(CoreError::NoFeasibleSolution)
+        }
+    }
+}
+
+/// A solution to a FairHMS instance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Selected row indices (into the instance's dataset), sorted.
+    pub indices: Vec<usize>,
+    /// The minimum happiness ratio as evaluated by the producing algorithm
+    /// (exact for `IntCov`, δ-net-estimated for `BiGreedy`); `None` when
+    /// the algorithm does not evaluate it.
+    pub mhr: Option<f64>,
+}
+
+impl Solution {
+    /// Creates a solution, sorting and deduplicating the indices.
+    pub fn new(mut indices: Vec<usize>, mhr: Option<f64>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        Self { indices, mhr }
+    }
+
+    /// Number of selected points.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_data::Dataset;
+
+    fn four_points() -> Dataset {
+        Dataset::new(
+            "t",
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 0.8, 0.5, 0.5, 0.8],
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instance_validation() {
+        let d = four_points();
+        assert!(FairHmsInstance::new(d.clone(), 2, vec![1, 1], vec![1, 1]).is_ok());
+        assert_eq!(
+            FairHmsInstance::new(d.clone(), 0, vec![0, 0], vec![1, 1]).unwrap_err(),
+            CoreError::KZero
+        );
+        assert_eq!(
+            FairHmsInstance::new(d.clone(), 9, vec![0, 0], vec![9, 9]).unwrap_err(),
+            CoreError::KTooLarge { k: 9, n: 4 }
+        );
+        assert!(matches!(
+            FairHmsInstance::new(d, 2, vec![2, 2], vec![2, 2]).unwrap_err(),
+            CoreError::Bounds(_)
+        ));
+        let empty = Dataset::ungrouped("e", 2, vec![]).unwrap();
+        assert_eq!(
+            FairHmsInstance::unconstrained(empty, 1).unwrap_err(),
+            CoreError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn complete_to_feasible_meets_bounds() {
+        let d = four_points();
+        let inst = FairHmsInstance::new(d, 3, vec![1, 1], vec![2, 2]).unwrap();
+        let sel = inst.complete_to_feasible(&[0]).unwrap();
+        assert_eq!(sel.len(), 3);
+        assert!(inst.matroid().is_feasible(&sel));
+        // lower bound of group b satisfied
+        assert!(sel.iter().any(|&i| inst.data().group_of(i) == 1));
+        // from empty
+        let sel2 = inst.complete_to_feasible(&[]).unwrap();
+        assert!(inst.matroid().is_feasible(&sel2));
+    }
+
+    #[test]
+    fn solution_sorts_and_dedups() {
+        let s = Solution::new(vec![3, 1, 3, 0], Some(0.5));
+        assert_eq!(s.indices, vec![0, 1, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV import/export.
+//!
+//! The harness writes every figure's series as CSV under `results/` and can
+//! load externally supplied datasets with the layout
+//! `attr_1,…,attr_d,group`. The format is deliberately tiny (no quoting,
+//! no escaping) — inputs are numeric matrices plus a label column.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetError};
+
+/// Errors raised by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Cell content.
+        cell: String,
+    },
+    /// A row has the wrong number of columns.
+    BadWidth {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The resulting matrix failed dataset validation.
+    Dataset(DatasetError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::BadNumber { line, cell } => write!(f, "line {line}: bad number {cell:?}"),
+            CsvError::BadWidth { line } => write!(f, "line {line}: wrong column count"),
+            CsvError::Dataset(e) => write!(f, "dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a dataset from `attr_1,…,attr_d,group` rows (no header). Group
+/// labels are arbitrary strings; they are interned in first-seen order.
+pub fn read_dataset(path: &Path, name: &str, dim: usize) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut points = Vec::new();
+    let mut groups = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != dim + 1 {
+            return Err(CsvError::BadWidth { line: lineno + 1 });
+        }
+        for cell in &cells[..dim] {
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: lineno + 1,
+                cell: cell.to_string(),
+            })?;
+            points.push(v);
+        }
+        let label = cells[dim].trim();
+        let gid = match names.iter().position(|n| n == label) {
+            Some(i) => i,
+            None => {
+                names.push(label.to_string());
+                names.len() - 1
+            }
+        };
+        groups.push(gid);
+    }
+    Dataset::new(name, dim, points, groups, names).map_err(CsvError::Dataset)
+}
+
+/// Writes a dataset as `attr_1,…,attr_d,group_name` rows.
+pub fn write_dataset(path: &Path, data: &Dataset) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for i in 0..data.len() {
+        for v in data.point(i) {
+            write!(out, "{v},")?;
+        }
+        writeln!(out, "{}", data.group_names()[data.group_of(i)])?;
+    }
+    Ok(())
+}
+
+/// Writes a result table: a header row followed by records. Used by every
+/// figure binary to persist its series.
+pub fn write_series(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dataset() {
+        let dir = std::env::temp_dir().join("fairhms_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.csv");
+        let d = Dataset::new(
+            "tiny",
+            2,
+            vec![0.25, 1.0, 0.5, 0.75],
+            vec![0, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        write_dataset(&path, &d).unwrap();
+        let r = read_dataset(&path, "tiny", 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.point(0), &[0.25, 1.0]);
+        assert_eq!(r.group_names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn read_errors_reported_with_line() {
+        let dir = std::env::temp_dir().join("fairhms_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("badnum.csv");
+        std::fs::write(&p1, "1.0,zzz,a\n").unwrap();
+        match read_dataset(&p1, "x", 2) {
+            Err(CsvError::BadNumber { line: 1, .. }) => {}
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+        let p2 = dir.join("badwidth.csv");
+        std::fs::write(&p2, "1.0,a\n").unwrap();
+        match read_dataset(&p2, "x", 2) {
+            Err(CsvError::BadWidth { line: 1 }) => {}
+            other => panic!("expected BadWidth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_series_creates_directories() {
+        let dir = std::env::temp_dir().join("fairhms_csv_test/nested/deep");
+        let path = dir.join("s.csv");
+        let _ = std::fs::remove_file(&path);
+        write_series(
+            &path,
+            &["k", "mhr"],
+            &[vec!["5".into(), "0.93".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "k,mhr\n5,0.93\n");
+    }
+}

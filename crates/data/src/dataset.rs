@@ -1,0 +1,419 @@
+//! The [`Dataset`] type and the multi-grouping [`Table`] wrapper.
+
+use std::collections::BTreeMap;
+
+/// Errors raised by dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The flat point buffer length is not a multiple of the dimension.
+    RaggedMatrix,
+    /// The group label vector length differs from the number of points.
+    GroupLengthMismatch,
+    /// A group label is out of range.
+    GroupOutOfRange {
+        /// Offending row.
+        row: usize,
+    },
+    /// A coordinate is negative or non-finite.
+    InvalidCoordinate {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// Requested categorical attribute does not exist on the table.
+    UnknownAttribute(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::RaggedMatrix => write!(f, "point buffer is not a multiple of dim"),
+            DatasetError::GroupLengthMismatch => write!(f, "group labels do not match point count"),
+            DatasetError::GroupOutOfRange { row } => write!(f, "group label out of range at row {row}"),
+            DatasetError::InvalidCoordinate { row, col } => {
+                write!(f, "negative or non-finite coordinate at ({row}, {col})")
+            }
+            DatasetError::UnknownAttribute(a) => write!(f, "unknown categorical attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A database of `n` points in `R^d_+` partitioned into `C` disjoint groups.
+///
+/// Points are stored row-major in a flat `Vec<f64>`; `groups[i]` is the
+/// group index of row `i` (in `0..num_groups`). All FairHMS algorithms
+/// consume this type after [`Dataset::normalize`] (scale-only) and usually
+/// after restriction to the union of per-group skylines.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    dim: usize,
+    points: Vec<f64>,
+    groups: Vec<usize>,
+    num_groups: usize,
+    group_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes, labels, and coordinates.
+    pub fn new(
+        name: impl Into<String>,
+        dim: usize,
+        points: Vec<f64>,
+        groups: Vec<usize>,
+        group_names: Vec<String>,
+    ) -> Result<Self, DatasetError> {
+        if dim == 0 || !points.len().is_multiple_of(dim) {
+            return Err(DatasetError::RaggedMatrix);
+        }
+        let n = points.len() / dim;
+        if groups.len() != n {
+            return Err(DatasetError::GroupLengthMismatch);
+        }
+        // With explicit names, labels must index into them; otherwise the
+        // group count is inferred from the labels.
+        let num_groups = if group_names.is_empty() {
+            groups.iter().copied().max().map_or(1, |g| g + 1)
+        } else {
+            group_names.len()
+        };
+        for (row, &g) in groups.iter().enumerate() {
+            if g >= num_groups {
+                return Err(DatasetError::GroupOutOfRange { row });
+            }
+        }
+        for (i, &v) in points.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(DatasetError::InvalidCoordinate {
+                    row: i / dim,
+                    col: i % dim,
+                });
+            }
+        }
+        let group_names = if group_names.is_empty() {
+            (0..num_groups).map(|g| format!("g{g}")).collect()
+        } else {
+            group_names
+        };
+        Ok(Self {
+            name: name.into(),
+            dim,
+            points,
+            groups,
+            num_groups,
+            group_names,
+        })
+    }
+
+    /// A dataset with a single group (vanilla HMS).
+    pub fn ungrouped(name: impl Into<String>, dim: usize, points: Vec<f64>) -> Result<Self, DatasetError> {
+        let n = points.len().checked_div(dim).unwrap_or(0);
+        Self::new(name, dim, points, vec![0; n], vec!["all".into()])
+    }
+
+    /// Dataset name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len() / self.dim
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of groups `C`.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Human-readable group names, indexed by group id.
+    pub fn group_names(&self) -> &[String] {
+        &self.group_names
+    }
+
+    /// The `i`-th point as a slice.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major point buffer.
+    pub fn points_flat(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Group label of row `i`.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> usize {
+        self.groups[i]
+    }
+
+    /// All group labels.
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
+    }
+
+    /// `|D_c|` for every group `c`.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_groups];
+        for &g in &self.groups {
+            sizes[g] += 1;
+        }
+        sizes
+    }
+
+    /// Row indices belonging to group `c`.
+    pub fn group_indices(&self, c: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.groups[i] == c).collect()
+    }
+
+    /// Scale-only normalization: divides every attribute by its maximum so
+    /// values lie in `[0, 1]`. Returns the scale factors applied.
+    ///
+    /// Happiness ratios are invariant under this map (scaling attribute `i`
+    /// by `s > 0` is a bijection `u[i] ↦ u[i]/s` of the utility space), so
+    /// normalized and raw datasets have identical optima. Attributes that
+    /// are identically zero are left unchanged.
+    pub fn normalize(&mut self) -> Vec<f64> {
+        let mut maxima = vec![0.0_f64; self.dim];
+        for p in self.points.chunks_exact(self.dim) {
+            for (m, &v) in maxima.iter_mut().zip(p) {
+                *m = m.max(v);
+            }
+        }
+        for p in self.points.chunks_exact_mut(self.dim) {
+            for (v, &m) in p.iter_mut().zip(&maxima) {
+                if m > 0.0 {
+                    *v /= m;
+                }
+            }
+        }
+        maxima
+    }
+
+    /// The sub-dataset induced by `rows` (order preserved, groups kept).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut points = Vec::with_capacity(rows.len() * self.dim);
+        let mut groups = Vec::with_capacity(rows.len());
+        for &r in rows {
+            points.extend_from_slice(self.point(r));
+            groups.push(self.groups[r]);
+        }
+        Dataset {
+            name: self.name.clone(),
+            dim: self.dim,
+            points,
+            groups,
+            num_groups: self.num_groups,
+            group_names: self.group_names.clone(),
+        }
+    }
+
+    /// A copy of this dataset restricted to the first `dim_keep` attributes.
+    pub fn project(&self, dim_keep: usize) -> Dataset {
+        assert!(dim_keep >= 1 && dim_keep <= self.dim);
+        let mut points = Vec::with_capacity(self.len() * dim_keep);
+        for p in self.points.chunks_exact(self.dim) {
+            points.extend_from_slice(&p[..dim_keep]);
+        }
+        Dataset {
+            name: self.name.clone(),
+            dim: dim_keep,
+            points,
+            groups: self.groups.clone(),
+            num_groups: self.num_groups,
+            group_names: self.group_names.clone(),
+        }
+    }
+}
+
+/// A numeric table carrying several categorical attributes, from which
+/// [`Dataset`]s with different group partitions are derived — mirroring the
+/// paper's use of e.g. Adult grouped by gender, race, or their combination.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Numeric dimensionality.
+    pub dim: usize,
+    /// Row-major numeric matrix.
+    pub points: Vec<f64>,
+    /// Categorical attributes: `(attribute name, per-row value index, value names)`.
+    pub cats: Vec<(String, Vec<usize>, Vec<String>)>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.points.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Derives a [`Dataset`] grouped by the cross product of the named
+    /// categorical attributes (e.g. `["gender", "race"]` gives the paper's
+    /// "G+R" partition with `C = C_gender × C_race` groups). Only group
+    /// combinations that actually occur get a group id.
+    pub fn dataset(&self, attrs: &[&str]) -> Result<Dataset, DatasetError> {
+        let n = self.len();
+        let mut selected = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            let cat = self
+                .cats
+                .iter()
+                .find(|(name, _, _)| name == a)
+                .ok_or_else(|| DatasetError::UnknownAttribute(a.to_string()))?;
+            selected.push(cat);
+        }
+        let mut combo_ids: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+        let mut groups = Vec::with_capacity(n);
+        for row in 0..n {
+            let key: Vec<usize> = selected.iter().map(|(_, vals, _)| vals[row]).collect();
+            let next = combo_ids.len();
+            let id = *combo_ids.entry(key).or_insert(next);
+            groups.push(id);
+        }
+        let mut group_names = vec![String::new(); combo_ids.len()];
+        for (key, &id) in &combo_ids {
+            let name = key
+                .iter()
+                .zip(&selected)
+                .map(|(&v, (_, _, names))| names[v].clone())
+                .collect::<Vec<_>>()
+                .join("+");
+            group_names[id] = name;
+        }
+        let label = format!("{} ({})", self.name, attrs.join("+"));
+        Dataset::new(label, self.dim, self.points.clone(), groups, group_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            2,
+            vec![2.0, 0.0, 0.0, 4.0, 1.0, 1.0],
+            vec![0, 1, 0],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_groups(), 2);
+        assert_eq!(d.point(1), &[0.0, 4.0]);
+        assert_eq!(d.group_sizes(), vec![2, 1]);
+        assert_eq!(d.group_indices(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Dataset::new("x", 2, vec![1.0], vec![], vec![]).unwrap_err(),
+            DatasetError::RaggedMatrix
+        );
+        assert_eq!(
+            Dataset::new("x", 1, vec![1.0], vec![0, 1], vec![]).unwrap_err(),
+            DatasetError::GroupLengthMismatch
+        );
+        assert_eq!(
+            Dataset::new("x", 1, vec![-1.0], vec![0], vec![]).unwrap_err(),
+            DatasetError::InvalidCoordinate { row: 0, col: 0 }
+        );
+        assert_eq!(
+            Dataset::new("x", 1, vec![f64::NAN], vec![0], vec![]).unwrap_err(),
+            DatasetError::InvalidCoordinate { row: 0, col: 0 }
+        );
+        assert_eq!(
+            Dataset::new("x", 1, vec![1.0], vec![3], vec!["only".into()]).unwrap_err(),
+            DatasetError::GroupOutOfRange { row: 0 }
+        );
+    }
+
+    #[test]
+    fn normalize_is_scale_only() {
+        let mut d = tiny();
+        let scales = d.normalize();
+        assert_eq!(scales, vec![2.0, 4.0]);
+        assert_eq!(d.point(0), &[1.0, 0.0]);
+        assert_eq!(d.point(1), &[0.0, 1.0]);
+        assert_eq!(d.point(2), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn normalize_zero_column_noop() {
+        let mut d = Dataset::ungrouped("z", 2, vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        let scales = d.normalize();
+        assert_eq!(scales[0], 0.0);
+        assert_eq!(d.point(0), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn subset_preserves_groups() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), &[1.0, 1.0]);
+        assert_eq!(s.group_of(0), 0);
+        assert_eq!(s.num_groups(), 2);
+    }
+
+    #[test]
+    fn project_keeps_prefix_attributes() {
+        let d = tiny();
+        let p = d.project(1);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.point(1), &[0.0]);
+    }
+
+    #[test]
+    fn table_cross_product_grouping() {
+        let t = Table {
+            name: "t".into(),
+            dim: 1,
+            points: vec![1.0, 2.0, 3.0, 4.0],
+            cats: vec![
+                (
+                    "g".into(),
+                    vec![0, 1, 0, 1],
+                    vec!["f".into(), "m".into()],
+                ),
+                (
+                    "r".into(),
+                    vec![0, 0, 1, 1],
+                    vec!["x".into(), "y".into()],
+                ),
+            ],
+        };
+        let by_g = t.dataset(&["g"]).unwrap();
+        assert_eq!(by_g.num_groups(), 2);
+        let by_gr = t.dataset(&["g", "r"]).unwrap();
+        assert_eq!(by_gr.num_groups(), 4);
+        assert!(by_gr.group_names().contains(&"f+x".to_string()));
+        assert!(t.dataset(&["nope"]).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic dataset generators.
+//!
+//! [`anti_correlated`] reimplements the Börzsönyi et al. (ICDE 2001)
+//! anti-correlated generator the paper uses for all scalability
+//! experiments: points concentrate around the hyperplane `Σᵢ xᵢ = d/2`, so
+//! attributes trade off against each other and the skyline contains almost
+//! every point (Table 2 reports 0.9n–n). Group labels follow the paper's
+//! scheme (Section 5.1): sort points by attribute sum and split into `C`
+//! equal-sized quantile groups.
+
+use rand::Rng;
+
+use fairhms_geometry::sphere::standard_normal;
+
+use crate::dataset::Dataset;
+
+/// Generates `n` anti-correlated points in `[0, 1]^d` following the
+/// Börzsönyi et al. construction.
+///
+/// Every coordinate starts at a common plane position `v ~ N(0.5, 0.05)` —
+/// the attribute sum `d·v` concentrates tightly around `d/2` — then mass is
+/// repeatedly transferred between random coordinate pairs, preserving the
+/// sum while spreading points across the plane. Large values in one
+/// attribute force small values elsewhere (strong negative correlation),
+/// and points with near-equal sums are almost never comparable under
+/// dominance, which is what makes anti-correlated skylines huge (Table 2
+/// reports per-group skyline unions of 0.9n–n).
+pub fn anti_correlated<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Vec<f64> {
+    assert!(d >= 1);
+    let mut out = Vec::with_capacity(n * d);
+    let mut x = vec![0.0_f64; d];
+    'point: while out.len() < n * d {
+        let v = (0.5 + 0.05 * standard_normal(rng)).clamp(0.0, 1.0);
+        let l = v.min(1.0 - v);
+        x.iter_mut().for_each(|c| *c = v);
+        if d >= 2 {
+            for _ in 0..d {
+                let i = rng.gen_range(0..d);
+                let mut j = rng.gen_range(0..d);
+                while j == i {
+                    j = rng.gen_range(0..d);
+                }
+                let delta = rng.gen_range(-l..=l);
+                x[i] += delta;
+                x[j] -= delta;
+            }
+        }
+        for &c in &x {
+            if !(0.0..=1.0).contains(&c) {
+                continue 'point; // rejection keeps the sum structure intact
+            }
+        }
+        out.extend_from_slice(&x);
+    }
+    out
+}
+
+/// Generates `n` independent uniform points in `[0, 1]^d`.
+pub fn uniform<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Vec<f64> {
+    (0..n * d).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Generates `n` positively correlated points: a shared latent score plus
+/// attribute noise, with correlation strength `rho ∈ [0, 1]`.
+pub fn correlated<R: Rng + ?Sized>(n: usize, d: usize, rho: f64, rng: &mut R) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&rho));
+    let a = rho.sqrt();
+    let b = (1.0 - rho).sqrt();
+    let mut out = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        let latent = standard_normal(rng);
+        for _ in 0..d {
+            let z = a * latent + b * standard_normal(rng);
+            // map N(0,1) into (0,1) by the logistic cdf-ish squash
+            out.push(1.0 / (1.0 + (-z).exp()));
+        }
+    }
+    out
+}
+
+/// Assigns group labels by attribute-sum quantiles: sort points by
+/// `Σᵢ p[i]` and split into `C` equal-sized groups (paper Section 5.1).
+pub fn groups_by_sum(points: &[f64], d: usize, c: usize) -> Vec<usize> {
+    assert!(c >= 1);
+    let n = points.len() / d;
+    let mut order: Vec<usize> = (0..n).collect();
+    let sum = |i: usize| -> f64 { points[i * d..(i + 1) * d].iter().sum() };
+    order.sort_by(|&a, &b| sum(a).partial_cmp(&sum(b)).unwrap());
+    let mut groups = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        groups[i] = (rank * c / n).min(c - 1);
+    }
+    groups
+}
+
+/// The paper's default synthetic dataset: anti-correlated points with
+/// attribute-sum quantile groups, normalized scale-only.
+pub fn anti_correlated_dataset<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    c: usize,
+    rng: &mut R,
+) -> Dataset {
+    let points = anti_correlated(n, d, rng);
+    let groups = groups_by_sum(&points, d, c);
+    let mut ds = Dataset::new(
+        format!("AntiCor_{d}D(n={n},C={c})"),
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("q{g}")).collect(),
+    )
+    .expect("generator output is valid");
+    ds.normalize();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn anti_correlated_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = anti_correlated(500, 4, &mut rng);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn anti_correlated_negative_correlation_2d() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = anti_correlated(4000, 2, &mut rng);
+        let xs: Vec<f64> = pts.iter().step_by(2).copied().collect();
+        let ys: Vec<f64> = pts.iter().skip(1).step_by(2).copied().collect();
+        let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+        let my = ys.iter().sum::<f64>() / ys.len() as f64;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        assert!(cov < 0.0, "attributes should be anti-correlated, cov = {cov}");
+    }
+
+    #[test]
+    fn anti_correlated_has_huge_group_skylines() {
+        // Table 2: the union of per-group skylines (groups = attribute-sum
+        // quantiles) covers 0.9n–n of the data at the paper's default
+        // d = 6; in 2D the fraction is necessarily much smaller (any sum
+        // variance makes most same-group points comparable) but still far
+        // above the ~ln n of uniform data.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds6 = anti_correlated_dataset(2000, 6, 3, &mut rng);
+        let sky6 = crate::skyline::group_skyline_indices(&ds6);
+        assert!(
+            sky6.len() >= 1800,
+            "d=6 per-group skyline union unexpectedly small: {}",
+            sky6.len()
+        );
+        let ds2 = anti_correlated_dataset(2000, 2, 3, &mut rng);
+        let sky2 = crate::skyline::group_skyline_indices(&ds2);
+        assert!(
+            (100..2000).contains(&sky2.len()),
+            "d=2 per-group skyline union out of range: {}",
+            sky2.len()
+        );
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = uniform(100, 3, &mut rng);
+        assert_eq!(pts.len(), 300);
+        assert!(pts.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn correlated_positive_correlation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = correlated(4000, 2, 0.8, &mut rng);
+        let xs: Vec<f64> = pts.iter().step_by(2).copied().collect();
+        let ys: Vec<f64> = pts.iter().skip(1).step_by(2).copied().collect();
+        let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+        let my = ys.iter().sum::<f64>() / ys.len() as f64;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        assert!(cov > 0.0, "attributes should be correlated, cov = {cov}");
+    }
+
+    #[test]
+    fn groups_by_sum_equal_sizes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = uniform(999, 2, &mut rng);
+        let g = groups_by_sum(&pts, 2, 3);
+        let mut sizes = [0usize; 3];
+        for &x in &g {
+            sizes[x] += 1;
+        }
+        assert_eq!(sizes, [333, 333, 333]);
+    }
+
+    #[test]
+    fn dataset_constructor_normalizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = anti_correlated_dataset(200, 3, 4, &mut rng);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.num_groups(), 4);
+        // scale-only normalization: max of each attribute is 1
+        for j in 0..3 {
+            let maxj = (0..ds.len()).map(|i| ds.point(i)[j]).fold(0.0, f64::max);
+            assert!((maxj - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic_with_seed() {
+        let a = anti_correlated(50, 3, &mut StdRng::seed_from_u64(9));
+        let b = anti_correlated(50, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

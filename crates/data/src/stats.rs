@@ -1,0 +1,73 @@
+//! Dataset statistics (regenerates Table 2 of the paper).
+
+use crate::dataset::Dataset;
+use crate::skyline::group_skyline_sizes;
+
+/// Summary statistics of a grouped dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Dataset label (name + grouping attribute).
+    pub name: String,
+    /// Dimensionality.
+    pub d: usize,
+    /// Number of points.
+    pub n: usize,
+    /// Number of groups.
+    pub c: usize,
+    /// `|D_c|` per group.
+    pub group_sizes: Vec<usize>,
+    /// Per-group skyline sizes.
+    pub group_skylines: Vec<usize>,
+    /// Sum of per-group skyline sizes — Table 2's "#skylines".
+    pub skylines_total: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `data`.
+    pub fn compute(data: &Dataset) -> Self {
+        let group_skylines = group_skyline_sizes(data);
+        let skylines_total = group_skylines.iter().sum();
+        Self {
+            name: data.name().to_string(),
+            d: data.dim(),
+            n: data.len(),
+            c: data.num_groups(),
+            group_sizes: data.group_sizes(),
+            group_skylines,
+            skylines_total,
+        }
+    }
+
+    /// One row of a Table-2-style report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<28} d={:<3} n={:<8} C={:<3} #skylines={}",
+            self.name, self.d, self.n, self.c, self.skylines_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_dataset() {
+        let d = Dataset::new(
+            "s",
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 0.4, 0.4, 0.2, 0.1],
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let st = DatasetStats::compute(&d);
+        assert_eq!(st.n, 4);
+        assert_eq!(st.c, 2);
+        assert_eq!(st.group_sizes, vec![2, 2]);
+        // group a: both on its skyline; group b: only (0.4, 0.4)
+        assert_eq!(st.group_skylines, vec![2, 1]);
+        assert_eq!(st.skylines_total, 3);
+        assert!(st.table_row().contains("#skylines=3"));
+    }
+}

@@ -1,0 +1,180 @@
+//! 2D convex hulls (Andrew's monotone chain).
+//!
+//! HMS in two dimensions only ever selects points that are optimal for some
+//! nonnegative linear utility — exactly the vertices of the "upper-right"
+//! convex hull chain. [`convex_hull`] computes the full hull;
+//! [`maxima_chain`] extracts the chain relevant to nonnegative utilities,
+//! ordered from the best point for `u = (1, 0)` to the best for `u = (0, 1)`.
+
+use crate::EPS;
+
+/// Cross product of `(b − a) × (c − a)`; positive when `a→b→c` turns left.
+#[inline]
+fn cross(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+}
+
+/// Returns the indices of the convex hull of `points` (rows of length 2) in
+/// counter-clockwise order. Collinear interior points are excluded.
+/// Duplicate points are collapsed. Returns all distinct indices when fewer
+/// than three distinct points exist.
+pub fn convex_hull(points: &[[f64; 2]]) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .expect("NaN coordinate in convex_hull")
+    });
+    idx.dedup_by(|&mut a, &mut b| {
+        (points[a][0] - points[b][0]).abs() <= EPS && (points[a][1] - points[b][1]).abs() <= EPS
+    });
+    if idx.len() <= 2 {
+        return idx;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * idx.len());
+    // lower chain
+    for &i in &idx {
+        while hull.len() >= 2
+            && cross(
+                &points[hull[hull.len() - 2]],
+                &points[hull[hull.len() - 1]],
+                &points[i],
+            ) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // upper chain
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(
+                &points[hull[hull.len() - 2]],
+                &points[hull[hull.len() - 1]],
+                &points[i],
+            ) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Indices of points optimal for at least one utility `u ∈ R²₊ \ {0}`,
+/// ordered by decreasing first coordinate (from the `u = (1,0)` optimum to
+/// the `u = (0,1)` optimum). This is the 2D *maxima chain*: the convex hull
+/// vertices on the upper-right boundary.
+pub fn maxima_chain(points: &[[f64; 2]]) -> Vec<usize> {
+    if points.is_empty() {
+        return vec![];
+    }
+    // The chain runs from argmax x (tie: max y) to argmax y (tie: max x)
+    // along the hull. Extract by a dedicated monotone scan: sort by
+    // (x desc, y desc); sweep keeping points with strictly increasing y and
+    // convex turning.
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[b][0]
+            .partial_cmp(&points[a][0])
+            .unwrap()
+            .then(points[b][1].partial_cmp(&points[a][1]).unwrap())
+    });
+    let mut chain: Vec<usize> = Vec::new();
+    for &i in &idx {
+        // skip duplicates and y-dominated points
+        if let Some(&last) = chain.last() {
+            if points[i][1] <= points[last][1] + EPS {
+                continue;
+            }
+        }
+        while chain.len() >= 2 {
+            let a = &points[chain[chain.len() - 2]];
+            let b = &points[chain[chain.len() - 1]];
+            // The chain from argmax-x to argmax-y is part of the CCW hull:
+            // consecutive triples must turn left; pop right turns and
+            // collinear middles.
+            if cross(a, b, &points[i]) <= EPS {
+                chain.pop();
+            } else {
+                break;
+            }
+        }
+        chain.push(i);
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_plus_center() {
+        let pts = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0], [0.5, 0.5]];
+        let mut h = convex_hull(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hull_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[[0.3, 0.4]]), vec![0]);
+        let dup = [[0.3, 0.4], [0.3, 0.4]];
+        assert_eq!(convex_hull(&dup).len(), 1);
+        let collinear = [[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]];
+        let h = convex_hull(&collinear);
+        assert_eq!(h.len(), 2); // interior collinear point dropped
+    }
+
+    #[test]
+    fn maxima_chain_basic() {
+        let pts = [
+            [1.0, 0.0],  // best for (1,0)
+            [0.0, 1.0],  // best for (0,1)
+            [0.7, 0.7],  // on the chain
+            [0.4, 0.4],  // dominated by (0.7,0.7)
+            [0.2, 0.95], // on the chain
+        ];
+        let chain = maxima_chain(&pts);
+        assert_eq!(chain, vec![0, 2, 4, 1]);
+    }
+
+    #[test]
+    fn maxima_chain_agrees_with_envelope_support() {
+        use crate::envelope::Envelope;
+        use crate::line::Line;
+        let mut pts = Vec::new();
+        let mut x = 0.37_f64;
+        for _ in 0..200 {
+            x = (x * 997.3).fract();
+            let y = (x * 631.7).fract();
+            pts.push([x, y]);
+        }
+        let lines: Vec<Line> = pts.iter().map(|p| Line::from_point(p)).collect();
+        let mut support = Envelope::upper(&lines).support();
+        support.sort_unstable();
+        support.dedup();
+        let mut chain = maxima_chain(&pts);
+        chain.sort_unstable();
+        // Envelope support ⊆ maxima chain (chain may keep boundary-only
+        // points optimal exactly at λ∈{0,1} that tie on the envelope).
+        for s in &support {
+            assert!(chain.contains(s), "envelope line {s} missing from chain");
+        }
+    }
+
+    #[test]
+    fn maxima_chain_single_dominating_point() {
+        let pts = [[0.9, 0.9], [0.1, 0.2], [0.5, 0.5]];
+        assert_eq!(maxima_chain(&pts), vec![0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Lines over the 2D utility parameter `λ`.
+//!
+//! In two dimensions every nonnegative linear utility can be written (after
+//! `l1` normalization) as `u = (λ, 1 − λ)` with `λ ∈ [0, 1]`. The score of a
+//! point `p = (p₁, p₂)` is then the *line*
+//!
+//! ```text
+//! L_p(λ) = ⟨u, p⟩ = p₂ + (p₁ − p₂)·λ
+//! ```
+//!
+//! `IntCov` reasons entirely about these lines: the database maximum is
+//! their upper envelope and a point's `τ`-interval is where its line stays
+//! above the scaled envelope.
+
+use crate::EPS;
+
+/// A line `λ ↦ intercept + slope·λ` over `λ ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Value at `λ = 0` (the point's second coordinate).
+    pub intercept: f64,
+    /// `p₁ − p₂`; the line's value at `λ = 1` is `intercept + slope`.
+    pub slope: f64,
+}
+
+impl Line {
+    /// Creates a line with the given intercept and slope.
+    pub fn new(intercept: f64, slope: f64) -> Self {
+        Self { intercept, slope }
+    }
+
+    /// The score line of a 2D point `p` under `u = (λ, 1 − λ)`.
+    pub fn from_point(p: &[f64]) -> Self {
+        debug_assert_eq!(p.len(), 2, "Line::from_point requires 2D input");
+        Self {
+            intercept: p[1],
+            slope: p[0] - p[1],
+        }
+    }
+
+    /// Evaluates the line at `λ`.
+    #[inline]
+    pub fn eval(&self, lambda: f64) -> f64 {
+        self.intercept + self.slope * lambda
+    }
+
+    /// The `λ` where `self` and `other` intersect, or `None` if they are
+    /// parallel within [`EPS`].
+    pub fn intersect(&self, other: &Line) -> Option<f64> {
+        let ds = self.slope - other.slope;
+        if ds.abs() <= EPS {
+            return None;
+        }
+        Some((other.intercept - self.intercept) / ds)
+    }
+
+    /// The utility vector `(λ, 1 − λ)` at which two *points* score equally,
+    /// if that crossing lies in `[0, 1]` (i.e. the equalizing utility is
+    /// nonnegative). This is the candidate-utility construction of
+    /// Algorithm 1, lines 4–7.
+    pub fn crossing_of_points(p: &[f64], q: &[f64]) -> Option<f64> {
+        let lp = Line::from_point(p);
+        let lq = Line::from_point(q);
+        let lambda = lp.intersect(&lq)?;
+        if (-EPS..=1.0 + EPS).contains(&lambda) {
+            Some(lambda.clamp(0.0, 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_point_matches_inner_product() {
+        let p = [0.75, 0.6975]; // normalized LSAC a5
+        let l = Line::from_point(&p);
+        for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let u = [lambda, 1.0 - lambda];
+            let score = u[0] * p[0] + u[1] * p[1];
+            assert!((l.eval(lambda) - score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intersect_parallel_is_none() {
+        let a = Line::new(0.0, 1.0);
+        let b = Line::new(0.5, 1.0);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = Line::new(0.0, 1.0); // λ
+        let b = Line::new(1.0, -1.0); // 1 − λ
+        let x = a.intersect(&b).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_of_points_inside_unit_interval() {
+        // p better at λ=1, q better at λ=0, cross at λ=0.5.
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let lambda = Line::crossing_of_points(&p, &q).unwrap();
+        assert!((lambda - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_outside_unit_interval_rejected() {
+        // q dominates p; lines cross outside [0,1] or are parallel.
+        let p = [0.2, 0.1];
+        let q = [0.9, 0.8];
+        // slopes are equal (0.1), parallel => None
+        assert!(Line::crossing_of_points(&p, &q).is_none());
+        // a pair whose crossing is at λ > 1
+        let a = [1.0, 0.9];
+        let b = [1.2, 0.8];
+        // cross: 0.9 + 0.1λ = 0.8 + 0.4λ → λ = 1/3 in range; pick another
+        let c = [1.0, 0.0];
+        let d = [2.2, 1.0];
+        // 0 + λ = 1 + 1.2λ → λ = −5 < 0 → rejected
+        assert!(Line::crossing_of_points(&c, &d).is_none());
+        let _ = (a, b);
+    }
+}

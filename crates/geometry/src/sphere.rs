@@ -1,0 +1,229 @@
+//! Sampling on the nonnegative unit sphere `S^{d−1}_+` and δ-nets.
+//!
+//! A set `N ⊂ S^{d−1}_+` is a *δ-net* if every `u ∈ S^{d−1}_+` has some
+//! `v ∈ N` with `⟨u, v⟩ ≥ cos δ` (paper Section 4.1). Following the paper
+//! (and Saff & Kuijlaars), nets are built by uniform random sampling:
+//! `m = O(δ^{−(d−1)} log(1/δ))` uniform vectors form a δ-net with constant
+//! probability, and the MHR estimated on a `δ/(d(2−δ))`-net is within `δ`
+//! of the true MHR (Lemma 4.1).
+
+use rand::Rng;
+
+use crate::vecmath::normalize2;
+
+/// Draws one standard-normal variate via Box–Muller.
+///
+/// `rand` alone (without `rand_distr`) has no normal distribution; the
+/// transform keeps this crate's dependency set minimal.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a vector uniformly at random from `S^{d−1}_+` (the unit sphere
+/// intersected with the nonnegative orthant).
+///
+/// Uses the absolute value of a spherically symmetric Gaussian: reflecting
+/// a uniform sphere sample into the nonnegative orthant preserves
+/// uniformity because the orthant reflections are isometries.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn sample_unit_nonneg<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    assert!(d > 0, "sample_unit_nonneg: dimension must be positive");
+    loop {
+        let mut v: Vec<f64> = (0..d).map(|_| standard_normal(rng).abs()).collect();
+        let n: f64 = v.iter().map(|x| x * x).sum::<f64>();
+        if n > 1e-30 {
+            normalize2(&mut v);
+            return v;
+        }
+    }
+}
+
+/// Draws `m` vectors uniformly at random on `S^{d−1}_+` — the paper's
+/// random δ-net construction (the sample is a δ-net w.h.p. for the `m`
+/// returned by [`net_size`]).
+pub fn random_net<R: Rng + ?Sized>(d: usize, m: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..m).map(|_| sample_unit_nonneg(d, rng)).collect()
+}
+
+/// A random net seeded with the `d` basis directions (when `m ≥ d`).
+///
+/// Purely random nets can leave the axis corners of `S^{d−1}_+` uncovered
+/// at practical sample sizes; seeding the extremes is the standard fix used
+/// by RMS implementations (cf. Sphere's boundary seeds) and never hurts the
+/// δ-net property.
+pub fn random_net_with_basis<R: Rng + ?Sized>(d: usize, m: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut net: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..d.min(m) {
+        let mut e = vec![0.0; d];
+        e[i] = 1.0;
+        net.push(e);
+    }
+    while net.len() < m {
+        net.push(sample_unit_nonneg(d, rng));
+    }
+    net
+}
+
+/// The sample size `m = O(δ^{−(d−1)} log(1/δ))` sufficient for a uniform
+/// sample to be a δ-net of `S^{d−1}_+` with probability ≥ 1/2.
+///
+/// The constant follows the standard covering bound; callers in the
+/// experiment harness usually override `m` directly (the paper uses
+/// `m = 10·k·d` in practice).
+pub fn net_size(delta: f64, d: usize) -> usize {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "δ ∈ (0, 1)");
+    assert!(d >= 2);
+    let inv = 1.0 / delta;
+    let m = inv.powi(d as i32 - 1) * inv.ln().max(1.0) * 2.0;
+    (m.ceil() as usize).max(d)
+}
+
+/// The net parameter `δ/(d(2−δ))` that BiGreedy samples at so the MHR
+/// estimation error is at most `δ` (Lemma 4.1 instantiated in Algorithm 3,
+/// line 1).
+pub fn bigreedy_net_delta(delta: f64, d: usize) -> f64 {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "δ ∈ (0, 1)");
+    delta / (d as f64 * (2.0 - delta))
+}
+
+/// A deterministic net on `S¹₊`: `m` directions with equally spaced angles
+/// in `[0, π/2]`. For `m ≥ ⌈π/(2δ)⌉ + 1` this is a δ-net of `S¹₊`.
+pub fn grid_net_2d(m: usize) -> Vec<Vec<f64>> {
+    assert!(m >= 2, "grid_net_2d needs at least the two axis directions");
+    (0..m)
+        .map(|i| {
+            let theta = std::f64::consts::FRAC_PI_2 * i as f64 / (m - 1) as f64;
+            vec![theta.cos(), theta.sin()]
+        })
+        .collect()
+}
+
+/// A deterministic net for any `d`: the `l1` simplex grid with `steps`
+/// subdivisions per axis, `l2`-normalized. Size `C(steps + d − 1, d − 1)`.
+/// Used as a reproducible fallback and by the DMM baseline's utility
+/// discretization.
+pub fn simplex_grid(d: usize, steps: usize) -> Vec<Vec<f64>> {
+    assert!(d >= 1 && steps >= 1);
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; d];
+    fn rec(d: usize, pos: usize, remaining: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<f64>>) {
+        if pos == d - 1 {
+            cur[pos] = remaining;
+            let mut v: Vec<f64> = cur.iter().map(|&c| c as f64).collect();
+            normalize2(&mut v);
+            out.push(v);
+            return;
+        }
+        for c in 0..=remaining {
+            cur[pos] = c;
+            rec(d, pos + 1, remaining - c, cur, out);
+        }
+    }
+    rec(d, 0, steps, &mut cur, &mut out);
+    out
+}
+
+/// The covering angle of `net` measured against `probes`: the maximum over
+/// probes of the minimum angular distance to a net vector. Test/diagnostic
+/// helper for validating δ-net quality.
+pub fn covering_angle(net: &[Vec<f64>], probes: &[Vec<f64>]) -> f64 {
+    probes
+        .iter()
+        .map(|u| {
+            net.iter()
+                .map(|v| crate::vecmath::dot(u, v).clamp(-1.0, 1.0).acos())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_unit_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [1, 2, 3, 6, 10] {
+            for _ in 0..50 {
+                let v = sample_unit_nonneg(d, &mut rng);
+                assert_eq!(v.len(), d);
+                assert!(v.iter().all(|&x| x >= 0.0));
+                let n: f64 = v.iter().map(|x| x * x).sum();
+                assert!((n - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_quarter_circle() {
+        // In 2D the angle should be roughly uniform on [0, π/2].
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut buckets = [0usize; 4];
+        for _ in 0..4000 {
+            let v = sample_unit_nonneg(2, &mut rng);
+            let theta = v[1].atan2(v[0]);
+            let b = ((theta / std::f64::consts::FRAC_PI_2) * 4.0) as usize;
+            buckets[b.min(3)] += 1;
+        }
+        for &b in &buckets {
+            // each quadrant-of-quadrant should hold ~1000 ± noise
+            assert!((700..1300).contains(&b), "buckets = {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn grid_net_2d_is_delta_net() {
+        let m = 50;
+        let net = grid_net_2d(m);
+        assert_eq!(net.len(), m);
+        let delta = std::f64::consts::FRAC_PI_2 / (m - 1) as f64; // spacing
+        let probes = grid_net_2d(997);
+        let ang = covering_angle(&net, &probes);
+        assert!(ang <= delta / 2.0 + 1e-9, "covering angle {ang} > {delta}");
+    }
+
+    #[test]
+    fn random_net_covers_with_expected_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let delta = 0.15;
+        let m = net_size(delta, 3);
+        let net = random_net(3, m, &mut rng);
+        let probes = random_net(3, 2000, &mut rng);
+        let ang = covering_angle(&net, &probes);
+        assert!(ang <= delta, "covering angle {ang} exceeds δ = {delta}");
+    }
+
+    #[test]
+    fn simplex_grid_counts_and_normalization() {
+        let g = simplex_grid(3, 4);
+        // C(4 + 2, 2) = 15 grid points
+        assert_eq!(g.len(), 15);
+        for v in &g {
+            let n: f64 = v.iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bigreedy_net_delta_shrinks_with_dimension() {
+        let d2 = bigreedy_net_delta(0.1, 2);
+        let d6 = bigreedy_net_delta(0.1, 6);
+        assert!(d6 < d2);
+        assert!((d2 - 0.1 / (2.0 * 1.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn net_size_rejects_bad_delta() {
+        net_size(1.5, 3);
+    }
+}

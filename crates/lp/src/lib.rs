@@ -1,0 +1,23 @@
+//! Linear programming substrate for FairHMS.
+//!
+//! The exact evaluation of minimum happiness ratios in `d ≥ 2` dimensions,
+//! as well as the `RDP-Greedy` and `F-Greedy` baselines, require solving
+//! many small linear programs of the form
+//!
+//! ```text
+//! minimize  t
+//! subject to  ⟨u, q⟩ − t ≤ 0      for every q in the selected set S
+//!             ⟨u, p⟩ = 1          (scale-fix for the reference point p)
+//!             u ≥ 0, t ≥ 0
+//! ```
+//!
+//! (one per database point `p`; see [`hms`]). The Rust LP ecosystem is thin
+//! and this reproduction must build offline, so the solver is implemented
+//! in-tree: a dense two-phase primal simplex with Bland's anti-cycling rule
+//! ([`simplex`]). The FairHMS LPs have `d + 1` variables and `|S| + 1`
+//! rows, so a dense tableau is both simple and fast.
+
+pub mod hms;
+pub mod simplex;
+
+pub use simplex::{solve, Constraint, LpError, LpProblem, LpSolution, Objective, Relation};

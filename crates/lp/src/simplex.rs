@@ -1,0 +1,497 @@
+//! Dense two-phase primal simplex.
+//!
+//! All decision variables are nonnegative; constraints may be `≤`, `≥`, or
+//! `=`. Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible point (reporting infeasibility if that sum is positive); phase 2
+//! optimizes the user objective. Pivoting uses Bland's rule, which is slower
+//! per iteration than Dantzig pricing but cannot cycle — exactness matters
+//! more than speed for the tiny FairHMS subproblems, and the experiment
+//! harness solves millions of them, so robustness is the priority.
+
+/// Numeric tolerance for pivoting and feasibility checks.
+const EPS: f64 = 1e-9;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `⟨a, x⟩ ≤ b`
+    Le,
+    /// `⟨a, x⟩ ≥ b`
+    Ge,
+    /// `⟨a, x⟩ = b`
+    Eq,
+}
+
+/// A single linear constraint `⟨coeffs, x⟩ REL rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// One coefficient per decision variable.
+    pub coeffs: Vec<f64>,
+    /// Constraint sense.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, rel: Relation, rhs: f64) -> Self {
+        Self { coeffs, rel, rhs }
+    }
+}
+
+/// Optimization direction with objective coefficients.
+#[derive(Debug, Clone)]
+pub enum Objective {
+    /// Minimize `⟨c, x⟩`.
+    Minimize(Vec<f64>),
+    /// Maximize `⟨c, x⟩`.
+    Maximize(Vec<f64>),
+}
+
+/// A linear program over nonnegative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Number of decision variables (all constrained to `x ≥ 0`).
+    pub n_vars: usize,
+    /// Objective to optimize.
+    pub objective: Objective,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal values of the decision variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the direction the caller asked for).
+    pub objective: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A constraint row has the wrong number of coefficients.
+    DimensionMismatch {
+        /// Index of the offending constraint.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { row } => {
+                write!(f, "constraint {row} has wrong coefficient count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+struct Tableau {
+    /// `(m + 1) × (n + 1)` row-major; last row is the reduced-cost row,
+    /// last column the right-hand side.
+    a: Vec<f64>,
+    m: usize,
+    n: usize,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.n + 1) + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * (self.n + 1) + c]
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.n + 1;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS, "pivot too small");
+        let inv = 1.0 / pivot;
+        for c in 0..w {
+            self.a[pr * w + c] *= inv;
+        }
+        for r in 0..=self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..w {
+                self.a[r * w + c] -= factor * self.a[pr * w + c];
+            }
+            // kill accumulated round-off in the pivot column
+            self.a[r * w + pc] = 0.0;
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs simplex iterations with Bland's rule until optimal or unbounded.
+    /// `allowed` limits entering variables (used in phase 1 → 2 transition).
+    fn optimize(&mut self, n_allowed: usize) -> Result<(), LpError> {
+        loop {
+            // Bland: entering = smallest index with negative reduced cost.
+            let mut enter = None;
+            for j in 0..n_allowed {
+                if self.at(self.m, j) < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            let Some(pc) = enter else { return Ok(()) };
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, self.n) / a;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((br, brat)) => {
+                            if ratio < brat - EPS
+                                || (ratio < brat + EPS && self.basis[r] < self.basis[br])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((pr, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(pr, pc);
+        }
+    }
+}
+
+/// Solves `problem`, returning the optimal solution or the failure mode.
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let n = problem.n_vars;
+    for (row, c) in problem.constraints.iter().enumerate() {
+        if c.coeffs.len() != n {
+            return Err(LpError::DimensionMismatch { row });
+        }
+    }
+    let m = problem.constraints.len();
+
+    // Normalize rows to nonnegative rhs, flipping the sense when negating.
+    let rows: Vec<(Vec<f64>, Relation, f64)> = problem
+        .constraints
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                let coeffs = c.coeffs.iter().map(|&v| -v).collect();
+                let rel = match c.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (coeffs, rel, -c.rhs)
+            } else {
+                (c.coeffs.clone(), c.rel, c.rhs)
+            }
+        })
+        .collect();
+
+    let n_slack = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Eq)
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Le)
+        .count();
+    let total = n + n_slack + n_art;
+    let w = total + 1;
+
+    let mut t = Tableau {
+        a: vec![0.0; (m + 1) * w],
+        m,
+        n: total,
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    let mut art_cols: Vec<usize> = Vec::with_capacity(n_art);
+    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+        for (j, &v) in coeffs.iter().enumerate() {
+            *t.at_mut(r, j) = v;
+        }
+        *t.at_mut(r, total) = *rhs;
+        match rel {
+            Relation::Le => {
+                *t.at_mut(r, slack_at) = 1.0;
+                t.basis[r] = slack_at;
+                slack_at += 1;
+            }
+            Relation::Ge => {
+                *t.at_mut(r, slack_at) = -1.0;
+                slack_at += 1;
+                *t.at_mut(r, art_at) = 1.0;
+                t.basis[r] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+            Relation::Eq => {
+                *t.at_mut(r, art_at) = 1.0;
+                t.basis[r] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials. The reduced-cost row is the
+    // phase-1 costs priced out over the initial (artificial/slack) basis,
+    // i.e. minus the sum of rows with an artificial basic variable.
+    if !art_cols.is_empty() {
+        for &c in &art_cols {
+            *t.at_mut(m, c) = 1.0;
+        }
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                for c in 0..w {
+                    t.a[m * w + c] -= t.a[r * w + c];
+                }
+            }
+        }
+        t.optimize(total)?;
+        let phase1 = -t.at(m, total);
+        if phase1 > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot any artificial variables that remained basic (degenerately,
+        // at value 0) out of the basis so phase 2 cannot re-activate them.
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                let mut pivoted = false;
+                for j in 0..n + n_slack {
+                    if t.at(r, j).abs() > EPS {
+                        t.pivot(r, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: harmless, leave the artificial basic at
+                    // zero; it can never enter the objective again because
+                    // phase 2 restricts entering columns below.
+                }
+            }
+        }
+    }
+
+    // Phase 2: install the user objective (in minimize form) and re-optimize
+    // over the original + slack columns only.
+    let (c_min, negate): (Vec<f64>, bool) = match &problem.objective {
+        Objective::Minimize(c) => (c.clone(), false),
+        Objective::Maximize(c) => (c.iter().map(|&v| -v).collect(), true),
+    };
+    assert_eq!(c_min.len(), n, "objective length must equal n_vars");
+    for c in 0..w {
+        *t.at_mut(m, c) = 0.0;
+    }
+    for (j, &v) in c_min.iter().enumerate() {
+        *t.at_mut(m, j) = v;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n && c_min[b].abs() > 0.0 {
+            let factor = t.at(m, b);
+            if factor.abs() > 0.0 {
+                for c in 0..w {
+                    t.a[m * w + c] -= factor * t.a[r * w + c];
+                }
+            }
+        }
+    }
+    t.optimize(n + n_slack)?;
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = t.at(r, total).max(0.0);
+        }
+    }
+    let mut obj: f64 = c_min.iter().zip(&x).map(|(c, v)| c * v).sum();
+    if negate {
+        obj = -obj;
+    }
+    Ok(LpSolution { x, objective: obj })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint::new(coeffs, Relation::Le, rhs)
+    }
+    fn ge(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint::new(coeffs, Relation::Ge, rhs)
+    }
+    fn eq(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint::new(coeffs, Relation::Eq, rhs)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Maximize(vec![3.0, 5.0]),
+            constraints: vec![
+                le(vec![1.0, 0.0], 4.0),
+                le(vec![0.0, 2.0], 12.0),
+                le(vec![3.0, 2.0], 18.0),
+            ],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-8);
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+        assert!((s.x[1] - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0)? check: c_x=2 < c_y=3,
+        // so push x: x=4, y=0, obj 8.
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Minimize(vec![2.0, 3.0]),
+            constraints: vec![ge(vec![1.0, 1.0], 4.0), ge(vec![1.0, 0.0], 1.0)],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-8);
+        assert!((s.x[0] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 3, x − y = 0 → x = y = 1, obj 2.
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Minimize(vec![1.0, 1.0]),
+            constraints: vec![eq(vec![1.0, 2.0], 3.0), eq(vec![1.0, -1.0], 0.0)],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-8);
+        assert!((s.x[1] - 1.0).abs() < 1e-8);
+        assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = LpProblem {
+            n_vars: 1,
+            objective: Objective::Minimize(vec![1.0]),
+            constraints: vec![le(vec![1.0], 1.0), ge(vec![1.0], 2.0)],
+        };
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Maximize(vec![1.0, 1.0]),
+            constraints: vec![ge(vec![1.0, 0.0], 1.0)],
+        };
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x ≤ −1 with x ≥ 0 is infeasible; −x ≤ −1 means x ≥ 1.
+        let p = LpProblem {
+            n_vars: 1,
+            objective: Objective::Minimize(vec![1.0]),
+            constraints: vec![le(vec![-1.0], -1.0)],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-8);
+        let q = LpProblem {
+            n_vars: 1,
+            objective: Objective::Minimize(vec![1.0]),
+            constraints: vec![le(vec![1.0], -1.0)],
+        };
+        assert_eq!(solve(&q).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Maximize(vec![1.0, 1.0]),
+            constraints: vec![
+                le(vec![1.0, 0.0], 1.0),
+                le(vec![0.0, 1.0], 1.0),
+                le(vec![1.0, 1.0], 2.0),
+                le(vec![2.0, 1.0], 3.0),
+            ],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 twice: redundant but consistent.
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Maximize(vec![1.0, 0.0]),
+            constraints: vec![eq(vec![1.0, 1.0], 2.0), eq(vec![1.0, 1.0], 2.0)],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let p = LpProblem {
+            n_vars: 2,
+            objective: Objective::Minimize(vec![1.0, 1.0]),
+            constraints: vec![le(vec![1.0], 1.0)],
+        };
+        assert_eq!(solve(&p).unwrap_err(), LpError::DimensionMismatch { row: 0 });
+    }
+
+    #[test]
+    fn hms_shaped_lp() {
+        // The canonical FairHMS subproblem: minimize t subject to
+        // ⟨u,q⟩ ≤ t for q ∈ S, ⟨u,p⟩ = 1, u ≥ 0 — with S = {(1,0),(0,1)} and
+        // p = (0.8, 0.8). Optimal picks u proportional to (0.625, 0.625):
+        // t = 0.625.
+        let p = LpProblem {
+            n_vars: 3, // u1 u2 t
+            objective: Objective::Minimize(vec![0.0, 0.0, 1.0]),
+            constraints: vec![
+                le(vec![1.0, 0.0, -1.0], 0.0),
+                le(vec![0.0, 1.0, -1.0], 0.0),
+                eq(vec![0.8, 0.8, 0.0], 1.0),
+            ],
+        };
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 0.625).abs() < 1e-8, "t = {}", s.objective);
+    }
+}

@@ -1,0 +1,101 @@
+//! The partition matroid: at most `cap_c` elements from each group `c`.
+
+use crate::Matroid;
+
+/// Partition matroid over a labelled ground set.
+#[derive(Debug, Clone)]
+pub struct PartitionMatroid {
+    groups: Vec<usize>,
+    capacities: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// Creates a partition matroid; `groups[i]` is the part of element `i`
+    /// and `capacities[c]` the budget of part `c`.
+    ///
+    /// # Panics
+    /// Panics if a label is out of range.
+    pub fn new(groups: Vec<usize>, capacities: Vec<usize>) -> Self {
+        assert!(
+            groups.iter().all(|&g| g < capacities.len()),
+            "group label out of range"
+        );
+        Self { groups, capacities }
+    }
+
+    fn counts(&self, items: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.capacities.len()];
+        for &i in items {
+            counts[self.groups[i]] += 1;
+        }
+        counts
+    }
+}
+
+impl Matroid for PartitionMatroid {
+    fn ground_size(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn is_independent(&self, items: &[usize]) -> bool {
+        if items.iter().any(|&i| i >= self.groups.len()) {
+            return false;
+        }
+        self.counts(items)
+            .iter()
+            .zip(&self.capacities)
+            .all(|(n, cap)| n <= cap)
+    }
+
+    fn can_extend(&self, items: &[usize], new_item: usize) -> bool {
+        if new_item >= self.groups.len() {
+            return false;
+        }
+        let g = self.groups[new_item];
+        let in_group = items.iter().filter(|&&i| self.groups[i] == g).count();
+        in_group < self.capacities[g]
+    }
+
+    fn rank_upper_bound(&self) -> usize {
+        // per-part rank is min(cap, part size)
+        let mut sizes = vec![0usize; self.capacities.len()];
+        for &g in &self.groups {
+            sizes[g] += 1;
+        }
+        sizes
+            .iter()
+            .zip(&self.capacities)
+            .map(|(s, c)| s.min(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_axioms;
+
+    #[test]
+    fn axioms_hold() {
+        let m = PartitionMatroid::new(vec![0, 0, 1, 1, 2], vec![1, 2, 1]);
+        verify_axioms(&m).unwrap();
+        let zero_cap = PartitionMatroid::new(vec![0, 0, 1], vec![0, 1]);
+        verify_axioms(&zero_cap).unwrap();
+    }
+
+    #[test]
+    fn membership() {
+        let m = PartitionMatroid::new(vec![0, 0, 1], vec![1, 1]);
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert!(m.can_extend(&[0], 2));
+        assert!(!m.can_extend(&[0], 1));
+        assert_eq!(m.rank_upper_bound(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_rejected() {
+        PartitionMatroid::new(vec![0, 3], vec![1, 1]);
+    }
+}

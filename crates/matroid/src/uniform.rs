@@ -1,0 +1,65 @@
+//! The uniform matroid: independent iff `|S| ≤ k`.
+
+use crate::Matroid;
+
+/// Uniform matroid `U_{k,n}`: sets of at most `k` of the `n` elements.
+#[derive(Debug, Clone)]
+pub struct UniformMatroid {
+    n: usize,
+    k: usize,
+}
+
+impl UniformMatroid {
+    /// Creates `U_{k,n}`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self { n, k }
+    }
+
+    /// The cardinality budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Matroid for UniformMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_independent(&self, items: &[usize]) -> bool {
+        items.len() <= self.k && items.iter().all(|&i| i < self.n)
+    }
+
+    fn can_extend(&self, items: &[usize], new_item: usize) -> bool {
+        items.len() < self.k && new_item < self.n
+    }
+
+    fn rank_upper_bound(&self) -> usize {
+        self.k.min(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_axioms;
+
+    #[test]
+    fn axioms_hold() {
+        verify_axioms(&UniformMatroid::new(6, 3)).unwrap();
+        verify_axioms(&UniformMatroid::new(4, 0)).unwrap();
+        verify_axioms(&UniformMatroid::new(3, 5)).unwrap();
+    }
+
+    #[test]
+    fn basic_membership() {
+        let m = UniformMatroid::new(5, 2);
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[0, 4]));
+        assert!(!m.is_independent(&[0, 1, 2]));
+        assert!(!m.is_independent(&[9]));
+        assert!(m.can_extend(&[0], 1));
+        assert!(!m.can_extend(&[0, 1], 2));
+        assert_eq!(m.rank_upper_bound(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Monotone submodular maximization under matroid constraints.
+//!
+//! `BiGreedy` (paper Section 4) reduces FairHMS to maximizing the truncated
+//! MHR — a monotone submodular function — under the fairness matroid. This
+//! crate provides the generic machinery:
+//!
+//! * [`IncrementalObjective`] — an objective with `O(1)`-ish incremental
+//!   state, so greedy loops never recompute values from scratch;
+//! * [`greedy_matroid`] — the classic Fisher–Nemhauser–Wolsey greedy, a
+//!   `1/2`-approximation for monotone submodular maximization under a
+//!   matroid;
+//! * [`lazy_greedy_matroid`] — the same algorithm with lazy (stale-gain)
+//!   evaluation, valid because submodularity makes marginal gains
+//!   monotonically non-increasing.
+//!
+//! Both variants *fill a base*: they keep adding feasible elements while
+//! any exist, even at zero marginal gain, matching Algorithm 3's inner
+//! loop (`while ∃p: S_i ∪ {p} ∈ I`).
+
+pub mod streaming;
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fairhms_matroid::Matroid;
+
+/// A set objective with incremental evaluation state.
+///
+/// Implementations must be monotone (`gain ≥ 0`); the lazy greedy
+/// additionally requires submodularity (gains non-increasing as the state
+/// grows) for correctness.
+pub trait IncrementalObjective {
+    /// Evaluation state for a growing set.
+    type State: Clone;
+
+    /// State of the empty set.
+    fn empty_state(&self) -> Self::State;
+
+    /// Objective value at `state`.
+    fn value(&self, state: &Self::State) -> f64;
+
+    /// Marginal gain of adding `item` to the set represented by `state`.
+    fn gain(&self, state: &Self::State, item: usize) -> f64;
+
+    /// Adds `item` to `state`.
+    fn add(&self, state: &mut Self::State, item: usize);
+}
+
+/// Outcome of a greedy run.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// Selected items in pick order.
+    pub items: Vec<usize>,
+    /// Objective value of the selection.
+    pub value: f64,
+}
+
+/// Greedy maximization of `objective` over `candidates` under `matroid`.
+///
+/// At every step the feasible candidate with the largest marginal gain is
+/// added (ties to the smaller index); the loop continues while any feasible
+/// extension exists. Already-selected candidates are skipped. Runs in
+/// `O(r · |candidates| · gain)` where `r` is the matroid rank.
+///
+/// ```
+/// use fairhms_matroid::UniformMatroid;
+/// use fairhms_submodular::{greedy_matroid, IncrementalObjective};
+///
+/// /// Weighted sum of distinct picks — modular, hence submodular.
+/// struct Weights(Vec<f64>);
+/// impl IncrementalObjective for Weights {
+///     type State = f64;
+///     fn empty_state(&self) -> f64 { 0.0 }
+///     fn value(&self, s: &f64) -> f64 { *s }
+///     fn gain(&self, _s: &f64, item: usize) -> f64 { self.0[item] }
+///     fn add(&self, s: &mut f64, item: usize) { *s += self.0[item]; }
+/// }
+///
+/// let objective = Weights(vec![0.3, 0.9, 0.5]);
+/// let result = greedy_matroid(&objective, &UniformMatroid::new(3, 2), &[0, 1, 2]);
+/// assert_eq!(result.items, vec![1, 2]); // two largest weights
+/// assert_eq!(result.value, 1.4);
+/// ```
+pub fn greedy_matroid<O: IncrementalObjective, M: Matroid>(
+    objective: &O,
+    matroid: &M,
+    candidates: &[usize],
+) -> GreedyResult {
+    let mut state = objective.empty_state();
+    let mut items: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = candidates.to_vec();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (pos, item, gain)
+        for (pos, &cand) in remaining.iter().enumerate() {
+            if !matroid.can_extend(&items, cand) {
+                continue;
+            }
+            let g = objective.gain(&state, cand);
+            // argmax with ties broken towards the smallest item index
+            let better = match best {
+                None => true,
+                Some((_, bi, bg)) => g > bg || (g == bg && cand < bi),
+            };
+            if better {
+                best = Some((pos, cand, g));
+            }
+        }
+        let Some((pos, cand, _)) = best else { break };
+        objective.add(&mut state, cand);
+        items.push(cand);
+        remaining.swap_remove(pos);
+    }
+    let value = objective.value(&state);
+    GreedyResult { items, value }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    gain: f64,
+    item: usize,
+    stamp: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+            // prefer smaller item index on ties, like the eager greedy
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lazy-evaluation variant of [`greedy_matroid`].
+///
+/// Marginal gains are kept in a max-heap and only re-evaluated when stale;
+/// submodularity guarantees a re-evaluated gain can only shrink, so the
+/// first up-to-date top of the heap is the true argmax. Behaviour matches
+/// the eager greedy exactly (same tie-breaking) for submodular objectives.
+pub fn lazy_greedy_matroid<O: IncrementalObjective, M: Matroid>(
+    objective: &O,
+    matroid: &M,
+    candidates: &[usize],
+) -> GreedyResult {
+    let mut state = objective.empty_state();
+    let mut items: Vec<usize> = Vec::new();
+    let mut stamp = 0usize; // incremented on every add; entries older are stale
+    let mut heap: BinaryHeap<HeapEntry> = candidates
+        .iter()
+        .map(|&item| HeapEntry {
+            gain: objective.gain(&state, item),
+            item,
+            stamp,
+        })
+        .collect();
+    loop {
+        let mut chosen: Option<usize> = None;
+        while let Some(top) = heap.pop() {
+            if !matroid.can_extend(&items, top.item) {
+                // Growing S only shrinks the feasible extension set in a
+                // matroid, so an infeasible candidate never becomes feasible
+                // again — drop it permanently.
+                continue;
+            }
+            if top.stamp == stamp {
+                chosen = Some(top.item);
+                break;
+            }
+            // Stale: re-evaluate and re-queue; the refreshed entry competes
+            // on heap order (gain, then smaller index), which reproduces the
+            // eager greedy's tie-breaking exactly.
+            heap.push(HeapEntry {
+                gain: objective.gain(&state, top.item),
+                item: top.item,
+                stamp,
+            });
+        }
+        let Some(item) = chosen else { break };
+        objective.add(&mut state, item);
+        items.push(item);
+        stamp += 1;
+    }
+    let value = objective.value(&state);
+    GreedyResult { items, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_matroid::{FairnessMatroid, UniformMatroid};
+
+    /// Weighted coverage: ground set of items, each covering a set of
+    /// elements with weights; value = total weight covered.
+    struct Coverage {
+        covers: Vec<Vec<usize>>,
+        weights: Vec<f64>,
+    }
+
+    impl IncrementalObjective for Coverage {
+        type State = Vec<bool>;
+        fn empty_state(&self) -> Vec<bool> {
+            vec![false; self.weights.len()]
+        }
+        fn value(&self, state: &Vec<bool>) -> f64 {
+            state
+                .iter()
+                .zip(&self.weights)
+                .filter(|(c, _)| **c)
+                .map(|(_, w)| w)
+                .sum()
+        }
+        fn gain(&self, state: &Vec<bool>, item: usize) -> f64 {
+            self.covers[item]
+                .iter()
+                .filter(|&&e| !state[e])
+                .map(|&e| self.weights[e])
+                .sum()
+        }
+        fn add(&self, state: &mut Vec<bool>, item: usize) {
+            for &e in &self.covers[item] {
+                state[e] = true;
+            }
+        }
+    }
+
+    fn example_coverage() -> Coverage {
+        Coverage {
+            covers: vec![
+                vec![0, 1, 2], // item 0
+                vec![2, 3],    // item 1
+                vec![3, 4, 5], // item 2
+                vec![0, 5],    // item 3
+                vec![1],       // item 4
+            ],
+            weights: vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn greedy_picks_best_coverage() {
+        let cov = example_coverage();
+        let m = UniformMatroid::new(5, 2);
+        let r = greedy_matroid(&cov, &m, &[0, 1, 2, 3, 4]);
+        assert_eq!(r.items, vec![0, 2]);
+        assert_eq!(r.value, 6.0);
+    }
+
+    #[test]
+    fn greedy_fills_base_even_at_zero_gain() {
+        let cov = Coverage {
+            covers: vec![vec![0], vec![0], vec![0]],
+            weights: vec![1.0],
+        };
+        let m = UniformMatroid::new(3, 2);
+        let r = greedy_matroid(&cov, &m, &[0, 1, 2]);
+        assert_eq!(r.items.len(), 2, "base should be filled");
+        assert_eq!(r.value, 1.0);
+    }
+
+    #[test]
+    fn greedy_respects_fairness_matroid() {
+        let cov = example_coverage();
+        // items 0,1 in group 0; items 2,3,4 in group 1; one from each.
+        let m = FairnessMatroid::new(vec![0, 0, 1, 1, 1], vec![1, 1], vec![1, 1], 2).unwrap();
+        let r = greedy_matroid(&cov, &m, &[0, 1, 2, 3, 4]);
+        assert_eq!(r.items.len(), 2);
+        assert!(m.is_feasible(&r.items));
+        assert_eq!(r.items, vec![0, 2]);
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_random_instances() {
+        // pseudo-random coverage instances
+        let mut seed = 12345u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for trial in 0..25 {
+            let n_items = 8 + rnd() % 6;
+            let n_elems = 10 + rnd() % 8;
+            let covers: Vec<Vec<usize>> = (0..n_items)
+                .map(|_| {
+                    let len = 1 + rnd() % 5;
+                    (0..len).map(|_| rnd() % n_elems).collect()
+                })
+                .collect();
+            let weights: Vec<f64> = (0..n_elems).map(|_| 1.0 + (rnd() % 10) as f64).collect();
+            let cov = Coverage { covers, weights };
+            let groups: Vec<usize> = (0..n_items).map(|_| rnd() % 3).collect();
+            let m = match FairnessMatroid::new(groups, vec![0, 0, 0], vec![2, 2, 2], 4) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            let cands: Vec<usize> = (0..n_items).collect();
+            let eager = greedy_matroid(&cov, &m, &cands);
+            let lazy = lazy_greedy_matroid(&cov, &m, &cands);
+            assert_eq!(eager.items, lazy.items, "trial {trial}");
+            assert!((eager.value - lazy.value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_half_approximation_holds() {
+        // brute-force the optimum over all independent sets and check the
+        // 1/2 bound on a handful of instances
+        let cov = example_coverage();
+        let m = UniformMatroid::new(5, 2);
+        let r = greedy_matroid(&cov, &m, &[0, 1, 2, 3, 4]);
+        let mut opt = 0.0_f64;
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let mut st = cov.empty_state();
+                cov.add(&mut st, a);
+                cov.add(&mut st, b);
+                opt = opt.max(cov.value(&st));
+            }
+        }
+        assert!(r.value >= 0.5 * opt - 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_solution() {
+        let cov = example_coverage();
+        let m = UniformMatroid::new(5, 2);
+        let r = greedy_matroid(&cov, &m, &[]);
+        assert!(r.items.is_empty());
+        assert_eq!(r.value, 0.0);
+        let r2 = lazy_greedy_matroid(&cov, &m, &[]);
+        assert!(r2.items.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! `fairhms` — command-line interface to the FairHMS library.
+//!
+//! ```text
+//! fairhms gen    --out data.csv --n 10000 --d 4 --c 3 [--kind anticor|uniform|correlated] [--seed 1]
+//! fairhms stats  --input data.csv --dim 4
+//! fairhms solve  --input data.csv --dim 4 --k 10 [--alg bigreedy] [--alpha 0.1]
+//!                [--balanced] [--no-skyline] [--seed 42]
+//! ```
+//!
+//! `solve` prints the selected rows (0-based indices into the input file),
+//! the evaluated MHR, the fairness-violation count, and wall-clock time.
+//! Algorithms: `intcov` (exact, 2D only), `bigreedy`, `bigreedy+`,
+//! `f-greedy`, `g-greedy`, `g-dmm`, `g-hs`, `g-sphere`, `streaming`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms::core::registry::{
+    Algorithm, BiGreedyAlg, BiGreedyPlusAlg, FGreedyAlg, GDmmAlg, GGreedyAlg, GHsAlg, GSphereAlg,
+    IntCovAlg,
+};
+use fairhms::core::streaming::{streaming_fairhms, StreamingFairHmsConfig};
+use fairhms::core::types::{FairHmsInstance, Solution};
+use fairhms::data::gen;
+use fairhms::data::skyline::group_skyline_indices;
+use fairhms::data::stats::DatasetStats;
+use fairhms::matroid::{balanced_bounds, proportional_bounds};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "stats" => cmd_stats(&opts),
+        "solve" => cmd_solve(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "fairhms — happiness maximizing sets under group fairness constraints
+
+USAGE:
+  fairhms gen   --out FILE --n N --d D --c C [--kind anticor|uniform|correlated] [--seed S]
+  fairhms stats --input FILE --dim D
+  fairhms solve --input FILE --dim D --k K [--alg NAME] [--alpha A] [--balanced]
+                [--no-skyline] [--seed S]
+
+ALGORITHMS (for --alg):
+  intcov bigreedy bigreedy+ f-greedy g-greedy g-dmm g-hs g-sphere streaming
+
+INPUT FORMAT: CSV rows `attr_1,...,attr_D,group_label` (no header).";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        match key {
+            // boolean flags
+            "balanced" | "no-skyline" => {
+                out.insert(key.to_string(), "true".to_string());
+            }
+            _ => {
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                out.insert(key.to_string(), v.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Result<Option<T>, String> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = PathBuf::from(req(opts, "out")?);
+    let n: usize = num(opts, "n")?.ok_or("missing --n")?;
+    let d: usize = num(opts, "d")?.ok_or("missing --d")?;
+    let c: usize = num(opts, "c")?.ok_or("missing --c")?;
+    let seed: u64 = num(opts, "seed")?.unwrap_or(1);
+    let kind = opts.get("kind").map(|s| s.as_str()).unwrap_or("anticor");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = match kind {
+        "anticor" => gen::anti_correlated(n, d, &mut rng),
+        "uniform" => gen::uniform(n, d, &mut rng),
+        "correlated" => gen::correlated(n, d, 0.6, &mut rng),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let groups = gen::groups_by_sum(&points, d, c);
+    let data = fairhms::data::Dataset::new(
+        format!("{kind}_{d}d"),
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    fairhms::data::csv::write_dataset(&out, &data).map_err(|e| e.to_string())?;
+    println!("wrote {} rows ({kind}, d={d}, C={c}) to {}", n, out.display());
+    Ok(())
+}
+
+fn load(opts: &HashMap<String, String>) -> Result<fairhms::data::Dataset, String> {
+    let input = PathBuf::from(req(opts, "input")?);
+    let dim: usize = num(opts, "dim")?.ok_or("missing --dim")?;
+    let mut data =
+        fairhms::data::csv::read_dataset(&input, "input", dim).map_err(|e| e.to_string())?;
+    data.normalize();
+    Ok(data)
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = load(opts)?;
+    let st = DatasetStats::compute(&data);
+    println!("{}", st.table_row());
+    for (g, (size, sky)) in st.group_sizes.iter().zip(&st.group_skylines).enumerate() {
+        println!(
+            "  group {:<12} |D_c| = {:<8} skyline = {}",
+            data.group_names()[g],
+            size,
+            sky
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = load(opts)?;
+    let k: usize = num(opts, "k")?.ok_or("missing --k")?;
+    let alpha: f64 = num(opts, "alpha")?.unwrap_or(0.1);
+    let seed: u64 = num(opts, "seed")?.unwrap_or(42);
+    let alg_name = opts.get("alg").map(|s| s.as_str()).unwrap_or("bigreedy");
+
+    // Skyline restriction (lossless) unless disabled.
+    let (input, row_map): (fairhms::data::Dataset, Vec<usize>) =
+        if opts.contains_key("no-skyline") {
+            let map = (0..data.len()).collect();
+            (data, map)
+        } else {
+            let sky = group_skyline_indices(&data);
+            (data.subset(&sky), sky)
+        };
+
+    let (lower, upper) = if opts.contains_key("balanced") {
+        balanced_bounds(&input.group_sizes(), k, alpha)
+    } else {
+        proportional_bounds(&input.group_sizes(), k, alpha)
+    };
+    println!("bounds: l = {lower:?}, h = {upper:?}");
+    let inst = FairHmsInstance::new(input.clone(), k, lower, upper).map_err(|e| e.to_string())?;
+
+    let t = Instant::now();
+    let sol: Solution = match alg_name {
+        "intcov" => IntCovAlg.solve(&inst),
+        "bigreedy" => BiGreedyAlg {
+            seed,
+            ..BiGreedyAlg::default()
+        }
+        .solve(&inst),
+        "bigreedy+" => BiGreedyPlusAlg {
+            seed,
+            ..BiGreedyPlusAlg::default()
+        }
+        .solve(&inst),
+        "f-greedy" => FGreedyAlg.solve(&inst),
+        "g-greedy" => GGreedyAlg.solve(&inst),
+        "g-dmm" => GDmmAlg::default().solve(&inst),
+        "g-hs" => GHsAlg::default().solve(&inst),
+        "g-sphere" => GSphereAlg.solve(&inst),
+        "streaming" => streaming_fairhms(
+            &inst,
+            &StreamingFairHmsConfig {
+                seed,
+                ..StreamingFairHmsConfig::default()
+            },
+        ),
+        other => return Err(format!("unknown --alg {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+
+    let mhr = if input.dim() == 2 {
+        fairhms::core::eval::mhr_exact_2d(&input, &sol.indices)
+    } else {
+        fairhms::core::eval::mhr_exact_lp(&input, &sol.indices)
+    };
+    let err = inst.matroid().violations(&sol.indices);
+    println!("algorithm : {alg_name}");
+    println!("rows      : {:?}", sol.indices.iter().map(|&i| row_map[i]).collect::<Vec<_>>());
+    println!("mhr       : {mhr:.6}");
+    println!("err(S)    : {err}");
+    println!("time      : {elapsed:?}");
+    Ok(())
+}

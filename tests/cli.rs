@@ -1,0 +1,108 @@
+//! Smoke tests for the `fairhms` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/fairhms next to the test executable's directory
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug/ (or release/)
+    p.push(format!("fairhms{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fairhms_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_stats_solve_pipeline() {
+    let csv = tmp("cli_data.csv");
+    let gen = Command::new(bin())
+        .args([
+            "gen", "--out",
+            csv.to_str().unwrap(),
+            "--n", "300", "--d", "2", "--c", "3", "--seed", "5",
+        ])
+        .output()
+        .expect("run gen");
+    assert!(gen.status.success(), "gen: {}", String::from_utf8_lossy(&gen.stderr));
+    assert!(csv.exists());
+
+    let stats = Command::new(bin())
+        .args(["stats", "--input", csv.to_str().unwrap(), "--dim", "2"])
+        .output()
+        .expect("run stats");
+    assert!(stats.status.success());
+    let out = String::from_utf8_lossy(&stats.stdout);
+    assert!(out.contains("n=300"), "stats output: {out}");
+    assert!(out.contains("group"), "stats output: {out}");
+
+    for alg in ["intcov", "bigreedy", "bigreedy+", "f-greedy", "g-greedy", "streaming"] {
+        let solve = Command::new(bin())
+            .args([
+                "solve", "--input",
+                csv.to_str().unwrap(),
+                "--dim", "2", "--k", "5", "--alg", alg,
+            ])
+            .output()
+            .expect("run solve");
+        assert!(
+            solve.status.success(),
+            "solve --alg {alg}: {}",
+            String::from_utf8_lossy(&solve.stderr)
+        );
+        let out = String::from_utf8_lossy(&solve.stdout);
+        assert!(out.contains("err(S)    : 0"), "--alg {alg}: {out}");
+        assert!(out.contains("mhr"), "--alg {alg}: {out}");
+    }
+}
+
+#[test]
+fn solve_balanced_and_no_skyline_flags() {
+    let csv = tmp("cli_flags.csv");
+    Command::new(bin())
+        .args([
+            "gen", "--out",
+            csv.to_str().unwrap(),
+            "--n", "200", "--d", "3", "--c", "2", "--kind", "uniform",
+        ])
+        .output()
+        .expect("run gen");
+    let solve = Command::new(bin())
+        .args([
+            "solve", "--input",
+            csv.to_str().unwrap(),
+            "--dim", "3", "--k", "4", "--balanced", "--no-skyline",
+        ])
+        .output()
+        .expect("run solve");
+    assert!(
+        solve.status.success(),
+        "{}",
+        String::from_utf8_lossy(&solve.stderr)
+    );
+}
+
+#[test]
+fn helpful_errors() {
+    let out = Command::new(bin()).output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = Command::new(bin())
+        .args(["solve", "--input", "/nonexistent.csv", "--dim", "2", "--k", "3"])
+        .output()
+        .expect("run solve");
+    assert!(!out.status.success());
+
+    let out = Command::new(bin())
+        .args(["frobnicate"])
+        .output()
+        .expect("run unknown");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -1,0 +1,116 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+
+use fairhms::core::eval::{mhr_exact_2d, mhr_exact_lp, NetEvaluator};
+use fairhms::core::intcov::intcov;
+use fairhms::core::types::FairHmsInstance;
+use fairhms::data::skyline::{dominates, skyline_of};
+use fairhms::data::Dataset;
+use fairhms::geometry::envelope::Envelope;
+use fairhms::geometry::line::Line;
+use fairhms::geometry::sphere::grid_net_2d;
+
+fn dataset_2d(points: &[(f64, f64)]) -> Dataset {
+    let flat: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let mut d = Dataset::ungrouped("prop", 2, flat).unwrap();
+    d.normalize();
+    d
+}
+
+/// Strategy: 4–16 points in (0.05, 1]² (bounded away from zero so every
+/// utility has a positive database maximum).
+fn points_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(((0.05f64..=1.0), (0.05f64..=1.0)), 4..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn envelope_dominates_member_lines(points in points_strategy()) {
+        let lines: Vec<Line> = points.iter().map(|&(x, y)| Line::from_point(&[x, y])).collect();
+        let env = Envelope::upper(&lines);
+        for i in 0..=20 {
+            let lambda = i as f64 / 20.0;
+            let e = env.eval(lambda);
+            for l in &lines {
+                prop_assert!(e >= l.eval(lambda) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mhr_monotone_under_growth(points in points_strategy()) {
+        let data = dataset_2d(&points);
+        let small = vec![0usize];
+        let big: Vec<usize> = (0..data.len().min(4)).collect();
+        prop_assert!(mhr_exact_2d(&data, &big) >= mhr_exact_2d(&data, &small) - 1e-9);
+    }
+
+    #[test]
+    fn lp_and_envelope_agree(points in points_strategy()) {
+        let data = dataset_2d(&points);
+        let sel: Vec<usize> = (0..data.len()).step_by(2).collect();
+        let a = mhr_exact_2d(&data, &sel);
+        let b = mhr_exact_lp(&data, &sel);
+        prop_assert!((a - b).abs() < 1e-6, "envelope {} vs lp {}", a, b);
+    }
+
+    #[test]
+    fn net_estimate_upper_bounds_exact(points in points_strategy()) {
+        let data = dataset_2d(&points);
+        let ev = NetEvaluator::new(&data, grid_net_2d(48));
+        let sel = vec![0usize, data.len() - 1];
+        let exact = mhr_exact_2d(&data, &sel);
+        let est = ev.mhr(&data, &sel);
+        prop_assert!(est >= exact - 1e-9, "Lemma 4.1: {} < {}", est, exact);
+    }
+
+    #[test]
+    fn skyline_members_not_dominated(points in points_strategy()) {
+        let flat: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let sky = skyline_of(&flat, 2);
+        for &i in &sky {
+            let p = &flat[2 * i..2 * i + 2];
+            for j in 0..points.len() {
+                let q = &flat[2 * j..2 * j + 2];
+                prop_assert!(!dominates(q, p), "{:?} dominates skyline member {:?}", q, p);
+            }
+        }
+        // every non-skyline point is dominated by some skyline point
+        for j in 0..points.len() {
+            if sky.contains(&j) { continue; }
+            let q = &flat[2 * j..2 * j + 2];
+            let covered = sky.iter().any(|&i| dominates(&flat[2 * i..2 * i + 2], q));
+            prop_assert!(covered, "non-skyline point {:?} not dominated", q);
+        }
+    }
+
+    #[test]
+    fn intcov_at_least_single_best_point(points in points_strategy()) {
+        // The optimum for k = 2 is at least the best single point's MHR.
+        let data = dataset_2d(&points);
+        let n = data.len();
+        let inst = FairHmsInstance::unconstrained(data, 2).unwrap();
+        let sol = intcov(&inst).unwrap();
+        let best_single = (0..n)
+            .map(|i| mhr_exact_2d(inst.data(), &[i]))
+            .fold(0.0f64, f64::max);
+        prop_assert!(sol.mhr.unwrap() >= best_single - 1e-9);
+    }
+
+    #[test]
+    fn intcov_fair_never_beats_unconstrained(points in points_strategy()) {
+        let flat: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let n = points.len();
+        let groups: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let mut data = Dataset::new("prop", 2, flat, groups, vec!["a".into(), "b".into()]).unwrap();
+        data.normalize();
+        let unc = FairHmsInstance::unconstrained(data.clone(), 2).unwrap();
+        let fair = FairHmsInstance::new(data, 2, vec![1, 1], vec![1, 1]).unwrap();
+        let u = intcov(&unc).unwrap().mhr.unwrap();
+        let f = intcov(&fair).unwrap().mhr.unwrap();
+        prop_assert!(f <= u + 1e-9, "fair {} beats unconstrained {}", f, u);
+    }
+}
