@@ -43,9 +43,11 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     // Streaming (one pass + aggregates) vs offline BiGreedy.
-    group.bench_with_input(BenchmarkId::new("streaming", "n800_d4"), &inst, |b, inst| {
-        b.iter(|| streaming_fairhms(inst, &StreamingFairHmsConfig::default()).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("streaming", "n800_d4"),
+        &inst,
+        |b, inst| b.iter(|| streaming_fairhms(inst, &StreamingFairHmsConfig::default()).unwrap()),
+    );
     group.bench_with_input(BenchmarkId::new("offline", "n800_d4"), &inst, |b, inst| {
         b.iter(|| bigreedy(inst, &BiGreedyConfig::paper_default(k, 4)).unwrap())
     });

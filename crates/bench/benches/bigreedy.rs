@@ -30,9 +30,7 @@ fn bench_bigreedy(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bigreedy", format!("n{n}_d{d}")),
             &inst,
-            |b, inst| {
-                b.iter(|| bigreedy(inst, &BiGreedyConfig::paper_default(k, d)).unwrap())
-            },
+            |b, inst| b.iter(|| bigreedy(inst, &BiGreedyConfig::paper_default(k, d)).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("bigreedy_plus", format!("n{n}_d{d}")),

@@ -17,7 +17,9 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(format!("d{d}"), format!("S{s}")),
             &(sel, p),
-            |b, (sel, p)| b.iter(|| point_regret(d, std::hint::black_box(sel), std::hint::black_box(p))),
+            |b, (sel, p)| {
+                b.iter(|| point_regret(d, std::hint::black_box(sel), std::hint::black_box(p)))
+            },
         );
     }
     group.finish();

@@ -1,0 +1,87 @@
+//! Smoke benchmarks for the serving engine: cache-hit latency, cold-solve
+//! dispatch, batch fan-out, and wire-protocol codec. Sizes are tiny — the
+//! point is CI-checkable relative numbers, not paper-scale measurements.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::{gen, Dataset};
+use fairhms_service::{protocol, BatchExecutor, Catalog, Query, QueryEngine};
+
+fn engine(n: usize) -> Arc<QueryEngine> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let d = 3;
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, 3);
+    let data = Dataset::new("bench", d, points, groups, vec![]).unwrap();
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert_dataset(data).unwrap();
+    Arc::new(QueryEngine::new(catalog, 4096))
+}
+
+fn bench_service(c: &mut Criterion) {
+    let eng = engine(200);
+    let mut group = c.benchmark_group("service");
+
+    // Hot path: the answer is cached; measures fingerprint + shard lookup.
+    let hot = Query::new("bench", 5);
+    eng.execute(&hot).unwrap();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| eng.execute(std::hint::black_box(&hot)).unwrap())
+    });
+
+    // Cold path: a fresh seed per iteration defeats the cache, measuring
+    // catalog access + instance build + a small BiGreedy solve.
+    let seed = Cell::new(0u64);
+    group.sample_size(10).bench_function("cold_solve", |b| {
+        b.iter(|| {
+            let mut q = Query::new("bench", 5);
+            q.seed = seed.replace(seed.get() + 1);
+            eng.execute(std::hint::black_box(&q)).unwrap()
+        })
+    });
+
+    // Batch dispatch overhead at several worker counts (warm cache).
+    let queries: Vec<Query> = (0..32)
+        .map(|i| {
+            let mut q = Query::new("bench", 4 + (i % 4));
+            q.alg = ["bigreedy", "f-greedy"][i % 2].to_string();
+            q
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        let executor = BatchExecutor::new(workers);
+        executor.execute_all(&eng, &queries); // warm the cache
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("warm_batch32", workers),
+            &executor,
+            |b, ex| b.iter(|| ex.execute_all(&eng, std::hint::black_box(&queries))),
+        );
+    }
+    group.finish();
+
+    // Wire codec round trip.
+    let mut codec = c.benchmark_group("protocol");
+    let q = Query::new("bench", 8);
+    let resp = eng.execute(&q).unwrap();
+    codec.bench_function("format+parse", |b| {
+        b.iter(|| {
+            let s = protocol::format_response(std::hint::black_box(&resp));
+            protocol::parse_response(&s).unwrap()
+        })
+    });
+    codec.bench_function("parse_request", |b| {
+        let wire = protocol::query_to_wire(&q);
+        b.iter(|| protocol::parse_request(std::hint::black_box(&wire)).unwrap())
+    });
+    codec.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

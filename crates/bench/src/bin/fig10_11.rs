@@ -58,8 +58,16 @@ fn main() {
             mhr_rows.push(mhr_row);
             ms_rows.push(ms_row);
         }
-        print_table(&format!("Figure 10 — {} (MHR over ε, λ)", w.name), &header, &mhr_rows);
-        print_table(&format!("Figure 11 — {} (ms over ε, λ)", w.name), &header, &ms_rows);
+        print_table(
+            &format!("Figure 10 — {} (MHR over ε, λ)", w.name),
+            &header,
+            &mhr_rows,
+        );
+        print_table(
+            &format!("Figure 11 — {} (ms over ε, λ)", w.name),
+            &header,
+            &ms_rows,
+        );
     }
     save_csv(
         "fig10_fig11.csv",

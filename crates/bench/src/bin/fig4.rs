@@ -46,11 +46,7 @@ fn main() {
         .collect();
     sweep_with_workloads("Figure 4 — AntiCor_2D (vary n, k=5)", n_runs, &mut csv);
 
-    save_csv(
-        "fig4.csv",
-        &["panel", "x", "alg", "mhr", "millis"],
-        &csv,
-    );
+    save_csv("fig4.csv", &["panel", "x", "alg", "mhr", "millis"], &csv);
     println!("\nExpected shape (paper): IntCov always the highest MHR (exact) but the slowest; BiGreedy/BiGreedy+ above the adapted baselines; price of fairness mostly < 0.02.");
 }
 

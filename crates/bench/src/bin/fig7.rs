@@ -30,7 +30,12 @@ fn main() {
         .step_by(2)
         .map(|c| (format!("C={c}"), workloads::anticor(base_n, 6, c)))
         .collect();
-    sweep("Figure 7b — AntiCor_6D (vary C, k=20)", k, c_points, &mut csv);
+    sweep(
+        "Figure 7b — AntiCor_6D (vary C, k=20)",
+        k,
+        c_points,
+        &mut csv,
+    );
 
     // (c) vary n at d = 6.
     let mut ns = vec![100usize, 1_000, 10_000];
@@ -41,7 +46,12 @@ fn main() {
         .into_iter()
         .map(|n| (format!("n={n}"), workloads::anticor(n, 6, 3)))
         .collect();
-    sweep("Figure 7c — AntiCor_6D (vary n, k=20)", k, n_points, &mut csv);
+    sweep(
+        "Figure 7c — AntiCor_6D (vary n, k=20)",
+        k,
+        n_points,
+        &mut csv,
+    );
 
     save_csv("fig7.csv", &["panel", "x", "alg", "mhr", "millis"], &csv);
     println!("\nExpected shape (paper): MHR falls and time rises with d and C; time roughly linear in n; BiGreedy/BiGreedy+ advantage over baselines grows with C and n.");

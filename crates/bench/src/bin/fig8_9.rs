@@ -77,11 +77,22 @@ fn main() {
                 format!("{t_plus:.2}"),
             ]);
         }
-        print_table(&format!("Figures 8+9 — {} (vary m, k={k})", w.name), &header, &rows);
+        print_table(
+            &format!("Figures 8+9 — {} (vary m, k={k})", w.name),
+            &header,
+            &rows,
+        );
     }
     save_csv(
         "fig8_fig9.csv",
-        &["dataset", "m", "bigreedy_mhr", "bigreedy_ms", "plus_mhr", "plus_ms"],
+        &[
+            "dataset",
+            "m",
+            "bigreedy_mhr",
+            "bigreedy_ms",
+            "plus_mhr",
+            "plus_ms",
+        ],
         &csv,
     );
     println!("\nExpected shape (paper): MHR mostly increases then flattens beyond m = 10·k·d; time grows roughly linearly with m.");

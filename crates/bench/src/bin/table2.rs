@@ -42,10 +42,6 @@ fn main() {
         ]);
     }
     print_table("Table 2: dataset statistics", &header, &rows);
-    save_csv(
-        "table2.csv",
-        &["dataset", "d", "n", "C", "skylines"],
-        &rows,
-    );
+    save_csv("table2.csv", &["dataset", "d", "n", "C", "skylines"], &rows);
     println!("\nPaper reference: Lawschs 19/42, Adult 130/206/339, Compas 195/229/296, Credit 120/126/185, AntiCor 0.9n-n.");
 }

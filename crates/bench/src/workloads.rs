@@ -105,7 +105,6 @@ pub fn md_suite(anticor_n: usize) -> Vec<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairhms_matroid::Matroid;
 
     #[test]
     fn workloads_are_normalized_and_restricted() {

@@ -48,15 +48,12 @@ pub fn sphere(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
             .max_by(|&a, &b| {
                 let pa = data.point(a);
                 let pb = data.point(b);
-                pa[j]
-                    .partial_cmp(&pb[j])
-                    .unwrap()
-                    .then_with(|| {
-                        pa.iter()
-                            .sum::<f64>()
-                            .partial_cmp(&pb.iter().sum::<f64>())
-                            .unwrap()
-                    })
+                pa[j].partial_cmp(&pb[j]).unwrap().then_with(|| {
+                    pa.iter()
+                        .sum::<f64>()
+                        .partial_cmp(&pb.iter().sum::<f64>())
+                        .unwrap()
+                })
             })
             .expect("non-empty");
         push_unique(&mut sel, best);

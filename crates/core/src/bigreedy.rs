@@ -171,12 +171,19 @@ pub fn bigreedy_on_net(
     let mut achieved: Option<f64> = None; // largest passed τ
     let mut pool: Vec<(Vec<usize>, bool)> = Vec::new(); // (union, passed)
     let probe = |tau: f64,
-                     objective: &mut TruncatedMhrObjective<'_>,
-                     pool: &mut Vec<(Vec<usize>, bool)>,
-                     achieved: &mut Option<f64>|
+                 objective: &mut TruncatedMhrObjective<'_>,
+                 pool: &mut Vec<(Vec<usize>, bool)>,
+                 achieved: &mut Option<f64>|
      -> bool {
-        let (union, passed) =
-            mr_greedy(inst, objective, &candidates, tau, gamma, epsilon, config.use_lazy);
+        let (union, passed) = mr_greedy(
+            inst,
+            objective,
+            &candidates,
+            tau,
+            gamma,
+            epsilon,
+            config.use_lazy,
+        );
         if !union.is_empty() {
             pool.push((union, passed));
         }

@@ -58,8 +58,7 @@ fn single_group_reduces_to_vanilla_hms() {
     let flat = ds.points_flat().to_vec();
     let one = Dataset::new("one", 2, flat, vec![0; ds.len()], vec!["all".into()]).unwrap();
     let via_single = intcov(&FairHmsInstance::new(one, 2, vec![2], vec![2]).unwrap()).unwrap();
-    let via_unconstrained =
-        intcov(&FairHmsInstance::unconstrained(ds, 2).unwrap()).unwrap();
+    let via_unconstrained = intcov(&FairHmsInstance::unconstrained(ds, 2).unwrap()).unwrap();
     assert_eq!(via_single.indices, via_unconstrained.indices);
     assert!((via_single.mhr.unwrap() - via_unconstrained.mhr.unwrap()).abs() < 1e-12);
 }

@@ -43,7 +43,10 @@ pub fn mhr_exact_2d(data: &Dataset, sel: &[usize]) -> f64 {
     let db_lines: Vec<Line> = (0..data.len())
         .map(|i| Line::from_point(data.point(i)))
         .collect();
-    let sel_lines: Vec<Line> = sel.iter().map(|&i| Line::from_point(data.point(i))).collect();
+    let sel_lines: Vec<Line> = sel
+        .iter()
+        .map(|&i| Line::from_point(data.point(i)))
+        .collect();
     let env_db = Envelope::upper(&db_lines);
     let env_sel = Envelope::upper(&sel_lines);
 
@@ -181,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn net_upper_bounds_exact(){
+    fn net_upper_bounds_exact() {
         let ds = lsac_normalized();
         let ev = NetEvaluator::new(&ds, grid_net_2d(64));
         for sel in [vec![3, 4], vec![4, 7], vec![0]] {
@@ -191,7 +194,10 @@ mod tests {
                 net >= exact - 1e-9,
                 "net {net} should upper-bound exact {exact} (Lemma 4.1)"
             );
-            assert!(net - exact < 0.05, "net estimate too loose: {net} vs {exact}");
+            assert!(
+                net - exact < 0.05,
+                "net estimate too loose: {net} vs {exact}"
+            );
         }
     }
 

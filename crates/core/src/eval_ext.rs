@@ -67,9 +67,7 @@ impl KthNetEvaluator {
         let db_kth = net
             .iter()
             .map(|u| {
-                let mut scores: Vec<f64> = (0..data.len())
-                    .map(|i| dot(data.point(i), u))
-                    .collect();
+                let mut scores: Vec<f64> = (0..data.len()).map(|i| dot(data.point(i), u)).collect();
                 // t-th largest via partial sort
                 scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
                 scores[t - 1]

@@ -288,7 +288,11 @@ mod tests {
         let inst = lsac_instance(2, None);
         let sol = intcov(&inst).unwrap();
         assert_eq!(sol.indices, vec![3, 4]);
-        assert!((sol.mhr.unwrap() - 0.9846).abs() < 5e-4, "mhr = {:?}", sol.mhr);
+        assert!(
+            (sol.mhr.unwrap() - 0.9846).abs() < 5e-4,
+            "mhr = {:?}",
+            sol.mhr
+        );
     }
 
     #[test]
@@ -298,7 +302,11 @@ mod tests {
         let inst = lsac_instance(2, Some((1, 1)));
         let sol = intcov(&inst).unwrap();
         assert_eq!(sol.indices, vec![4, 7]);
-        assert!((sol.mhr.unwrap() - 0.9834).abs() < 5e-4, "mhr = {:?}", sol.mhr);
+        assert!(
+            (sol.mhr.unwrap() - 0.9834).abs() < 5e-4,
+            "mhr = {:?}",
+            sol.mhr
+        );
     }
 
     #[test]
@@ -349,8 +357,8 @@ mod tests {
 
     #[test]
     fn rejects_non_2d() {
-        let ds = fairhms_data::Dataset::ungrouped("3d", 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0])
-            .unwrap();
+        let ds =
+            fairhms_data::Dataset::ungrouped("3d", 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
         let inst = FairHmsInstance::unconstrained(ds, 1).unwrap();
         assert_eq!(intcov(&inst).unwrap_err(), CoreError::Not2D { dim: 3 });
     }

@@ -150,12 +150,7 @@ mod tests {
     use fairhms_geometry::sphere::grid_net_2d;
 
     fn setup() -> (Dataset, Vec<Vec<f64>>, Vec<f64>) {
-        let ds = Dataset::ungrouped(
-            "t",
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7, 0.2, 0.3],
-        )
-        .unwrap();
+        let ds = Dataset::ungrouped("t", 2, vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7, 0.2, 0.3]).unwrap();
         let net = grid_net_2d(9);
         let db_max: Vec<f64> = net
             .iter()

@@ -159,7 +159,6 @@ pub struct GDmmAlg {
     pub config: DmmConfig,
 }
 
-
 impl Algorithm for GDmmAlg {
     fn name(&self) -> &'static str {
         "G-DMM"
@@ -194,7 +193,6 @@ pub struct GHsAlg {
     pub config: HsConfig,
 }
 
-
 impl Algorithm for GHsAlg {
     fn name(&self) -> &'static str {
         "G-HS"
@@ -213,7 +211,6 @@ pub struct StreamingAlg {
     /// Streaming configuration.
     pub config: crate::streaming::StreamingFairHmsConfig,
 }
-
 
 impl Algorithm for StreamingAlg {
     fn name(&self) -> &'static str {
@@ -249,7 +246,6 @@ pub struct UnfairDmmAlg {
     pub config: DmmConfig,
 }
 
-
 impl Algorithm for UnfairDmmAlg {
     fn name(&self) -> &'static str {
         "DMM"
@@ -284,7 +280,6 @@ pub struct UnfairHsAlg {
     pub config: HsConfig,
 }
 
-
 impl Algorithm for UnfairHsAlg {
     fn name(&self) -> &'static str {
         "HS"
@@ -295,6 +290,125 @@ impl Algorithm for UnfairHsAlg {
     fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
         hitting_set(inst.data(), inst.k(), &self.config).map(|v| Solution::new(v, None))
     }
+}
+
+/// Canonical wire/CLI names accepted by [`by_name`], in display order.
+///
+/// Matching is case-insensitive; `"bigreedy+"`/`"bigreedyplus"` and the
+/// paper spellings (`"BiGreedy+"`, `"G-DMM"`, …) resolve to the same
+/// algorithms.
+pub const ALGORITHM_NAMES: [&str; 13] = [
+    "intcov",
+    "bigreedy",
+    "bigreedy+",
+    "f-greedy",
+    "g-greedy",
+    "g-dmm",
+    "g-hs",
+    "g-sphere",
+    "streaming",
+    "greedy",
+    "dmm",
+    "hs",
+    "sphere",
+];
+
+/// Tunables threaded through [`by_name`] into the constructed algorithm.
+///
+/// Every field has the default the paper's evaluation uses; callers
+/// override only what a query specifies. Algorithms ignore parameters they
+/// do not consume (e.g. `seed` for the deterministic `IntCov`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmParams {
+    /// RNG seed for sampling-based algorithms.
+    pub seed: u64,
+    /// Net-size multiplier for `BiGreedy`/`BiGreedy+` (`m = mult·k·d`).
+    pub m_multiplier: usize,
+    /// Cap-search accuracy ε for `BiGreedy`/`BiGreedy+`.
+    pub epsilon: f64,
+}
+
+impl Default for AlgorithmParams {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            m_multiplier: 10,
+            epsilon: 0.02,
+        }
+    }
+}
+
+/// Resolves any accepted spelling of an algorithm name (paper display
+/// names, CLI names, alias forms — case-insensitive) to its canonical
+/// entry in [`ALGORITHM_NAMES`], or `None` if unknown.
+///
+/// Callers that key caches or fingerprints on an algorithm name must hash
+/// the canonical form, not the raw input, so `"BiGreedy+"`,
+/// `"bigreedyplus"`, and `"bigreedy+"` share one entry.
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "intcov" => "intcov",
+        "bigreedy" => "bigreedy",
+        "bigreedy+" | "bigreedyplus" => "bigreedy+",
+        "f-greedy" | "fgreedy" => "f-greedy",
+        "g-greedy" | "ggreedy" => "g-greedy",
+        "g-dmm" | "gdmm" => "g-dmm",
+        "g-hs" | "ghs" => "g-hs",
+        "g-sphere" | "gsphere" => "g-sphere",
+        "streaming" => "streaming",
+        "greedy" | "rdp-greedy" => "greedy",
+        "dmm" => "dmm",
+        "hs" => "hs",
+        "sphere" => "sphere",
+        _ => return None,
+    })
+}
+
+/// Constructs the algorithm registered under `name` (case-insensitive,
+/// aliases accepted — see [`canonical_name`]).
+///
+/// This is the single name→algorithm seam shared by the CLI `solve` path
+/// and the service wire protocol; new algorithms become reachable from
+/// both by extending [`canonical_name`] and the match here. Returns
+/// [`CoreError::UnknownAlgorithm`] for unrecognized names.
+pub fn by_name(name: &str, params: &AlgorithmParams) -> Result<Box<dyn Algorithm>, CoreError> {
+    let Some(canon) = canonical_name(name) else {
+        return Err(CoreError::UnknownAlgorithm {
+            name: name.to_string(),
+        });
+    };
+    let alg: Box<dyn Algorithm> = match canon {
+        "intcov" => Box::new(IntCovAlg),
+        "bigreedy" => Box::new(BiGreedyAlg {
+            m_multiplier: params.m_multiplier,
+            epsilon: params.epsilon,
+            seed: params.seed,
+        }),
+        "bigreedy+" => Box::new(BiGreedyPlusAlg {
+            m_multiplier: params.m_multiplier,
+            epsilon: params.epsilon,
+            seed: params.seed,
+            ..BiGreedyPlusAlg::default()
+        }),
+        "f-greedy" => Box::new(FGreedyAlg),
+        "g-greedy" => Box::new(GGreedyAlg),
+        "g-dmm" => Box::new(GDmmAlg::default()),
+        "g-hs" => Box::new(GHsAlg::default()),
+        "g-sphere" => Box::new(GSphereAlg),
+        "streaming" => Box::new(StreamingAlg {
+            config: crate::streaming::StreamingFairHmsConfig {
+                seed: params.seed,
+                ..crate::streaming::StreamingFairHmsConfig::default()
+            },
+        }),
+        "greedy" => Box::new(UnfairGreedyAlg),
+        "dmm" => Box::new(UnfairDmmAlg::default()),
+        "hs" => Box::new(UnfairHsAlg::default()),
+        "sphere" => Box::new(UnfairSphereAlg),
+        _ => unreachable!("canonical_name returned a name outside ALGORITHM_NAMES"),
+    };
+    Ok(alg)
 }
 
 /// The fair cast of the multi-dimensional figures (5–7): our algorithms
@@ -366,11 +480,76 @@ mod tests {
     }
 
     #[test]
+    fn by_name_resolves_every_registered_name() {
+        let params = AlgorithmParams::default();
+        for name in ALGORITHM_NAMES {
+            let alg =
+                by_name(name, &params).unwrap_or_else(|e| panic!("{name} failed to resolve: {e}"));
+            // Paper display names resolve back to the same algorithm.
+            let display = alg.name();
+            let again = by_name(display, &params)
+                .unwrap_or_else(|e| panic!("display name {display} failed: {e}"));
+            assert_eq!(again.name(), display);
+            assert_eq!(again.is_fair(), alg.is_fair());
+        }
+    }
+
+    #[test]
+    fn canonical_name_covers_registry_and_aliases() {
+        // every canonical name maps to itself
+        for name in ALGORITHM_NAMES {
+            assert_eq!(canonical_name(name), Some(name));
+        }
+        assert_eq!(canonical_name("BiGreedyPlus"), Some("bigreedy+"));
+        assert_eq!(canonical_name("RDP-Greedy"), Some("greedy"));
+        assert_eq!(canonical_name("GSphere"), Some("g-sphere"));
+        assert_eq!(canonical_name("quantum"), None);
+    }
+
+    #[test]
+    fn by_name_rejects_unknown_names() {
+        let err = match by_name("no-such-alg", &AlgorithmParams::default()) {
+            Ok(alg) => panic!("resolved unexpectedly to {}", alg.name()),
+            Err(e) => e,
+        };
+        assert_eq!(
+            err,
+            CoreError::UnknownAlgorithm {
+                name: "no-such-alg".into()
+            }
+        );
+        assert!(err.to_string().contains("bigreedy+"));
+    }
+
+    #[test]
+    fn by_name_threads_params() {
+        let params = AlgorithmParams {
+            seed: 7,
+            m_multiplier: 3,
+            epsilon: 0.5,
+        };
+        let inst = lsac_instance(4);
+        // Same params → identical solutions from a sampling algorithm.
+        let a = by_name("bigreedy", &params).unwrap().solve(&inst).unwrap();
+        let b = by_name("BiGreedy", &params).unwrap().solve(&inst).unwrap();
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.mhr.map(f64::to_bits), b.mhr.map(f64::to_bits));
+    }
+
+    #[test]
     fn names_match_paper() {
         let names: Vec<&str> = fair_algorithms().iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            vec!["BiGreedy", "BiGreedy+", "F-Greedy", "G-Greedy", "G-DMM", "G-HS", "G-Sphere"]
+            vec![
+                "BiGreedy",
+                "BiGreedy+",
+                "F-Greedy",
+                "G-Greedy",
+                "G-DMM",
+                "G-HS",
+                "G-Sphere"
+            ]
         );
     }
 }

@@ -102,7 +102,6 @@ mod tests {
     use crate::bigreedy::{bigreedy, BiGreedyConfig};
     use crate::eval::mhr_exact_2d;
     use fairhms_data::realsim::lsac_example;
-    
 
     fn lsac_instance(k: usize) -> FairHmsInstance {
         let mut ds = lsac_example().dataset(&["gender"]).unwrap();

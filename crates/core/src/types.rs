@@ -34,6 +34,12 @@ pub enum CoreError {
         /// Human-readable reason.
         what: &'static str,
     },
+    /// No algorithm is registered under the requested name (see
+    /// [`crate::registry::by_name`]).
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -46,6 +52,13 @@ impl std::fmt::Display for CoreError {
             CoreError::EmptyDataset => write!(f, "dataset is empty"),
             CoreError::NoFeasibleSolution => write!(f, "no feasible solution found"),
             CoreError::ResourceLimit { what } => write!(f, "resource limit: {what}"),
+            CoreError::UnknownAlgorithm { name } => {
+                write!(
+                    f,
+                    "unknown algorithm {name:?} (expected one of: {})",
+                    crate::registry::ALGORITHM_NAMES.join(", ")
+                )
+            }
         }
     }
 }

@@ -88,6 +88,35 @@ pub fn read_dataset(path: &Path, name: &str, dim: usize) -> Result<Dataset, CsvE
     Dataset::new(name, dim, points, groups, names).map_err(CsvError::Dataset)
 }
 
+/// Infers the dimensionality of a `attr_1,…,attr_d,group` file from its
+/// first non-empty row (`columns − 1`; the trailing column is the group
+/// label). Returns [`CsvError::BadWidth`] for an empty file or a
+/// single-column row.
+pub fn sniff_dim(path: &Path) -> Result<usize, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols = line.split(',').count();
+        if cols < 2 {
+            return Err(CsvError::BadWidth { line: lineno + 1 });
+        }
+        return Ok(cols - 1);
+    }
+    Err(CsvError::BadWidth { line: 1 })
+}
+
+/// Reads a dataset, inferring its dimensionality via [`sniff_dim`] — the
+/// loading path used by the service catalog, where files carry no schema.
+pub fn read_dataset_auto(path: &Path, name: &str) -> Result<Dataset, CsvError> {
+    let dim = sniff_dim(path)?;
+    read_dataset(path, name, dim)
+}
+
 /// Writes a dataset as `attr_1,…,attr_d,group_name` rows.
 pub fn write_dataset(path: &Path, data: &Dataset) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -157,16 +186,26 @@ mod tests {
     }
 
     #[test]
+    fn sniff_dim_and_auto_read() {
+        let dir = std::env::temp_dir().join("fairhms_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sniff.csv");
+        std::fs::write(&path, "\n0.5,0.25,1.0,a\n0.1,0.2,0.3,b\n").unwrap();
+        assert_eq!(sniff_dim(&path).unwrap(), 3);
+        let d = read_dataset_auto(&path, "sniffed").unwrap();
+        assert_eq!((d.len(), d.dim(), d.num_groups()), (2, 3, 2));
+
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "").unwrap();
+        assert!(matches!(sniff_dim(&empty), Err(CsvError::BadWidth { .. })));
+    }
+
+    #[test]
     fn write_series_creates_directories() {
         let dir = std::env::temp_dir().join("fairhms_csv_test/nested/deep");
         let path = dir.join("s.csv");
         let _ = std::fs::remove_file(&path);
-        write_series(
-            &path,
-            &["k", "mhr"],
-            &[vec!["5".into(), "0.93".into()]],
-        )
-        .unwrap();
+        write_series(&path, &["k", "mhr"], &[vec!["5".into(), "0.93".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "k,mhr\n5,0.93\n");
     }

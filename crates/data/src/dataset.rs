@@ -30,7 +30,9 @@ impl std::fmt::Display for DatasetError {
         match self {
             DatasetError::RaggedMatrix => write!(f, "point buffer is not a multiple of dim"),
             DatasetError::GroupLengthMismatch => write!(f, "group labels do not match point count"),
-            DatasetError::GroupOutOfRange { row } => write!(f, "group label out of range at row {row}"),
+            DatasetError::GroupOutOfRange { row } => {
+                write!(f, "group label out of range at row {row}")
+            }
             DatasetError::InvalidCoordinate { row, col } => {
                 write!(f, "negative or non-finite coordinate at ({row}, {col})")
             }
@@ -109,7 +111,11 @@ impl Dataset {
     }
 
     /// A dataset with a single group (vanilla HMS).
-    pub fn ungrouped(name: impl Into<String>, dim: usize, points: Vec<f64>) -> Result<Self, DatasetError> {
+    pub fn ungrouped(
+        name: impl Into<String>,
+        dim: usize,
+        points: Vec<f64>,
+    ) -> Result<Self, DatasetError> {
         let n = points.len().checked_div(dim).unwrap_or(0);
         Self::new(name, dim, points, vec![0; n], vec!["all".into()])
     }
@@ -397,16 +403,8 @@ mod tests {
             dim: 1,
             points: vec![1.0, 2.0, 3.0, 4.0],
             cats: vec![
-                (
-                    "g".into(),
-                    vec![0, 1, 0, 1],
-                    vec!["f".into(), "m".into()],
-                ),
-                (
-                    "r".into(),
-                    vec![0, 0, 1, 1],
-                    vec!["x".into(), "y".into()],
-                ),
+                ("g".into(), vec![0, 1, 0, 1], vec!["f".into(), "m".into()]),
+                ("r".into(), vec![0, 0, 1, 1], vec!["x".into(), "y".into()]),
             ],
         };
         let by_g = t.dataset(&["g"]).unwrap();

@@ -138,7 +138,10 @@ mod tests {
         let mx = xs.iter().sum::<f64>() / xs.len() as f64;
         let my = ys.iter().sum::<f64>() / ys.len() as f64;
         let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
-        assert!(cov < 0.0, "attributes should be anti-correlated, cov = {cov}");
+        assert!(
+            cov < 0.0,
+            "attributes should be anti-correlated, cov = {cov}"
+        );
     }
 
     #[test]

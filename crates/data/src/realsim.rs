@@ -37,14 +37,7 @@ struct CatSpec {
 }
 
 /// Latent-factor simulator shared by all real-dataset stand-ins.
-fn simulate(
-    name: &str,
-    n: usize,
-    d: usize,
-    rho: f64,
-    cats: &[CatSpec],
-    seed: u64,
-) -> Table {
+fn simulate(name: &str, n: usize, d: usize, rho: f64, cats: &[CatSpec], seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = rho.sqrt();
     let b = (1.0 - rho).sqrt();
@@ -304,9 +297,21 @@ mod tests {
     fn group_counts_match_table2() {
         assert_eq!(lawschs(1).dataset(&["gender"]).unwrap().num_groups(), 2);
         assert_eq!(lawschs(1).dataset(&["race"]).unwrap().num_groups(), 5);
-        assert_eq!(adult(1).dataset(&["gender", "race"]).unwrap().num_groups(), 10);
-        assert_eq!(compas(1).dataset(&["gender", "isRecid"]).unwrap().num_groups(), 4);
-        assert_eq!(credit(1).dataset(&["working_years"]).unwrap().num_groups(), 5);
+        assert_eq!(
+            adult(1).dataset(&["gender", "race"]).unwrap().num_groups(),
+            10
+        );
+        assert_eq!(
+            compas(1)
+                .dataset(&["gender", "isRecid"])
+                .unwrap()
+                .num_groups(),
+            4
+        );
+        assert_eq!(
+            credit(1).dataset(&["working_years"]).unwrap().num_groups(),
+            5
+        );
     }
 
     #[test]

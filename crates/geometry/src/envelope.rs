@@ -264,7 +264,10 @@ mod tests {
         for i in 0..=100 {
             let lambda = i as f64 / 100.0;
             let e = env.eval(lambda);
-            let best = lines.iter().map(|l| l.eval(lambda)).fold(f64::MIN, f64::max);
+            let best = lines
+                .iter()
+                .map(|l| l.eval(lambda))
+                .fold(f64::MIN, f64::max);
             assert!(
                 (e - best).abs() < 1e-9,
                 "envelope mismatch at λ={lambda}: env={e} brute={best}"

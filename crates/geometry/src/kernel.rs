@@ -59,11 +59,14 @@ mod tests {
     #[test]
     fn basis_directions_are_standard() {
         let b = basis_directions(3);
-        assert_eq!(b, vec![
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0]
-        ]);
+        assert_eq!(
+            b,
+            vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0]
+            ]
+        );
     }
 
     #[test]
@@ -90,6 +93,9 @@ mod tests {
     fn random_directions_deterministic_with_seed() {
         let mut r1 = StdRng::seed_from_u64(11);
         let mut r2 = StdRng::seed_from_u64(11);
-        assert_eq!(random_directions(3, 10, &mut r1), random_directions(3, 10, &mut r2));
+        assert_eq!(
+            random_directions(3, 10, &mut r1),
+            random_directions(3, 10, &mut r2)
+        );
     }
 }

@@ -473,7 +473,10 @@ mod tests {
             objective: Objective::Minimize(vec![1.0, 1.0]),
             constraints: vec![le(vec![1.0], 1.0)],
         };
-        assert_eq!(solve(&p).unwrap_err(), LpError::DimensionMismatch { row: 0 });
+        assert_eq!(
+            solve(&p).unwrap_err(),
+            LpError::DimensionMismatch { row: 0 }
+        );
     }
 
     #[test]

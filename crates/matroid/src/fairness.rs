@@ -221,7 +221,11 @@ impl Matroid for FairnessMatroid {
 /// `l_c = max(⌊(1−α)·k·|D_c|/|D|⌋, 1)` capped and
 /// `h_c = min(⌈(1+α)·k·|D_c|/|D|⌉, k − C + 1)`, with a repair pass that
 /// keeps `Σ l_c ≤ k ≤ Σ h_c` attainable.
-pub fn proportional_bounds(group_sizes: &[usize], k: usize, alpha: f64) -> (Vec<usize>, Vec<usize>) {
+pub fn proportional_bounds(
+    group_sizes: &[usize],
+    k: usize,
+    alpha: f64,
+) -> (Vec<usize>, Vec<usize>) {
     let n: usize = group_sizes.iter().sum();
     let c = group_sizes.len();
     let mut lower = Vec::with_capacity(c);
@@ -363,13 +367,10 @@ mod tests {
         assert_eq!(l, vec![5, 3]);
         assert_eq!(h, vec![7, 5]);
         // bounds always admit a feasible solution
-        assert!(FairnessMatroid::new(
-            (0..100).map(|i| usize::from(i >= 60)).collect(),
-            l,
-            h,
-            10
-        )
-        .is_ok());
+        assert!(
+            FairnessMatroid::new((0..100).map(|i| usize::from(i >= 60)).collect(), l, h, 10)
+                .is_ok()
+        );
     }
 
     #[test]

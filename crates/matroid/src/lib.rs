@@ -55,10 +55,15 @@ pub trait Matroid {
 /// set. Intended for tests (exponential in `ground_size`).
 pub fn verify_axioms<M: Matroid>(m: &M) -> Result<(), String> {
     let n = m.ground_size();
-    assert!(n <= 16, "verify_axioms is exponential; keep the ground set small");
+    assert!(
+        n <= 16,
+        "verify_axioms is exponential; keep the ground set small"
+    );
     let subsets = 1u32 << n;
     let members = |mask: u32| -> Vec<usize> { (0..n).filter(|&i| mask >> i & 1 == 1).collect() };
-    let indep: Vec<bool> = (0..subsets).map(|s| m.is_independent(&members(s))).collect();
+    let indep: Vec<bool> = (0..subsets)
+        .map(|s| m.is_independent(&members(s)))
+        .collect();
 
     if !indep[0] {
         return Err("empty set is not independent".into());
@@ -78,9 +83,8 @@ pub fn verify_axioms<M: Matroid>(m: &M) -> Result<(), String> {
             if !indep[t as usize] || (t.count_ones() <= s.count_ones()) {
                 continue;
             }
-            let found = (0..n).any(|i| {
-                t >> i & 1 == 1 && s >> i & 1 == 0 && indep[(s | (1 << i)) as usize]
-            });
+            let found = (0..n)
+                .any(|i| t >> i & 1 == 1 && s >> i & 1 == 0 && indep[(s | (1 << i)) as usize]);
             if !found {
                 return Err(format!("exchange fails between {s:#b} and {t:#b}"));
             }

@@ -26,7 +26,11 @@ fn instance_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usi
                     .map(|(&l, &s)| l.min(s))
                     .collect();
                 let mut k = k.max(lower.iter().sum());
-                let upper: Vec<usize> = lower.iter().zip(&sizes).map(|(&l, &s)| (l + 2).min(s).max(l)).collect();
+                let upper: Vec<usize> = lower
+                    .iter()
+                    .zip(&sizes)
+                    .map(|(&l, &s)| (l + 2).min(s).max(l))
+                    .collect();
                 let attainable: usize = upper.iter().zip(&sizes).map(|(&h, &s)| h.min(s)).sum();
                 k = k.min(attainable.max(1));
                 (groups, lower, upper, k)

@@ -1,0 +1,323 @@
+//! Sharded LRU cache of solved queries.
+//!
+//! Keys are [`Query::fingerprint`](crate::Query::fingerprint) values;
+//! values are shared [`Answer`](crate::Answer)s. The map is split into
+//! shards, each behind its own mutex, so concurrent workers hitting
+//! different fingerprints do not serialize on one lock; recency is tracked
+//! per shard with an ordered tick index, making eviction `O(log n)`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::Answer;
+use crate::query::Query;
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a cold solve.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    /// fingerprint → (entry, recency tick). The full key preimage
+    /// (dataset epoch + canonical query) is kept so hits verify true
+    /// equality: the 64-bit FNV fingerprint routes, it does not prove
+    /// identity.
+    map: HashMap<u64, (Entry, u64)>,
+    /// recency tick → fingerprint, oldest first.
+    lru: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old)) = self.map.get_mut(&key) {
+            self.lru.remove(old);
+            *old = tick;
+            self.lru.insert(tick, key);
+        }
+    }
+}
+
+struct Entry {
+    /// Dataset registration epoch the answer was computed against.
+    epoch: u64,
+    /// The canonical query (fingerprint preimage, with `epoch`).
+    query: Query,
+    value: Arc<Answer>,
+}
+
+/// A sharded, fingerprint-keyed LRU of solved answers.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Number of shards; fingerprints are distributed by their low bits.
+    pub const SHARDS: usize = 16;
+
+    /// A cache holding at most `capacity` answers (rounded up to a
+    /// multiple of [`Self::SHARDS`]; minimum one answer per shard).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = capacity.div_ceil(Self::SHARDS).max(1);
+        let shards = (0..Self::SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    lru: BTreeMap::new(),
+                    tick: 0,
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) % Self::SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. `(epoch, query)`
+    /// must be the canonical key preimage; an entry whose stored preimage
+    /// differs (a fingerprint collision, including across dataset
+    /// replacement) is treated as a miss rather than served as a wrong
+    /// answer.
+    pub fn get(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
+        match self.peek(key, epoch, query) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`SolutionCache::get`] but without touching the hit/miss
+    /// counters — for callers that do their own per-query accounting
+    /// (the engine looks up more than once per query around the
+    /// single-flight claim, but must record exactly one hit or miss).
+    pub fn peek(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        let found = match shard.map.get(&key) {
+            Some((e, _)) if e.epoch == epoch && e.query == *query => Some(Arc::clone(&e.value)),
+            _ => None,
+        };
+        if found.is_some() {
+            shard.touch(key);
+        }
+        found
+    }
+
+    /// Records one served-from-cache query (see [`SolutionCache::peek`]).
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cold-solved query (see [`SolutionCache::peek`]).
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least recently
+    /// used entry if the shard is full. A colliding entry under the same
+    /// key (different stored preimage) is overwritten — last writer wins.
+    pub fn insert(&self, key: u64, epoch: u64, query: Query, value: Arc<Answer>) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if let Some((e, _)) = shard.map.get_mut(&key) {
+            *e = Entry {
+                epoch,
+                query,
+                value,
+            };
+            shard.touch(key);
+            return;
+        }
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some((&oldest_tick, &oldest_key)) = shard.lru.iter().next() {
+                shard.lru.remove(&oldest_tick);
+                shard.map.remove(&oldest_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key,
+            (
+                Entry {
+                    epoch,
+                    query,
+                    value,
+                },
+                tick,
+            ),
+        );
+        shard.lru.insert(tick, key);
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().unwrap();
+            s.map.clear();
+            s.lru.clear();
+        }
+    }
+
+    /// Current hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(tag: usize) -> Arc<Answer> {
+        Arc::new(Answer {
+            indices: vec![tag],
+            mhr: Some(0.5),
+            violations: 0,
+            alg: "test".into(),
+            solve_micros: 1,
+        })
+    }
+
+    fn query(tag: u64) -> Query {
+        let mut q = Query::new("t", 2);
+        q.seed = tag;
+        q
+    }
+
+    #[test]
+    fn get_after_insert_and_stats() {
+        let cache = SolutionCache::new(32);
+        let q = query(7);
+        assert!(cache.get(7, 0, &q).is_none());
+        cache.insert(7, 0, q.clone(), answer(1));
+        let got = cache.get(7, 0, &q).expect("hit");
+        assert_eq!(got.indices, vec![1]);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+        assert!((st.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss_not_a_wrong_answer() {
+        // Two distinct queries forced onto the same key: the stored-query
+        // equality check must refuse to serve the other query's answer.
+        let cache = SolutionCache::new(32);
+        let (qa, qb) = (query(1), query(2));
+        cache.insert(99, 1, qa.clone(), answer(1));
+        assert!(
+            cache.get(99, 1, &qb).is_none(),
+            "collision served wrong answer"
+        );
+        // same query, different dataset epoch: also a miss
+        assert!(cache.get(99, 2, &qa).is_none(), "stale-epoch answer served");
+        assert_eq!(cache.get(99, 1, &qa).unwrap().indices, vec![1]);
+        // last-writer-wins on overwrite
+        cache.insert(99, 1, qb.clone(), answer(2));
+        assert!(cache.get(99, 1, &qa).is_none());
+        assert_eq!(cache.get(99, 1, &qb).unwrap().indices, vec![2]);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        let cache = SolutionCache::new(1); // 1 entry per shard
+                                           // Keys in the same shard: congruent mod SHARDS.
+        let s = SolutionCache::SHARDS as u64;
+        cache.insert(s, 0, query(1), answer(1));
+        cache.insert(2 * s, 0, query(2), answer(2)); // evicts key `s`
+        assert!(cache.get(s, 0, &query(1)).is_none());
+        assert!(cache.get(2 * s, 0, &query(2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+
+        // Recency refresh: touch `2s`, insert `3s`, so `2s` survives…
+        cache.insert(3 * s, 0, query(3), answer(3));
+        assert!(cache.get(3 * s, 0, &query(3)).is_some());
+    }
+
+    #[test]
+    fn refresh_on_get_protects_entry() {
+        let cache = SolutionCache::new(2 * SolutionCache::SHARDS);
+        let s = SolutionCache::SHARDS as u64;
+        cache.insert(s, 0, query(1), answer(1));
+        cache.insert(2 * s, 0, query(2), answer(2));
+        // shard full (2 per shard); touching the older key makes the
+        // newer one the eviction victim.
+        assert!(cache.get(s, 0, &query(1)).is_some());
+        cache.insert(3 * s, 0, query(3), answer(3));
+        assert!(
+            cache.get(s, 0, &query(1)).is_some(),
+            "recently used entry evicted"
+        );
+        assert!(
+            cache.get(2 * s, 0, &query(2)).is_none(),
+            "LRU entry survived"
+        );
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = SolutionCache::new(8);
+        cache.insert(1, 0, query(1), answer(1));
+        let _ = cache.get(1, 0, &query(1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

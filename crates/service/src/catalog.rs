@@ -1,0 +1,274 @@
+//! Named-dataset catalog with memoized preprocessing.
+//!
+//! Every FairHMS algorithm consumes the same prepared form of a dataset:
+//! scale-normalized coordinates restricted to the union of per-group
+//! skylines. The batch CLI recomputes that on every `solve`; the catalog
+//! computes it **once per dataset** at registration time and hands out
+//! shared [`PreparedDataset`]s, so a query's marginal cost is just the
+//! solve itself.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use fairhms_data::csv;
+use fairhms_data::skyline::group_skyline_indices;
+use fairhms_data::Dataset;
+
+use crate::ServiceError;
+
+/// A dataset plus everything the engine precomputes for it.
+#[derive(Debug)]
+pub struct PreparedDataset {
+    /// Catalog key.
+    pub name: String,
+    /// The full dataset, scale-normalized.
+    pub dataset: Dataset,
+    /// Union of per-group skyline rows (indices into `dataset`), the
+    /// lossless restriction every algorithm runs on by default.
+    pub skyline_rows: Vec<usize>,
+    /// `dataset` restricted to `skyline_rows` (row `i` here is row
+    /// `skyline_rows[i]` of `dataset`).
+    pub skyline_data: Dataset,
+    /// Per-group row counts of the full dataset.
+    pub group_sizes: Vec<usize>,
+    /// Per-group row counts of `skyline_data` — the form bounds are
+    /// derived from on the default (skyline-restricted) solve path, so
+    /// the engine does not rescan group labels per cold solve.
+    pub skyline_group_sizes: Vec<usize>,
+    /// Registration epoch, unique per catalog insert. The engine folds it
+    /// into cache keys, so replacing a dataset under the same name
+    /// orphans (rather than serves) every answer cached against the old
+    /// data. 0 for datasets prepared outside a catalog.
+    pub epoch: u64,
+    /// Wall-clock cost of normalization + skyline preprocessing.
+    pub prep_micros: u64,
+}
+
+impl PreparedDataset {
+    /// Normalizes `data` and builds the group-skyline restriction.
+    pub fn prepare(name: impl Into<String>, mut data: Dataset) -> Result<Self, ServiceError> {
+        if data.is_empty() {
+            return Err(ServiceError::Dataset("dataset has no rows".into()));
+        }
+        let t = Instant::now();
+        data.normalize();
+        let skyline_rows = group_skyline_indices(&data);
+        let skyline_data = data.subset(&skyline_rows);
+        let group_sizes = data.group_sizes();
+        let skyline_group_sizes = skyline_data.group_sizes();
+        Ok(Self {
+            name: name.into(),
+            dataset: data,
+            skyline_rows,
+            skyline_data,
+            group_sizes,
+            skyline_group_sizes,
+            epoch: 0,
+            prep_micros: t.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// One-line summary for `LIST` responses: `name:n:d:groups:skyline`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.name,
+            self.dataset.len(),
+            self.dataset.dim(),
+            self.dataset.num_groups(),
+            self.skyline_rows.len()
+        )
+    }
+}
+
+/// A concurrent map of named [`PreparedDataset`]s.
+///
+/// Reads (the per-query hot path) take a shared lock; registration — rare —
+/// takes the exclusive lock only to publish the already-prepared entry, so
+/// queries are never blocked behind preprocessing.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<HashMap<String, Arc<PreparedDataset>>>,
+    /// Monotone counter handing each insert a fresh epoch (starting at 1
+    /// so the standalone-`prepare` epoch 0 never collides).
+    next_epoch: std::sync::atomic::AtomicU64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `data` under its own dataset name. Returns the prepared
+    /// entry; replaces any previous dataset with the same name.
+    pub fn insert_dataset(&self, data: Dataset) -> Result<Arc<PreparedDataset>, ServiceError> {
+        let name = data.name().to_string();
+        self.insert_named(name, data)
+    }
+
+    /// Registers `data` under an explicit catalog key.
+    ///
+    /// Names must be valid on the wire: non-empty, no whitespace (the
+    /// protocol tokenizes on spaces) and none of `=,:"` (field/list
+    /// delimiters in `QUERY` and `LIST`). A name that violated this would
+    /// register fine but be unreachable or corrupt `LIST` output for
+    /// every client, so it is rejected up front.
+    pub fn insert_named(
+        &self,
+        name: impl Into<String>,
+        data: Dataset,
+    ) -> Result<Arc<PreparedDataset>, ServiceError> {
+        let name = name.into();
+        if name.is_empty()
+            || name
+                .chars()
+                .any(|c| c.is_whitespace() || matches!(c, '=' | ',' | ':' | '"'))
+        {
+            return Err(ServiceError::Dataset(format!(
+                "invalid catalog name {name:?}: must be non-empty, without whitespace or '=,:\"'"
+            )));
+        }
+        let mut prepared = PreparedDataset::prepare(name.clone(), data)?;
+        prepared.epoch = 1 + self
+            .next_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let prepared = Arc::new(prepared);
+        self.inner
+            .write()
+            .unwrap()
+            .insert(name, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Loads a `attr_1,…,attr_d,group` CSV (dimensionality sniffed from the
+    /// first row) and registers it under `name`.
+    pub fn load_csv(
+        &self,
+        name: impl Into<String>,
+        path: &Path,
+    ) -> Result<Arc<PreparedDataset>, ServiceError> {
+        let name = name.into();
+        let data = csv::read_dataset_auto(path, &name)
+            .map_err(|e| ServiceError::Dataset(format!("{}: {e}", path.display())))?;
+        self.insert_named(name, data)
+    }
+
+    /// The prepared dataset registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedDataset>> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// Like [`Catalog::get`] but with a typed error for the engine.
+    pub fn get_required(&self, name: &str) -> Result<Arc<PreparedDataset>, ServiceError> {
+        self.get(name).ok_or_else(|| ServiceError::UnknownDataset {
+            name: name.to_string(),
+        })
+    }
+
+    /// Sorted catalog keys.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// True when no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 6 points, 2 groups; rows 4 (0.2,0.2) and 5 (0.3,0.1) are
+        // dominated within their groups.
+        Dataset::new(
+            "toy",
+            2,
+            vec![1.0, 0.1, 0.8, 0.6, 0.2, 0.9, 0.9, 0.3, 0.2, 0.2, 0.3, 0.1],
+            vec![0, 0, 1, 1, 0, 1],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepare_normalizes_and_restricts() {
+        let prep = PreparedDataset::prepare("toy", toy()).unwrap();
+        // normalize() is scale-only: max per attribute becomes 1.
+        let max0 = (0..prep.dataset.len())
+            .map(|i| prep.dataset.point(i)[0])
+            .fold(0.0f64, f64::max);
+        assert!((max0 - 1.0).abs() < 1e-12);
+        // dominated rows are dropped from the skyline restriction
+        assert!(prep.skyline_rows.len() < prep.dataset.len());
+        assert_eq!(prep.skyline_data.len(), prep.skyline_rows.len());
+        assert_eq!(prep.group_sizes, vec![3, 3]);
+        assert_eq!(
+            prep.summary(),
+            format!("toy:6:2:2:{}", prep.skyline_rows.len())
+        );
+    }
+
+    #[test]
+    fn catalog_round_trip_and_listing() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.insert_dataset(toy()).unwrap();
+        cat.insert_named("alias", toy()).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["alias".to_string(), "toy".to_string()]);
+        assert!(cat.get("toy").is_some());
+        assert_eq!(
+            cat.get_required("nope").unwrap_err(),
+            ServiceError::UnknownDataset {
+                name: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn load_csv_sniffs_dimensionality() {
+        let dir = std::env::temp_dir().join("fairhms_catalog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d3.csv");
+        std::fs::write(&path, "0.5,0.2,0.9,a\n0.9,0.8,0.1,b\n0.2,0.9,0.5,a\n").unwrap();
+        let cat = Catalog::new();
+        let prep = cat.load_csv("d3", &path).unwrap();
+        assert_eq!(prep.dataset.dim(), 3);
+        assert_eq!(prep.dataset.num_groups(), 2);
+        assert!(cat.get("d3").is_some());
+    }
+
+    #[test]
+    fn rejects_wire_unsafe_names() {
+        let cat = Catalog::new();
+        for bad in ["", "my data", "a,b", "a:b", "a=b", "tab\tname"] {
+            assert!(
+                matches!(cat.insert_named(bad, toy()), Err(ServiceError::Dataset(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert!(cat.insert_named("ok-name_2", toy()).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let empty = Dataset::ungrouped("e", 2, vec![]).unwrap();
+        assert!(matches!(
+            Catalog::new().insert_dataset(empty),
+            Err(ServiceError::Dataset(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! The query engine: canonicalize → cache → solve.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fairhms_core::registry::{self, AlgorithmParams};
+use fairhms_core::types::FairHmsInstance;
+use fairhms_matroid::{balanced_bounds, proportional_bounds};
+
+use crate::cache::{CacheStats, SolutionCache};
+use crate::catalog::Catalog;
+use crate::query::Query;
+use crate::ServiceError;
+
+/// The immutable result of solving one canonical query.
+///
+/// Cached and shared between identical queries, so it must be *independent
+/// of how the query was executed* (worker, batch position, cache state):
+/// indices are original row ids of the full dataset, and `mhr` is the
+/// solving algorithm's own evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Selected rows, as 0-based indices into the *full* dataset (skyline
+    /// restriction already mapped back), sorted.
+    pub indices: Vec<usize>,
+    /// Minimum happiness ratio as evaluated by the algorithm (exact for
+    /// `IntCov`, net-estimated for `BiGreedy`; `None` if not evaluated).
+    pub mhr: Option<f64>,
+    /// Fairness violation count `err(S)` (0 for fair algorithms).
+    pub violations: usize,
+    /// Display name of the algorithm that produced the answer.
+    pub alg: String,
+    /// Wall-clock of the cold solve, microseconds.
+    pub solve_micros: u64,
+}
+
+/// One engine response: the (possibly shared) answer plus how this
+/// particular execution obtained it.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The solution payload.
+    pub answer: Arc<Answer>,
+    /// Whether it came from the solution cache.
+    pub cached: bool,
+    /// Wall-clock of *this* execution, microseconds (cache hits are
+    /// typically ~0; cold solves ≈ `answer.solve_micros`).
+    pub micros: u64,
+}
+
+/// Catalog + cache + algorithm registry, shared by all workers.
+///
+/// `&QueryEngine` is `Sync`: the catalog is behind a `RwLock`, the cache
+/// behind sharded mutexes, and solves touch only shared immutable data —
+/// so one engine serves every connection and batch worker concurrently.
+pub struct QueryEngine {
+    catalog: Arc<Catalog>,
+    cache: SolutionCache,
+    /// Fingerprints currently being solved, for single-flight coalescing:
+    /// concurrent identical queries wait for the first solver instead of
+    /// stampeding the same cold solve on every worker.
+    in_flight: std::sync::Mutex<std::collections::HashSet<u64>>,
+    in_flight_done: std::sync::Condvar,
+}
+
+/// Removes an in-flight claim even if the solve panics, so waiting
+/// queries are never stranded.
+struct FlightGuard<'a> {
+    engine: &'a QueryEngine,
+    key: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.in_flight.lock().unwrap().remove(&self.key);
+        self.engine.in_flight_done.notify_all();
+    }
+}
+
+impl QueryEngine {
+    /// An engine over `catalog` with a solution cache of `cache_capacity`
+    /// answers.
+    pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> Self {
+        Self {
+            catalog,
+            cache: SolutionCache::new(cache_capacity),
+            in_flight: std::sync::Mutex::new(std::collections::HashSet::new()),
+            in_flight_done: std::sync::Condvar::new(),
+        }
+    }
+
+    /// The dataset catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes one query: canonicalize, consult the cache, otherwise
+    /// dispatch through [`registry::by_name`] and cache the answer.
+    ///
+    /// Identical queries arriving while a solve is in flight block until
+    /// it publishes (single flight) and then read the cached answer, so a
+    /// burst of the same query costs one solve, not one per worker. Failed
+    /// solves are not cached; each waiter retries and surfaces its own
+    /// error.
+    ///
+    /// Stats accounting is per *query outcome*, not per lookup: one
+    /// `note_hit` for every `cached=true` response, one `note_miss` per
+    /// cold solve attempt — so `hit_rate` reflects solves saved even
+    /// though the single-flight path may consult the cache several times.
+    pub fn execute(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        let t = Instant::now();
+        let q = query.canonicalized();
+        // Resolve the dataset first: the cache key folds in its
+        // registration epoch, so answers cached against a replaced
+        // dataset of the same name can never be served.
+        let prep = self.catalog.get_required(&q.dataset)?;
+        let key = q.fingerprint_for_epoch(prep.epoch);
+        let hit = |answer| {
+            self.cache.note_hit();
+            Ok(QueryResponse {
+                answer,
+                cached: true,
+                micros: t.elapsed().as_micros() as u64,
+            })
+        };
+        loop {
+            if let Some(answer) = self.cache.peek(key, prep.epoch, &q) {
+                return hit(answer);
+            }
+            // Claim the solve or wait for whoever holds the claim.
+            let mut in_flight = self.in_flight.lock().unwrap();
+            if in_flight.insert(key) {
+                break;
+            }
+            while in_flight.contains(&key) {
+                in_flight = self.in_flight_done.wait(in_flight).unwrap();
+            }
+            // Re-check the cache: the claim holder either published an
+            // answer or failed (in which case we claim and retry).
+        }
+        let _guard = FlightGuard { engine: self, key };
+        // The previous claim holder may have published between our cache
+        // miss and our claim; without this re-check we would re-solve an
+        // already-cached query cold.
+        if let Some(answer) = self.cache.peek(key, prep.epoch, &q) {
+            return hit(answer);
+        }
+        self.cache.note_miss();
+        let answer = Arc::new(self.solve_cold(&q, &prep)?);
+        self.cache.insert(key, prep.epoch, q, Arc::clone(&answer));
+        Ok(QueryResponse {
+            answer,
+            cached: false,
+            micros: t.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Solves `q` from scratch against the prepared dataset.
+    ///
+    /// Mirrors the CLI `solve` pipeline: optional skyline restriction,
+    /// bounds derivation, instance validation, then the shared name→
+    /// algorithm factory — so the CLI and every service front end return
+    /// identical answers for identical parameters.
+    fn solve_cold(
+        &self,
+        q: &Query,
+        prep: &crate::catalog::PreparedDataset,
+    ) -> Result<Answer, ServiceError> {
+        let (input, group_sizes, row_map): (&fairhms_data::Dataset, &[usize], Option<&[usize]>) =
+            if q.skyline {
+                (
+                    &prep.skyline_data,
+                    &prep.skyline_group_sizes,
+                    Some(&prep.skyline_rows),
+                )
+            } else {
+                (&prep.dataset, &prep.group_sizes, None)
+            };
+        let (lower, upper) = if q.balanced {
+            balanced_bounds(group_sizes, q.k, q.alpha)
+        } else {
+            proportional_bounds(group_sizes, q.k, q.alpha)
+        };
+        let inst = FairHmsInstance::new(input.clone(), q.k, lower, upper)?;
+        let params = AlgorithmParams {
+            seed: q.seed,
+            ..AlgorithmParams::default()
+        };
+        let alg = registry::by_name(&q.alg, &params)?;
+        let t = Instant::now();
+        let sol = alg.solve(&inst)?;
+        let solve_micros = t.elapsed().as_micros() as u64;
+        let violations = inst.matroid().violations(&sol.indices);
+        let mut indices: Vec<usize> = match row_map {
+            Some(map) => sol.indices.iter().map(|&i| map[i]).collect(),
+            None => sol.indices.clone(),
+        };
+        // `Solution` indices are sorted and `skyline_rows` is ascending,
+        // so this is a no-op today — but the "sorted" contract on
+        // `Answer.indices` should not depend on that distant invariant.
+        indices.sort_unstable();
+        Ok(Answer {
+            indices,
+            mhr: sol.mhr,
+            violations,
+            alg: alg.name().to_string(),
+            solve_micros,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairhms_data::Dataset;
+
+    fn engine() -> QueryEngine {
+        let catalog = Arc::new(Catalog::new());
+        let points = vec![
+            1.0, 0.1, 0.8, 0.6, 0.2, 0.9, 0.9, 0.3, 0.4, 0.8, 0.7, 0.7, 0.6, 0.75, 0.95, 0.2,
+        ];
+        let data = Dataset::new("toy", 2, points, vec![0, 1, 0, 1, 0, 1, 0, 1], vec![]).unwrap();
+        catalog.insert_dataset(data).unwrap();
+        QueryEngine::new(catalog, 64)
+    }
+
+    #[test]
+    fn cold_then_cached_bit_identical() {
+        let eng = engine();
+        let q = Query::new("toy", 3);
+        let cold = eng.execute(&q).unwrap();
+        assert!(!cold.cached);
+        let warm = eng.execute(&q).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.answer.indices, warm.answer.indices);
+        assert_eq!(
+            cold.answer.mhr.map(f64::to_bits),
+            warm.answer.mhr.map(f64::to_bits)
+        );
+        let st = eng.cache_stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn algorithm_case_shares_cache_entry() {
+        let eng = engine();
+        let mut a = Query::new("toy", 3);
+        a.alg = "BiGreedy".into();
+        let mut b = Query::new("toy", 3);
+        b.alg = "bigreedy".into();
+        assert!(!eng.execute(&a).unwrap().cached);
+        assert!(eng.execute(&b).unwrap().cached);
+    }
+
+    #[test]
+    fn skyline_answers_reference_full_dataset_rows() {
+        let eng = engine();
+        let mut with = Query::new("toy", 3);
+        with.alg = "intcov".into();
+        let mut without = with.clone();
+        without.skyline = false;
+        let a = eng.execute(&with).unwrap();
+        let b = eng.execute(&without).unwrap();
+        // IntCov is exact and the restriction lossless: the same MHR, and
+        // `with`'s rows are valid row ids of the full dataset.
+        let prep = eng.catalog().get("toy").unwrap();
+        assert!(a.answer.indices.iter().all(|&i| i < prep.dataset.len()));
+        assert!((a.answer.mhr.unwrap() - b.answer.mhr.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replacing_a_dataset_invalidates_its_cached_answers() {
+        let eng = engine();
+        let mut q = Query::new("toy", 3);
+        q.alg = "intcov".into();
+        let first = eng.execute(&q).unwrap();
+        assert!(!first.cached);
+        assert!(eng.execute(&q).unwrap().cached);
+
+        // Re-register "toy" with different data (previous best rows gone).
+        let replacement = Dataset::new(
+            "toy",
+            2,
+            vec![0.3, 0.9, 0.9, 0.2, 0.5, 0.5, 0.6, 0.6],
+            vec![0, 1, 0, 1],
+            vec![],
+        )
+        .unwrap();
+        eng.catalog().insert_dataset(replacement).unwrap();
+
+        // Same query: the stale answer must not be served.
+        let fresh = eng.execute(&q).unwrap();
+        assert!(!fresh.cached, "served a stale pre-replacement answer");
+        let prep = eng.catalog().get("toy").unwrap();
+        assert!(fresh.answer.indices.iter().all(|&i| i < prep.dataset.len()));
+        assert!(eng.execute(&q).unwrap().cached, "new answer not cached");
+    }
+
+    #[test]
+    fn typed_errors_surface() {
+        let eng = engine();
+        let q = Query::new("absent", 3);
+        assert_eq!(
+            eng.execute(&q).unwrap_err(),
+            ServiceError::UnknownDataset {
+                name: "absent".into()
+            }
+        );
+        let mut bad = Query::new("toy", 3);
+        bad.alg = "nope".into();
+        assert!(matches!(
+            eng.execute(&bad).unwrap_err(),
+            ServiceError::Core(fairhms_core::types::CoreError::UnknownAlgorithm { .. })
+        ));
+    }
+}

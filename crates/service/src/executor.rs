@@ -1,0 +1,178 @@
+//! Deterministic fan-out of query batches across std threads.
+//!
+//! No async runtime: workers are scoped `std::thread`s pulling indices
+//! from a shared atomic counter and reporting `(index, result)` pairs over
+//! an `mpsc` channel. Results are reassembled **by input index**, so the
+//! output vector is a pure function of `(engine state, queries)` — worker
+//! count and OS scheduling affect only wall-clock time, never payloads
+//! (each query's answer is solved from a per-query seed, not from shared
+//! RNG state).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::engine::{QueryEngine, QueryResponse};
+use crate::query::Query;
+use crate::ServiceError;
+
+/// A fixed-width thread-pool executor for query batches.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    workers: usize,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+impl BatchExecutor {
+    /// An executor running at most `workers` concurrent solves
+    /// (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every query, returning results in input order.
+    ///
+    /// Individual failures are per-slot `Err`s; one bad query never poisons
+    /// the batch.
+    pub fn execute_all(
+        &self,
+        engine: &QueryEngine,
+        queries: &[Query],
+    ) -> Vec<Result<QueryResponse, ServiceError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(queries.len());
+        if workers == 1 {
+            return queries.iter().map(|q| engine.execute(q)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<QueryResponse, ServiceError>)>();
+        let mut out: Vec<Option<Result<QueryResponse, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    // A send can only fail if the receiver was dropped,
+                    // which cannot happen while this scope is alive.
+                    let _ = tx.send((i, engine.execute(&queries[i])));
+                });
+            }
+            drop(tx);
+            for (i, res) in rx {
+                out[i] = Some(res);
+            }
+        });
+
+        out.into_iter()
+            .map(|slot| slot.expect("every index is claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use fairhms_data::Dataset;
+    use std::sync::Arc;
+
+    fn engine() -> QueryEngine {
+        let catalog = Arc::new(Catalog::new());
+        let points = vec![
+            1.0, 0.1, 0.8, 0.6, 0.2, 0.9, 0.9, 0.3, 0.4, 0.8, 0.7, 0.7, 0.6, 0.75, 0.95, 0.2,
+        ];
+        let data = Dataset::new("toy", 2, points, vec![0, 1, 0, 1, 0, 1, 0, 1], vec![]).unwrap();
+        catalog.insert_dataset(data).unwrap();
+        QueryEngine::new(catalog, 256)
+    }
+
+    fn batch() -> Vec<Query> {
+        let mut qs = Vec::new();
+        for k in 2..=4 {
+            for alg in ["intcov", "bigreedy", "f-greedy"] {
+                let mut q = Query::new("toy", k);
+                q.alg = alg.into();
+                qs.push(q);
+            }
+        }
+        // include a failing slot: unknown dataset
+        qs.push(Query::new("absent", 2));
+        qs
+    }
+
+    fn payloads(results: &[Result<QueryResponse, ServiceError>]) -> Vec<Option<Vec<usize>>> {
+        results
+            .iter()
+            .map(|r| r.as_ref().ok().map(|resp| resp.answer.indices.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn output_independent_of_worker_count() {
+        let qs = batch();
+        let reference = payloads(&BatchExecutor::new(1).execute_all(&engine(), &qs));
+        for workers in [2, 3, 8, 32] {
+            let got = payloads(&BatchExecutor::new(workers).execute_all(&engine(), &qs));
+            assert_eq!(got, reference, "worker count {workers} changed payloads");
+        }
+    }
+
+    #[test]
+    fn per_slot_errors_do_not_poison_the_batch() {
+        let qs = batch();
+        let results = BatchExecutor::new(4).execute_all(&engine(), &qs);
+        assert_eq!(results.len(), qs.len());
+        assert!(results[..qs.len() - 1].iter().all(|r| r.is_ok()));
+        assert!(matches!(
+            results[qs.len() - 1],
+            Err(ServiceError::UnknownDataset { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(BatchExecutor::default()
+            .execute_all(&engine(), &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_queries_solve_once() {
+        let eng = engine();
+        let qs: Vec<Query> = (0..24).map(|_| Query::new("toy", 3)).collect();
+        let results = BatchExecutor::new(8).execute_all(&eng, &qs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        // Single-flight: exactly one cold solve even under concurrency;
+        // all 23 other executions were served from the cache.
+        let cold = results
+            .iter()
+            .filter(|r| !r.as_ref().unwrap().cached)
+            .count();
+        assert_eq!(cold, 1);
+        assert_eq!(eng.cache_stats().hits, 23);
+    }
+}

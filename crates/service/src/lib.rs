@@ -1,0 +1,111 @@
+//! FairHMS query-serving engine.
+//!
+//! The algorithm crates solve one instance per call and re-read their input
+//! every time; this crate is the *resident* layer that serves many FairHMS
+//! queries against the same datasets — the interactive, repeated-query
+//! setting the paper (Zheng et al., VLDB 2022) targets:
+//!
+//! * [`catalog`] — a [`Catalog`] of named datasets, loaded once, with
+//!   memoized preprocessing (normalization, group partitions, and the
+//!   group-skyline index every algorithm consumes);
+//! * [`query`] — the canonical [`Query`] type (`dataset`, `k`, bounds
+//!   policy, algorithm, params) and its fingerprint;
+//! * [`cache`] — a sharded LRU [`SolutionCache`] keyed by query
+//!   fingerprint, so repeated queries return bit-identical answers without
+//!   re-solving;
+//! * [`engine`] — the [`QueryEngine`] tying catalog + cache + the
+//!   [`fairhms_core::registry::by_name`] algorithm factory together;
+//! * [`executor`] — a [`BatchExecutor`] fan-out over std threads and
+//!   channels (no async runtime) whose output is independent of worker
+//!   count and scheduling;
+//! * [`protocol`] — the line-delimited request/response wire format;
+//! * [`server`] — a std-only TCP front end (`fairhms serve`).
+//!
+//! ```
+//! use fairhms_service::{Catalog, Query, QueryEngine};
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(Catalog::new());
+//! // A 6-point, 2-group toy dataset.
+//! let points = vec![1.0, 0.1, 0.8, 0.6, 0.2, 0.9, 0.9, 0.3, 0.4, 0.8, 0.7, 0.7];
+//! let data = fairhms_data::Dataset::new("toy", 2, points, vec![0, 1, 0, 1, 0, 1], vec![]).unwrap();
+//! catalog.insert_dataset(data).unwrap();
+//!
+//! let engine = QueryEngine::new(catalog, 64);
+//! let q = Query::new("toy", 2);
+//! let cold = engine.execute(&q).unwrap();
+//! let warm = engine.execute(&q).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.answer.indices, warm.answer.indices);
+//! ```
+
+pub mod cache;
+pub mod catalog;
+pub mod engine;
+pub mod executor;
+pub mod protocol;
+pub mod query;
+pub mod server;
+
+pub use cache::{CacheStats, SolutionCache};
+pub use catalog::{Catalog, PreparedDataset};
+pub use engine::{Answer, QueryEngine, QueryResponse};
+pub use executor::BatchExecutor;
+pub use query::Query;
+pub use server::{Server, ServerConfig};
+
+use fairhms_core::types::CoreError;
+use fairhms_data::DatasetError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The query referenced a dataset the catalog does not hold.
+    UnknownDataset {
+        /// The missing catalog key.
+        name: String,
+    },
+    /// A dataset failed to load or validate.
+    Dataset(String),
+    /// The solver rejected the instance or failed (typed core error).
+    Core(CoreError),
+    /// A wire request could not be parsed.
+    Protocol(String),
+    /// Socket / filesystem failure (message-only; `io::Error` is not
+    /// `Clone`).
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownDataset { name } => {
+                write!(f, "unknown dataset {name:?} (not in catalog)")
+            }
+            ServiceError::Dataset(m) => write!(f, "dataset error: {m}"),
+            ServiceError::Core(e) => write!(f, "solver error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<DatasetError> for ServiceError {
+    fn from(e: DatasetError) -> Self {
+        ServiceError::Dataset(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,312 @@
+//! Line-delimited wire protocol for the TCP front end.
+//!
+//! One request per line, one response line per request (plus `n` extra
+//! lines after a `BATCH n` header). Everything is UTF-8 text,
+//! space-separated `key=value` pairs, no quoting — values never contain
+//! spaces. Numeric floats use Rust's shortest round-trip `Display`
+//! formatting, so a parsed `mhr` is bit-identical to the serialized one.
+//!
+//! ```text
+//! >> PING                                   << OK pong
+//! >> LIST                                   << OK datasets=name:n:d:c:sky,...
+//! >> ALGS                                   << OK algorithms=intcov,bigreedy,...
+//! >> STATS                                  << OK hits=… misses=… entries=… evictions=… hit_rate=…
+//! >> QUERY dataset=adult k=8 alg=bigreedy   << OK alg=BiGreedy cached=false micros=812 err=0 mhr=0.97 indices=3,17,40
+//! >> BATCH 2                                << OK batch=2
+//! >> QUERY …                                << (response line for query 1)
+//! >> QUERY …                                << (response line for query 2)
+//! >> SHUTDOWN                               << OK bye
+//! ```
+//!
+//! Malformed input yields a single `ERR <message>` line; the connection
+//! stays open.
+
+use crate::engine::QueryResponse;
+use crate::query::Query;
+use crate::ServiceError;
+
+/// A parsed client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List cataloged datasets.
+    List,
+    /// List registered algorithm names.
+    Algorithms,
+    /// Report cache counters.
+    Stats,
+    /// `BATCH n`: the next `n` lines are queries executed as one batch.
+    Batch(usize),
+    /// A single query.
+    Query(Box<Query>),
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+fn parse_kv(tokens: &[&str]) -> Result<Vec<(String, String)>, ServiceError> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.split_once('=')
+                .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+                .ok_or_else(|| ServiceError::Protocol(format!("expected key=value, got {t:?}")))
+        })
+        .collect()
+}
+
+fn parse_bool(key: &str, v: &str) -> Result<bool, ServiceError> {
+    match v {
+        "true" | "1" => Ok(true),
+        "false" | "0" => Ok(false),
+        _ => Err(ServiceError::Protocol(format!("{key}: bad bool {v:?}"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ServiceError> {
+    v.parse()
+        .map_err(|_| ServiceError::Protocol(format!("{key}: cannot parse {v:?}")))
+}
+
+/// Parses a `QUERY`-line body (`key=value` tokens after the verb).
+pub fn parse_query(tokens: &[&str]) -> Result<Query, ServiceError> {
+    let mut dataset: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut q = Query::new("", 0);
+    for (key, v) in parse_kv(tokens)? {
+        match key.as_str() {
+            "dataset" => dataset = Some(v),
+            "k" => k = Some(parse_num("k", &v)?),
+            "alg" => q.alg = v,
+            "alpha" => q.alpha = parse_num("alpha", &v)?,
+            "balanced" => q.balanced = parse_bool("balanced", &v)?,
+            "seed" => q.seed = parse_num("seed", &v)?,
+            "skyline" => q.skyline = parse_bool("skyline", &v)?,
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    q.dataset = dataset.ok_or_else(|| ServiceError::Protocol("missing dataset=".into()))?;
+    q.k = k.ok_or_else(|| ServiceError::Protocol("missing k=".into()))?;
+    Ok(q)
+}
+
+/// Parses one request line (verbs are case-insensitive).
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Err(ServiceError::Protocol("empty request".into()));
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "LIST" => Ok(Request::List),
+        "ALGS" => Ok(Request::Algorithms),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "BATCH" => match rest {
+            [n] => Ok(Request::Batch(parse_num("batch size", n)?)),
+            _ => Err(ServiceError::Protocol("usage: BATCH <n>".into())),
+        },
+        "QUERY" => Ok(Request::Query(Box::new(parse_query(rest)?))),
+        other => Err(ServiceError::Protocol(format!("unknown verb {other:?}"))),
+    }
+}
+
+/// Serializes a query as a full `QUERY …` request line (the inverse of
+/// [`parse_request`]).
+pub fn query_to_wire(q: &Query) -> String {
+    format!(
+        "QUERY dataset={} k={} alg={} alpha={} balanced={} seed={} skyline={}",
+        q.dataset, q.k, q.alg, q.alpha, q.balanced, q.seed, q.skyline
+    )
+}
+
+/// An `OK …` query response as decoded by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAnswer {
+    /// Display name of the algorithm that solved the query.
+    pub alg: String,
+    /// Whether the server answered from its solution cache.
+    pub cached: bool,
+    /// Server-side execution time, microseconds.
+    pub micros: u64,
+    /// Fairness violation count.
+    pub violations: usize,
+    /// Minimum happiness ratio (bit-exact across the wire), if evaluated.
+    pub mhr: Option<f64>,
+    /// Selected rows of the full dataset, sorted.
+    pub indices: Vec<usize>,
+}
+
+/// Formats a successful query response line.
+pub fn format_response(resp: &QueryResponse) -> String {
+    let a = &resp.answer;
+    let mhr = match a.mhr {
+        Some(v) => format!("{v}"),
+        None => "none".to_string(),
+    };
+    let indices: Vec<String> = a.indices.iter().map(|i| i.to_string()).collect();
+    format!(
+        "OK alg={} cached={} micros={} err={} mhr={} indices={}",
+        a.alg,
+        resp.cached,
+        resp.micros,
+        a.violations,
+        mhr,
+        indices.join(",")
+    )
+}
+
+/// Formats any service error as an `ERR` line.
+pub fn format_error(e: &ServiceError) -> String {
+    format!("ERR {e}")
+}
+
+/// Decodes a query response line produced by [`format_response`] (an
+/// `ERR …` line decodes to [`ServiceError::Protocol`] carrying the
+/// message).
+pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(ServiceError::Protocol(msg.to_string()));
+    }
+    let Some(body) = line.strip_prefix("OK ") else {
+        return Err(ServiceError::Protocol(format!(
+            "expected OK/ERR line, got {line:?}"
+        )));
+    };
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    let mut ans = WireAnswer {
+        alg: String::new(),
+        cached: false,
+        micros: 0,
+        violations: 0,
+        mhr: None,
+        indices: Vec::new(),
+    };
+    for (key, v) in parse_kv(&tokens)? {
+        match key.as_str() {
+            "alg" => ans.alg = v,
+            "cached" => ans.cached = parse_bool("cached", &v)?,
+            "micros" => ans.micros = parse_num("micros", &v)?,
+            "err" => ans.violations = parse_num("err", &v)?,
+            "mhr" => {
+                ans.mhr = match v.as_str() {
+                    "none" => None,
+                    s => Some(parse_num("mhr", s)?),
+                }
+            }
+            "indices" => {
+                ans.indices = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse_num("indices", s))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(ans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Answer;
+    use std::sync::Arc;
+
+    #[test]
+    fn request_round_trip() {
+        let mut q = Query::new("adult", 8);
+        q.alg = "bigreedy+".into();
+        q.alpha = 0.25;
+        q.balanced = true;
+        q.seed = 7;
+        q.skyline = false;
+        let wire = query_to_wire(&q);
+        match parse_request(&wire).unwrap() {
+            Request::Query(parsed) => assert_eq!(*parsed, q),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_verbs() {
+        match parse_request("query dataset=d k=3").unwrap() {
+            Request::Query(q) => {
+                assert_eq!(*q, Query::new("d", 3));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("batch 12").unwrap(), Request::Batch(12));
+        assert_eq!(parse_request("ShUtDoWn").unwrap(), Request::Shutdown);
+        for bad in [
+            "",
+            "FROB",
+            "QUERY k=3",
+            "QUERY dataset=d",
+            "QUERY dataset=d k=x",
+            "QUERY dataset=d k=3 zz=1",
+            "BATCH",
+            "BATCH x y",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServiceError::Protocol(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn response_round_trip_preserves_mhr_bits() {
+        let resp = QueryResponse {
+            answer: Arc::new(Answer {
+                indices: vec![3, 17, 40],
+                mhr: Some(0.1 + 0.2), // a value with messy trailing digits
+                violations: 0,
+                alg: "BiGreedy".into(),
+                solve_micros: 812,
+            }),
+            cached: false,
+            micros: 812,
+        };
+        let line = format_response(&resp);
+        let parsed = parse_response(&line).unwrap();
+        assert_eq!(parsed.indices, vec![3, 17, 40]);
+        assert_eq!(parsed.mhr.map(f64::to_bits), Some((0.1f64 + 0.2).to_bits()));
+        assert_eq!(parsed.alg, "BiGreedy");
+        assert!(!parsed.cached);
+
+        // empty selection and missing mhr also survive
+        let resp2 = QueryResponse {
+            answer: Arc::new(Answer {
+                indices: vec![],
+                mhr: None,
+                violations: 2,
+                alg: "Greedy".into(),
+                solve_micros: 1,
+            }),
+            cached: true,
+            micros: 3,
+        };
+        let parsed2 = parse_response(&format_response(&resp2)).unwrap();
+        assert!(parsed2.indices.is_empty());
+        assert_eq!(parsed2.mhr, None);
+        assert_eq!(parsed2.violations, 2);
+        assert!(parsed2.cached);
+    }
+
+    #[test]
+    fn err_lines_decode_to_protocol_errors() {
+        let e = ServiceError::UnknownDataset { name: "x".into() };
+        let line = format_error(&e);
+        assert!(line.starts_with("ERR "));
+        assert!(matches!(
+            parse_response(&line),
+            Err(ServiceError::Protocol(m)) if m.contains("unknown dataset")
+        ));
+    }
+}

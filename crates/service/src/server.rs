@@ -1,0 +1,482 @@
+//! Std-only TCP front end.
+//!
+//! One thread per connection (client counts are small; the expensive work
+//! is the solves, which the engine already coalesces and caches), reading
+//! newline-delimited requests and writing one response line per request.
+//! `BATCH n` requests fan out over the server's [`BatchExecutor`]. No
+//! async runtime, no external protocol dependencies.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fairhms_core::registry::ALGORITHM_NAMES;
+
+use crate::engine::QueryEngine;
+use crate::executor::BatchExecutor;
+use crate::protocol::{self, Request};
+use crate::query::Query;
+use crate::ServiceError;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4077` (`:0` for an OS-chosen port).
+    pub addr: String,
+    /// Worker threads per `BATCH` request.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4077".to_string(),
+            workers: BatchExecutor::default().workers(),
+        }
+    }
+}
+
+/// A running server: background accept loop + shutdown handle.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the accept loop on a background
+    /// thread. The returned handle reports the bound address (useful with
+    /// port 0) and can stop the server.
+    pub fn spawn(engine: Arc<QueryEngine>, cfg: ServerConfig) -> Result<Server, ServiceError> {
+        let listener = bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        // Poll accept with a short sleep so the loop notices `stop`
+        // without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let executor = BatchExecutor::new(cfg.workers);
+        let handle = std::thread::spawn(move || {
+            accept_loop(listener, engine, executor, loop_stop);
+        });
+        Ok(Server { addr, stop, handle })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop and waits for it to exit.
+    /// Connections already being served finish their current request.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+
+    /// Blocks until the accept loop exits (i.e. until a client sends
+    /// `SHUTDOWN`). Used by the foreground `fairhms serve` command.
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+fn bind(addr: &str) -> Result<TcpListener, ServiceError> {
+    let mut last: Option<std::io::Error> = None;
+    for resolved in addr
+        .to_socket_addrs()
+        .map_err(|e| ServiceError::Io(format!("resolve {addr}: {e}")))?
+    {
+        match TcpListener::bind(resolved) {
+            Ok(l) => return Ok(l),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ServiceError::Io(format!(
+        "bind {addr}: {}",
+        last.map_or("no addresses".to_string(), |e| e.to_string())
+    )))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    executor: BatchExecutor,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &engine, executor, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept failures (ECONNABORTED from a client that
+            // reset mid-handshake, EMFILE under load, EINTR…) must not
+            // take the whole service down; back off briefly and keep
+            // accepting. Only the stop flag ends the loop.
+            Err(e) => {
+                eprintln!("fairhms-service: accept error (continuing): {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Longest accepted request line, bytes. Oversized lines drop the
+/// connection, so a newline-free stream cannot grow server memory without
+/// limit.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Largest total byte size of the lines following a `BATCH` header.
+/// `read_batch` buffers the whole batch before parsing (to keep bad
+/// batches from desynchronizing the connection), so the buffer itself
+/// needs a cap independent of the per-line one.
+const MAX_BATCH_BYTES: usize = 16 << 20;
+
+/// Reads one `\n`-terminated line of raw bytes, noticing `stop` and
+/// bounding length: the stream carries a short read timeout, and every
+/// timeout re-checks the flag. Returns `Ok(0)` when the client closed or
+/// the server is shutting down, and `InvalidData` for a line longer than
+/// [`MAX_LINE_BYTES`] (the connection is then dropped). Reads via
+/// `fill_buf`/`consume`, so a line split by a timeout is completed by
+/// subsequent calls.
+///
+/// Bytes, not `String`: the caller decodes the *completed* line exactly
+/// once, so a multi-byte UTF-8 character straddling a buffer boundary is
+/// not corrupted by piecewise lossy decoding.
+fn read_line_or_stop(
+    reader: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> std::io::Result<usize> {
+    let start = line.len();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(0);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(line.len() - start); // EOF (0 if nothing was read)
+        }
+        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        line.extend_from_slice(&chunk[..taken]);
+        reader.consume(taken);
+        if line.len() - start > MAX_LINE_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        if done {
+            return Ok(line.len() - start);
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    executor: BatchExecutor,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // On BSD/macOS/Windows accepted sockets inherit the listener's
+    // non-blocking mode (Linux does not); force blocking so the read
+    // timeout below governs instead of a WouldBlock busy-spin.
+    stream.set_nonblocking(false)?;
+    // Idle connections must not block shutdown: reads wake up periodically
+    // to check the stop flag (see read_line_or_stop).
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        if read_line_or_stop(&mut reader, &mut line, stop)? == 0 {
+            return Ok(()); // client closed or server stopping
+        }
+        // Decode the complete line once (see read_line_or_stop).
+        let decoded = String::from_utf8_lossy(&line);
+        let trimmed = decoded.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match protocol::parse_request(trimmed) {
+            Err(e) => writeln!(writer, "{}", protocol::format_error(&e))?,
+            Ok(Request::Ping) => writeln!(writer, "OK pong")?,
+            Ok(Request::List) => {
+                let summaries: Vec<String> = engine
+                    .catalog()
+                    .names()
+                    .iter()
+                    .filter_map(|n| engine.catalog().get(n))
+                    .map(|p| p.summary())
+                    .collect();
+                writeln!(writer, "OK datasets={}", summaries.join(","))?;
+            }
+            Ok(Request::Algorithms) => {
+                writeln!(writer, "OK algorithms={}", ALGORITHM_NAMES.join(","))?;
+            }
+            Ok(Request::Stats) => {
+                let st = engine.cache_stats();
+                writeln!(
+                    writer,
+                    "OK hits={} misses={} entries={} evictions={} hit_rate={}",
+                    st.hits,
+                    st.misses,
+                    st.entries,
+                    st.evictions,
+                    st.hit_rate()
+                )?;
+            }
+            Ok(Request::Shutdown) => {
+                writeln!(writer, "OK bye")?;
+                writer.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            Ok(Request::Query(q)) => {
+                let out = match engine.execute(&q) {
+                    Ok(resp) => protocol::format_response(&resp),
+                    Err(e) => protocol::format_error(&e),
+                };
+                writeln!(writer, "{out}")?;
+            }
+            Ok(Request::Batch(n)) => match read_batch(&mut reader, n, stop)? {
+                Err(e) => writeln!(writer, "{}", protocol::format_error(&e))?,
+                Ok(queries) => {
+                    let results = executor.execute_all(engine, &queries);
+                    writeln!(writer, "OK batch={n}")?;
+                    for r in results {
+                        let out = match r {
+                            Ok(resp) => protocol::format_response(&resp),
+                            Err(e) => protocol::format_error(&e),
+                        };
+                        writeln!(writer, "{out}")?;
+                    }
+                }
+            },
+        }
+        writer.flush()?;
+    }
+}
+
+/// Reads the `n` query lines following a `BATCH n` header.
+///
+/// Always consumes all `n` lines (unless the connection closes) *before*
+/// reporting the first parse failure — otherwise the unread tail of a bad
+/// batch would be reinterpreted as top-level requests and desynchronize
+/// every later response on the connection.
+///
+/// Two-level result: the outer `Err` is an I/O/abuse condition that drops
+/// the connection (total batch bytes over [`MAX_BATCH_BYTES`], socket
+/// failure); the inner `Err` is a well-formed protocol error answered
+/// with a single `ERR` line on a connection that stays usable.
+#[allow(clippy::type_complexity)]
+fn read_batch(
+    reader: &mut impl BufRead,
+    n: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<Result<Vec<Query>, ServiceError>> {
+    const MAX_BATCH: usize = 100_000;
+    if n > MAX_BATCH {
+        return Ok(Err(ServiceError::Protocol(format!(
+            "batch size {n} exceeds limit {MAX_BATCH}"
+        ))));
+    }
+    let mut lines = Vec::with_capacity(n);
+    let mut line = Vec::new();
+    let mut total_bytes = 0usize;
+    for i in 0..n {
+        line.clear();
+        if read_line_or_stop(reader, &mut line, stop)? == 0 {
+            return Ok(Err(ServiceError::Protocol(format!(
+                "connection closed after {i} of {n} batch lines"
+            ))));
+        }
+        total_bytes += line.len();
+        if total_bytes > MAX_BATCH_BYTES {
+            // Dropping mid-batch desynchronizes the connection, so this
+            // is a connection-fatal error, like an oversized line.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("batch exceeds {MAX_BATCH_BYTES} bytes"),
+            ));
+        }
+        lines.push(String::from_utf8_lossy(&line).trim().to_string());
+    }
+    let mut queries = Vec::with_capacity(n);
+    for (i, l) in lines.iter().enumerate() {
+        match protocol::parse_request(l) {
+            Ok(Request::Query(q)) => queries.push(*q),
+            Ok(other) => {
+                return Ok(Err(ServiceError::Protocol(format!(
+                    "batch line {} must be a QUERY, got {other:?}",
+                    i + 1
+                ))))
+            }
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+    Ok(Ok(queries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use fairhms_data::Dataset;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_batch_validates_lines() {
+        let stop = AtomicBool::new(false);
+        let mut ok = Cursor::new("QUERY dataset=d k=2\nQUERY dataset=d k=3\n");
+        let qs = read_batch(&mut ok, 2, &stop).unwrap().unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].k, 3);
+
+        let mut short = Cursor::new("QUERY dataset=d k=2\n");
+        assert!(matches!(
+            read_batch(&mut short, 2, &stop),
+            Ok(Err(ServiceError::Protocol(_)))
+        ));
+
+        let mut wrong = Cursor::new("PING\n");
+        assert!(matches!(
+            read_batch(&mut wrong, 1, &stop),
+            Ok(Err(ServiceError::Protocol(_)))
+        ));
+    }
+
+    #[test]
+    fn bad_batch_line_does_not_desync_the_connection() {
+        // A batch whose middle line is not a QUERY must consume all n
+        // lines: the valid line after the bad one is NOT executed as a
+        // top-level request.
+        let stop = AtomicBool::new(false);
+        let mut cur = Cursor::new("PING\nQUERY dataset=d k=2\nSTATS\n");
+        assert!(matches!(
+            read_batch(&mut cur, 2, &stop),
+            Ok(Err(ServiceError::Protocol(_)))
+        ));
+        // Exactly the two batch lines were consumed; the connection's
+        // next request is the STATS line.
+        let mut rest = String::new();
+        cur.read_line(&mut rest).unwrap();
+        assert_eq!(rest.trim(), "STATS");
+    }
+
+    #[test]
+    fn shutdown_completes_with_idle_client_connected() {
+        let catalog = Arc::new(Catalog::new());
+        let data = Dataset::new(
+            "toy",
+            2,
+            vec![1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3],
+            vec![0, 1, 0, 1],
+            vec![],
+        )
+        .unwrap();
+        catalog.insert_dataset(data).unwrap();
+        let engine = Arc::new(QueryEngine::new(catalog, 16));
+        let server = Server::spawn(
+            engine,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+            },
+        )
+        .unwrap();
+        // An idle client that never sends anything and never disconnects.
+        let _idle = TcpStream::connect(server.addr()).unwrap();
+
+        // Shutdown must still complete promptly (reads time out and
+        // observe the stop flag) instead of blocking on the idle reader.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            server.shutdown();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("shutdown hung on an idle connection");
+    }
+
+    #[test]
+    fn spawn_serve_shutdown() {
+        let catalog = Arc::new(Catalog::new());
+        let data = Dataset::new(
+            "toy",
+            2,
+            vec![1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3],
+            vec![0, 1, 0, 1],
+            vec![],
+        )
+        .unwrap();
+        catalog.insert_dataset(data).unwrap();
+        let engine = Arc::new(QueryEngine::new(catalog, 16));
+        let server = Server::spawn(
+            engine,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut line = String::new();
+
+        writeln!(writer, "PING").unwrap();
+        writer.flush().unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK pong");
+
+        line.clear();
+        writeln!(writer, "QUERY dataset=toy k=2 alg=intcov").unwrap();
+        writer.flush().unwrap();
+        reader.read_line(&mut line).unwrap();
+        let ans = protocol::parse_response(line.trim()).unwrap();
+        assert_eq!(ans.alg, "IntCov");
+        assert_eq!(ans.indices.len(), 2);
+
+        line.clear();
+        writeln!(writer, "SHUTDOWN").unwrap();
+        writer.flush().unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK bye");
+        server.shutdown();
+    }
+}

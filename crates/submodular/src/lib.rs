@@ -281,7 +281,9 @@ mod tests {
         // pseudo-random coverage instances
         let mut seed = 12345u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for trial in 0..25 {

@@ -159,7 +159,11 @@ mod tests {
         let cov = example();
         let m = FairnessMatroid::new(vec![0, 0, 1, 1, 1], vec![0, 0], vec![1, 2], 3).unwrap();
         let offline = greedy_matroid(&cov, &m, &[0, 1, 2, 3, 4]);
-        for order in [vec![0, 1, 2, 3, 4], vec![4, 3, 2, 1, 0], vec![2, 0, 4, 1, 3]] {
+        for order in [
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+        ] {
             let streamed = streaming_matroid(&cov, &m, order.clone(), &StreamingConfig::default());
             assert!(m.is_independent(&streamed.items), "order {order:?}");
             assert!(

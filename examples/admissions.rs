@@ -20,7 +20,9 @@ fn main() {
     let k = 4;
     let alpha = 0.1;
 
-    let mut data = fairhms::data::realsim::lawschs(1).dataset(&["race"]).unwrap();
+    let mut data = fairhms::data::realsim::lawschs(1)
+        .dataset(&["race"])
+        .unwrap();
     data.normalize();
     println!(
         "Lawschs (simulated): n = {}, d = {}, C = {} race groups",

@@ -23,12 +23,18 @@ fn main() {
 
     // Unconstrained reference.
     let unconstrained = FairHmsInstance::unconstrained(input.clone(), k).unwrap();
-    let reference = bigreedy(&unconstrained, &BiGreedyConfig::paper_default(k, input.dim()))
-        .unwrap();
+    let reference = bigreedy(
+        &unconstrained,
+        &BiGreedyConfig::paper_default(k, input.dim()),
+    )
+    .unwrap();
     let ref_mhr = mhr_exact_lp(&input, &reference.indices);
     println!("unconstrained BiGreedy reference: mhr = {ref_mhr:.4}\n");
 
-    println!("{:>6} | {:>14} {:>8} | {:>14} {:>8}", "α", "proportional", "Δ", "balanced", "Δ");
+    println!(
+        "{:>6} | {:>14} {:>8} | {:>14} {:>8}",
+        "α", "proportional", "Δ", "balanced", "Δ"
+    );
     for alpha in [0.5, 0.3, 0.2, 0.1, 0.05] {
         let (lp_, hp) = proportional_bounds(&sizes, k, alpha);
         let (lb, hb) = balanced_bounds(&sizes, k, alpha);

@@ -10,7 +10,10 @@ use fairhms::prelude::*;
 
 fn main() {
     let table = fairhms::data::realsim::lsac_example();
-    println!("LSAC sample (Table 1 of the paper): {} applicants", table.len());
+    println!(
+        "LSAC sample (Table 1 of the paper): {} applicants",
+        table.len()
+    );
 
     let mut data = table.dataset(&["gender"]).unwrap();
     data.normalize(); // scale-only; preserves every happiness ratio

@@ -20,7 +20,13 @@ fn main() {
         "n", "d", "BiGreedy", "mhr", "BiGreedy+", "mhr"
     );
 
-    for (n, d) in [(1_000usize, 4usize), (5_000, 4), (20_000, 4), (5_000, 6), (5_000, 8)] {
+    for (n, d) in [
+        (1_000usize, 4usize),
+        (5_000, 4),
+        (20_000, 4),
+        (5_000, 6),
+        (5_000, 8),
+    ] {
         let mut rng = StdRng::seed_from_u64(7);
         let data = anti_correlated_dataset(n, d, c, &mut rng);
         let sky = group_skyline_indices(&data);

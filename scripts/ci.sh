@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI for the fairhms workspace. Mirrors .github/workflows/ci.yml so
+# the same gate runs locally and in any runner with a Rust toolchain — the
+# workspace has no network dependencies (rand/criterion/proptest are
+# vendored under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> bench smoke (service engine, tiny sizes)"
+FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
+
+echo "CI OK"

@@ -20,11 +20,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fairhms::core::registry::{
-    Algorithm, BiGreedyAlg, BiGreedyPlusAlg, FGreedyAlg, GDmmAlg, GGreedyAlg, GHsAlg, GSphereAlg,
-    IntCovAlg,
-};
-use fairhms::core::streaming::{streaming_fairhms, StreamingFairHmsConfig};
+use fairhms::core::registry::{self, AlgorithmParams};
 use fairhms::core::types::{FairHmsInstance, Solution};
 use fairhms::data::gen;
 use fairhms::data::skyline::group_skyline_indices;
@@ -48,6 +44,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&opts),
         "stats" => cmd_stats(&opts),
         "solve" => cmd_solve(&opts),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -70,9 +68,19 @@ USAGE:
   fairhms stats --input FILE --dim D
   fairhms solve --input FILE --dim D --k K [--alg NAME] [--alpha A] [--balanced]
                 [--no-skyline] [--seed S]
+  fairhms serve --data NAME=FILE[,NAME=FILE...] [--addr HOST:PORT] [--workers N]
+                [--cache N]
+  fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
+                [--balanced] [--no-skyline] [--seed S] | --file FILE) [--show-stats]
 
 ALGORITHMS (for --alg):
   intcov bigreedy bigreedy+ f-greedy g-greedy g-dmm g-hs g-sphere streaming
+  greedy dmm hs sphere (unfair baselines)
+
+`serve` loads each CSV once (dimensionality sniffed from the first row),
+precomputes group skylines, and answers the line protocol documented in
+README.md; `query` is the matching client (`--file` sends a BATCH of QUERY
+lines through the server's thread pool).
 
 INPUT FORMAT: CSV rows `attr_1,...,attr_D,group_label` (no header).";
 
@@ -85,7 +93,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         match key {
             // boolean flags
-            "balanced" | "no-skyline" => {
+            "balanced" | "no-skyline" | "show-stats" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -103,7 +111,10 @@ fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Stri
         .ok_or_else(|| format!("missing required flag --{key}"))
 }
 
-fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Result<Option<T>, String> {
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
     match opts.get(key) {
         None => Ok(None),
         Some(v) => v
@@ -137,7 +148,11 @@ fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     fairhms::data::csv::write_dataset(&out, &data).map_err(|e| e.to_string())?;
-    println!("wrote {} rows ({kind}, d={d}, C={c}) to {}", n, out.display());
+    println!(
+        "wrote {} rows ({kind}, d={d}, C={c}) to {}",
+        n,
+        out.display()
+    );
     Ok(())
 }
 
@@ -173,14 +188,14 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     let alg_name = opts.get("alg").map(|s| s.as_str()).unwrap_or("bigreedy");
 
     // Skyline restriction (lossless) unless disabled.
-    let (input, row_map): (fairhms::data::Dataset, Vec<usize>) =
-        if opts.contains_key("no-skyline") {
-            let map = (0..data.len()).collect();
-            (data, map)
-        } else {
-            let sky = group_skyline_indices(&data);
-            (data.subset(&sky), sky)
-        };
+    let (input, row_map): (fairhms::data::Dataset, Vec<usize>) = if opts.contains_key("no-skyline")
+    {
+        let map = (0..data.len()).collect();
+        (data, map)
+    } else {
+        let sky = group_skyline_indices(&data);
+        (data.subset(&sky), sky)
+    };
 
     let (lower, upper) = if opts.contains_key("balanced") {
         balanced_bounds(&input.group_sizes(), k, alpha)
@@ -190,34 +205,13 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("bounds: l = {lower:?}, h = {upper:?}");
     let inst = FairHmsInstance::new(input.clone(), k, lower, upper).map_err(|e| e.to_string())?;
 
+    let params = AlgorithmParams {
+        seed,
+        ..AlgorithmParams::default()
+    };
+    let alg = registry::by_name(alg_name, &params).map_err(|e| e.to_string())?;
     let t = Instant::now();
-    let sol: Solution = match alg_name {
-        "intcov" => IntCovAlg.solve(&inst),
-        "bigreedy" => BiGreedyAlg {
-            seed,
-            ..BiGreedyAlg::default()
-        }
-        .solve(&inst),
-        "bigreedy+" => BiGreedyPlusAlg {
-            seed,
-            ..BiGreedyPlusAlg::default()
-        }
-        .solve(&inst),
-        "f-greedy" => FGreedyAlg.solve(&inst),
-        "g-greedy" => GGreedyAlg.solve(&inst),
-        "g-dmm" => GDmmAlg::default().solve(&inst),
-        "g-hs" => GHsAlg::default().solve(&inst),
-        "g-sphere" => GSphereAlg.solve(&inst),
-        "streaming" => streaming_fairhms(
-            &inst,
-            &StreamingFairHmsConfig {
-                seed,
-                ..StreamingFairHmsConfig::default()
-            },
-        ),
-        other => return Err(format!("unknown --alg {other:?}")),
-    }
-    .map_err(|e| e.to_string())?;
+    let sol: Solution = alg.solve(&inst).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
 
     let mhr = if input.dim() == 2 {
@@ -227,9 +221,174 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let err = inst.matroid().violations(&sol.indices);
     println!("algorithm : {alg_name}");
-    println!("rows      : {:?}", sol.indices.iter().map(|&i| row_map[i]).collect::<Vec<_>>());
+    println!(
+        "rows      : {:?}",
+        sol.indices.iter().map(|&i| row_map[i]).collect::<Vec<_>>()
+    );
     println!("mhr       : {mhr:.6}");
     println!("err(S)    : {err}");
     println!("time      : {elapsed:?}");
+    Ok(())
+}
+
+/// `fairhms serve`: load datasets into a catalog and run the TCP front end
+/// in the foreground until a client sends SHUTDOWN (or the process is
+/// killed).
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fairhms::service::{Catalog, QueryEngine, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let specs = req(opts, "data")?;
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:4077".to_string());
+    let workers: usize = num(opts, "workers")?.unwrap_or(4);
+    let cache: usize = num(opts, "cache")?.unwrap_or(1024);
+
+    let catalog = Arc::new(Catalog::new());
+    for spec in specs.split(',').filter(|s| !s.is_empty()) {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--data: expected NAME=FILE, got {spec:?}"))?;
+        let t = Instant::now();
+        let prep = catalog
+            .load_csv(name, &PathBuf::from(path))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "loaded {:<16} n={:<8} d={} groups={} skyline={} ({:?})",
+            prep.name,
+            prep.dataset.len(),
+            prep.dataset.dim(),
+            prep.dataset.num_groups(),
+            prep.skyline_rows.len(),
+            t.elapsed()
+        );
+    }
+    if catalog.is_empty() {
+        return Err("no datasets loaded (use --data NAME=FILE)".into());
+    }
+
+    let engine = Arc::new(QueryEngine::new(catalog, cache));
+    let server =
+        Server::spawn(engine, ServerConfig { addr, workers }).map_err(|e| e.to_string())?;
+    println!(
+        "fairhms-service listening on {} ({} batch workers, cache {} answers)",
+        server.addr(),
+        workers,
+        cache
+    );
+    server.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `fairhms query`: one-shot client for a running `fairhms serve`.
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fairhms::service::protocol;
+    use fairhms::service::Query;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+
+    let addr = req(opts, "addr")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    let read_line = |reader: &mut BufReader<TcpStream>, line: &mut String| {
+        line.clear();
+        reader
+            .read_line(line)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|n| {
+                if n == 0 {
+                    Err("server closed the connection".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+    };
+
+    if let Some(file) = opts.get("file") {
+        // Batch mode: every non-empty, non-comment line is a query.
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let lines: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| {
+                if l.to_ascii_uppercase().starts_with("QUERY") {
+                    l.to_string()
+                } else {
+                    format!("QUERY {l}")
+                }
+            })
+            .collect();
+        writeln!(writer, "BATCH {}", lines.len()).map_err(|e| e.to_string())?;
+        for l in &lines {
+            writeln!(writer, "{l}").map_err(|e| e.to_string())?;
+        }
+        writer.flush().map_err(|e| e.to_string())?;
+        read_line(&mut reader, &mut line)?;
+        if !line.trim().starts_with("OK batch=") {
+            return Err(format!("batch rejected: {}", line.trim()));
+        }
+        let (mut hits, mut errs) = (0usize, 0usize);
+        for l in &lines {
+            read_line(&mut reader, &mut line)?;
+            let resp = line.trim();
+            match protocol::parse_response(resp) {
+                Ok(ans) if ans.cached => hits += 1,
+                Ok(_) => {}
+                Err(_) => errs += 1,
+            }
+            println!("{l}\n  -> {resp}");
+        }
+        println!(
+            "batch: {} queries, {} served from cache, {} errors",
+            lines.len(),
+            hits,
+            errs
+        );
+        // Scripted callers rely on the exit status; a batch with failed
+        // queries must not report success.
+        if errs > 0 {
+            return Err(format!("{errs} of {} batch queries failed", lines.len()));
+        }
+    } else {
+        // Single-query mode mirrors `solve`'s flags.
+        let mut q = Query::new(req(opts, "dataset")?, num(opts, "k")?.ok_or("missing --k")?);
+        if let Some(alg) = opts.get("alg") {
+            q.alg = alg.clone();
+        }
+        if let Some(alpha) = num(opts, "alpha")? {
+            q.alpha = alpha;
+        }
+        if let Some(seed) = num(opts, "seed")? {
+            q.seed = seed;
+        }
+        q.balanced = opts.contains_key("balanced");
+        q.skyline = !opts.contains_key("no-skyline");
+        writeln!(writer, "{}", protocol::query_to_wire(&q)).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        read_line(&mut reader, &mut line)?;
+        let ans = protocol::parse_response(line.trim()).map_err(|e| e.to_string())?;
+        println!("algorithm : {}", ans.alg);
+        println!("rows      : {:?}", ans.indices);
+        match ans.mhr {
+            Some(m) => println!("mhr       : {m:.6}"),
+            None => println!("mhr       : (not evaluated)"),
+        }
+        println!("err(S)    : {}", ans.violations);
+        println!("cached    : {}", ans.cached);
+        println!("time      : {}µs", ans.micros);
+    }
+
+    if opts.contains_key("show-stats") {
+        writeln!(writer, "STATS").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        read_line(&mut reader, &mut line)?;
+        println!("server {}", line.trim());
+    }
     Ok(())
 }

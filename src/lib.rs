@@ -35,6 +35,7 @@
 //! | [`lp`] | two-phase simplex + happiness-ratio LPs |
 //! | [`matroid`] | uniform / partition / group-fairness matroids |
 //! | [`submodular`] | greedy & lazy greedy under matroid constraints |
+//! | [`service`] | resident query engine: catalog, solution cache, batch executor, TCP server |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured reproduction record.
@@ -44,6 +45,7 @@ pub use fairhms_data as data;
 pub use fairhms_geometry as geometry;
 pub use fairhms_lp as lp;
 pub use fairhms_matroid as matroid;
+pub use fairhms_service as service;
 pub use fairhms_submodular as submodular;
 
 /// The most common imports, re-exported flat.
@@ -53,9 +55,12 @@ pub mod prelude {
     pub use fairhms_core::bigreedy::{bigreedy, BiGreedyConfig, BiGreedyMode};
     pub use fairhms_core::eval::{mhr_exact_2d, mhr_exact_lp, NetEvaluator};
     pub use fairhms_core::intcov::intcov;
-    pub use fairhms_core::registry::Algorithm;
+    pub use fairhms_core::registry::{by_name, Algorithm, AlgorithmParams};
     pub use fairhms_core::types::{CoreError, FairHmsInstance, Solution};
     pub use fairhms_data::dataset::{Dataset, Table};
     pub use fairhms_data::skyline::group_skyline_indices;
     pub use fairhms_matroid::{balanced_bounds, proportional_bounds, FairnessMatroid, Matroid};
+    pub use fairhms_service::{
+        BatchExecutor, Catalog, Query, QueryEngine, ServiceError, SolutionCache,
+    };
 }

@@ -23,13 +23,25 @@ fn gen_stats_solve_pipeline() {
     let csv = tmp("cli_data.csv");
     let gen = Command::new(bin())
         .args([
-            "gen", "--out",
+            "gen",
+            "--out",
             csv.to_str().unwrap(),
-            "--n", "300", "--d", "2", "--c", "3", "--seed", "5",
+            "--n",
+            "300",
+            "--d",
+            "2",
+            "--c",
+            "3",
+            "--seed",
+            "5",
         ])
         .output()
         .expect("run gen");
-    assert!(gen.status.success(), "gen: {}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "gen: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     assert!(csv.exists());
 
     let stats = Command::new(bin())
@@ -41,12 +53,25 @@ fn gen_stats_solve_pipeline() {
     assert!(out.contains("n=300"), "stats output: {out}");
     assert!(out.contains("group"), "stats output: {out}");
 
-    for alg in ["intcov", "bigreedy", "bigreedy+", "f-greedy", "g-greedy", "streaming"] {
+    for alg in [
+        "intcov",
+        "bigreedy",
+        "bigreedy+",
+        "f-greedy",
+        "g-greedy",
+        "streaming",
+    ] {
         let solve = Command::new(bin())
             .args([
-                "solve", "--input",
+                "solve",
+                "--input",
                 csv.to_str().unwrap(),
-                "--dim", "2", "--k", "5", "--alg", alg,
+                "--dim",
+                "2",
+                "--k",
+                "5",
+                "--alg",
+                alg,
             ])
             .output()
             .expect("run solve");
@@ -66,17 +91,31 @@ fn solve_balanced_and_no_skyline_flags() {
     let csv = tmp("cli_flags.csv");
     Command::new(bin())
         .args([
-            "gen", "--out",
+            "gen",
+            "--out",
             csv.to_str().unwrap(),
-            "--n", "200", "--d", "3", "--c", "2", "--kind", "uniform",
+            "--n",
+            "200",
+            "--d",
+            "3",
+            "--c",
+            "2",
+            "--kind",
+            "uniform",
         ])
         .output()
         .expect("run gen");
     let solve = Command::new(bin())
         .args([
-            "solve", "--input",
+            "solve",
+            "--input",
             csv.to_str().unwrap(),
-            "--dim", "3", "--k", "4", "--balanced", "--no-skyline",
+            "--dim",
+            "3",
+            "--k",
+            "4",
+            "--balanced",
+            "--no-skyline",
         ])
         .output()
         .expect("run solve");
@@ -87,6 +126,152 @@ fn solve_balanced_and_no_skyline_flags() {
     );
 }
 
+/// Kills the spawned server even when an assertion fails mid-test, so
+/// failing runs don't leave orphaned `fairhms serve` processes behind.
+struct KillOnDrop(Option<std::process::Child>);
+
+impl KillOnDrop {
+    fn child(&mut self) -> &mut std::process::Child {
+        self.0.as_mut().unwrap()
+    }
+
+    /// Hands the child back for a graceful `wait()` at the end of the
+    /// happy path.
+    fn into_inner(mut self) -> std::process::Child {
+        self.0.take().unwrap()
+    }
+}
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let csv = tmp("cli_serve.csv");
+    let gen = Command::new(bin())
+        .args([
+            "gen",
+            "--out",
+            csv.to_str().unwrap(),
+            "--n",
+            "300",
+            "--d",
+            "3",
+            "--c",
+            "3",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("run gen");
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+
+    // Port 0: the server prints the bound address on stdout.
+    let mut server = KillOnDrop(Some(
+        Command::new(bin())
+            .args([
+                "serve",
+                "--data",
+                &format!("anticor={}", csv.display()),
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn serve"),
+    ));
+    let mut server_out = BufReader::new(server.child().stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            server_out.read_line(&mut line).unwrap(),
+            0,
+            "server exited before listening"
+        );
+        if let Some(rest) = line.trim().strip_prefix("fairhms-service listening on ") {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    // Single query through the CLI client.
+    let query = Command::new(bin())
+        .args([
+            "query",
+            "--addr",
+            &addr,
+            "--dataset",
+            "anticor",
+            "--k",
+            "5",
+            "--alg",
+            "bigreedy",
+            "--show-stats",
+        ])
+        .output()
+        .expect("run query");
+    assert!(
+        query.status.success(),
+        "{}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    let out = String::from_utf8_lossy(&query.stdout);
+    assert!(out.contains("cached    : false"), "{out}");
+    assert!(out.contains("err(S)    : 0"), "{out}");
+
+    // Batch file: the same query twice plus a second algorithm → the
+    // repeat must be served from cache.
+    let batch = tmp("cli_batch.txt");
+    std::fs::write(
+        &batch,
+        "# comment lines are skipped\n\
+         dataset=anticor k=5 alg=bigreedy\n\
+         dataset=anticor k=5 alg=bigreedy\n\
+         QUERY dataset=anticor k=4 alg=f-greedy\n",
+    )
+    .unwrap();
+    let query = Command::new(bin())
+        .args(["query", "--addr", &addr, "--file", batch.to_str().unwrap()])
+        .output()
+        .expect("run batch query");
+    assert!(
+        query.status.success(),
+        "{}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    let out = String::from_utf8_lossy(&query.stdout);
+    assert!(
+        out.contains("batch: 3 queries, 1 served from cache, 0 errors")
+            || out.contains("batch: 3 queries, 2 served from cache, 0 errors"),
+        "{out}"
+    );
+
+    // Shut the server down over the wire and wait for clean exit.
+    let mut ctl = std::net::TcpStream::connect(&addr).unwrap();
+    writeln!(ctl, "SHUTDOWN").unwrap();
+    let mut bye = String::new();
+    BufReader::new(ctl.try_clone().unwrap())
+        .read_line(&mut bye)
+        .unwrap();
+    assert_eq!(bye.trim(), "OK bye");
+    drop(ctl);
+    let status = server.into_inner().wait().expect("server wait");
+    assert!(status.success());
+}
+
 #[test]
 fn helpful_errors() {
     let out = Command::new(bin()).output().expect("run bare");
@@ -94,7 +279,15 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 
     let out = Command::new(bin())
-        .args(["solve", "--input", "/nonexistent.csv", "--dim", "2", "--k", "3"])
+        .args([
+            "solve",
+            "--input",
+            "/nonexistent.csv",
+            "--dim",
+            "2",
+            "--k",
+            "3",
+        ])
         .output()
         .expect("run solve");
     assert!(!out.status.success());

@@ -15,7 +15,14 @@ fn random_2d_instance(seed: u64, n: usize, c: usize, k: usize) -> FairHmsInstanc
     let mut rng = StdRng::seed_from_u64(seed);
     let points: Vec<f64> = (0..2 * n).map(|_| rng.gen::<f64>()).collect();
     let groups: Vec<usize> = (0..n).map(|_| rng.gen_range(0..c)).collect();
-    let mut data = Dataset::new("rand", 2, points, groups, (0..c).map(|g| format!("g{g}")).collect()).unwrap();
+    let mut data = Dataset::new(
+        "rand",
+        2,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap();
     data.normalize();
     FairHmsInstance::new(data, k, vec![0; c], vec![k; c]).unwrap()
 }
@@ -74,7 +81,8 @@ fn intcov_matches_brute_force_with_fairness() {
         let c = 2;
         let points: Vec<f64> = (0..2 * n).map(|_| rng.gen::<f64>()).collect();
         let groups: Vec<usize> = (0..n).map(|i| i % c).collect();
-        let mut data = Dataset::new("rand", 2, points, groups, vec!["a".into(), "b".into()]).unwrap();
+        let mut data =
+            Dataset::new("rand", 2, points, groups, vec!["a".into(), "b".into()]).unwrap();
         data.normalize();
         let inst = FairHmsInstance::new(data, 3, vec![1, 1], vec![2, 2]).unwrap();
         let sol = intcov(&inst).unwrap();

@@ -59,7 +59,12 @@ fn scale_invariance_of_mhr() {
     let scaled_points: Vec<f64> = data
         .points_flat()
         .chunks_exact(3)
-        .flat_map(|p| p.iter().zip(&scales).map(|(v, s)| v * s).collect::<Vec<_>>())
+        .flat_map(|p| {
+            p.iter()
+                .zip(&scales)
+                .map(|(v, s)| v * s)
+                .collect::<Vec<_>>()
+        })
         .collect();
     let scaled = fairhms::data::Dataset::new(
         "scaled",
@@ -110,6 +115,9 @@ fn full_pipeline_anticor_6d() {
     assert!(inst.matroid().is_feasible(&sol.indices));
     let exact = mhr_exact_lp(&input, &sol.indices);
     let net_est = sol.mhr.unwrap();
-    assert!(net_est >= exact - 1e-9, "Lemma 4.1: net {net_est} < exact {exact}");
+    assert!(
+        net_est >= exact - 1e-9,
+        "Lemma 4.1: net {net_est} < exact {exact}"
+    );
     assert!(exact > 0.3, "suspiciously poor solution: {exact}");
 }

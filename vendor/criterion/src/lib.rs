@@ -1,0 +1,298 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace must build without network access, so this crate
+//! reimplements the small slice of the criterion 0.5 API the benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical engine it
+//! runs a short warm-up followed by a time-boxed measurement loop and
+//! prints mean wall-clock time per iteration — enough for smoke benches and
+//! for relative before/after comparisons.
+//!
+//! Filters passed on the command line (`cargo bench -- <substring>`) are
+//! honored; unknown `--flags` are ignored for cargo compatibility.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then as many calls as fit in the
+    /// measurement window (at least 5), recording mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= 5 && start.elapsed() >= self.measure_for {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    filter: Option<String>,
+    measure_for: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            measure_for: Duration::from_millis(
+                std::env::var("FAIRHMS_BENCH_MS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(200),
+            ),
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Reads the positional benchmark-name filter from `std::env::args`,
+    /// skipping cargo/libtest flags.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" {
+                continue;
+            }
+            if let Some(flag) = a.strip_prefix("--") {
+                // flags with values: skip the value
+                if matches!(flag, "measurement-time" | "warm-up-time" | "sample-size") {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.settings.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    /// Global sample-size hint (accepted for API compatibility; the
+    /// stand-in is time-boxed instead).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let settings = self.settings.clone();
+        run_one(&settings, &id.id, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput, echoed in the report line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.criterion.settings, &full, self.throughput, f);
+        self
+    }
+
+    /// Benches `f(bencher, input)` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.criterion.settings, &full, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &settings.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+        measure_for: settings.measure_for,
+    };
+    f(&mut bencher);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (bencher.mean_ns * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / (bencher.mean_ns * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} time: {:>12}/iter  [{} iters]{rate}",
+        human(bencher.mean_ns),
+        bencher.iters
+    );
+}
+
+/// Declares a group-runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
