@@ -9,17 +9,22 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use fairhms_core::types::FairHmsInstance;
 use fairhms_data::{gen, Dataset};
-use fairhms_service::{protocol, BatchExecutor, Catalog, Query, QueryEngine};
+use fairhms_matroid::proportional_bounds;
+use fairhms_service::{protocol, BatchExecutor, Catalog, PreparedDataset, Query, QueryEngine};
 
-fn engine(n: usize) -> Arc<QueryEngine> {
+fn bench_dataset(n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(17);
     let d = 3;
     let points = gen::anti_correlated(n, d, &mut rng);
     let groups = gen::groups_by_sum(&points, d, 3);
-    let data = Dataset::new("bench", d, points, groups, vec![]).unwrap();
+    Dataset::new("bench", d, points, groups, vec![]).unwrap()
+}
+
+fn engine(n: usize) -> Arc<QueryEngine> {
     let catalog = Arc::new(Catalog::new());
-    catalog.insert_dataset(data).unwrap();
+    catalog.insert_dataset(bench_dataset(n)).unwrap();
     Arc::new(QueryEngine::new(catalog, 4096))
 }
 
@@ -45,6 +50,50 @@ fn bench_service(c: &mut Criterion) {
             eng.execute(std::hint::black_box(&q)).unwrap()
         })
     });
+
+    // Per-query instance construction exactly as the engine's cold path
+    // performs it: hand the prepared (skyline or full) dataset to
+    // `FairHmsInstance::new`. This isolates the data-handoff cost the
+    // zero-copy refactor targets — before it, `.clone()` deep-copied the
+    // whole point matrix per query; with `Arc<Dataset>` it is a refcount
+    // bump — from the solve itself.
+    for n in [2_000usize, 20_000] {
+        let prep = PreparedDataset::prepare("cold", bench_dataset(n)).unwrap();
+        let k = 10;
+        let (lower, upper) = proportional_bounds(&prep.group_sizes, k, 0.1);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("cold_instance_build_full", n),
+            &prep,
+            |b, prep| {
+                b.iter(|| {
+                    FairHmsInstance::new(
+                        std::hint::black_box(prep.dataset.clone()),
+                        k,
+                        lower.clone(),
+                        upper.clone(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // End-to-end cold solve on the *full* (unrestricted) matrix of a
+    // larger dataset: the per-query copy the refactor removes is biggest
+    // here. Fresh seeds defeat the cache.
+    let big = engine(20_000);
+    let cold_seed = Cell::new(1_000_000u64);
+    group
+        .sample_size(10)
+        .bench_function("cold_solve_full_n20000", |b| {
+            b.iter(|| {
+                let mut q = Query::new("bench", 10);
+                q.skyline = false;
+                q.seed = cold_seed.replace(cold_seed.get() + 1);
+                big.execute(std::hint::black_box(&q)).unwrap()
+            })
+        });
 
     // Batch dispatch overhead at several worker counts (warm cache).
     let queries: Vec<Query> = (0..32)

@@ -91,7 +91,7 @@ fn run_points(
         }
         let inst = proportional_instance(w, *k, 0.1);
         // Black line: unconstrained exact optimum.
-        let unc = FairHmsInstance::unconstrained(w.input.clone(), *k).unwrap();
+        let unc = FairHmsInstance::unconstrained(std::sync::Arc::clone(&w.input), *k).unwrap();
         let opt = intcov(&unc).map(|s| s.mhr.unwrap_or(0.0)).unwrap_or(0.0);
         let results: Vec<RunResult> = algs.iter().map(|a| run(a.as_ref(), &inst)).collect();
         let mut row = vec![label.clone(), format!("{opt:.4}")];

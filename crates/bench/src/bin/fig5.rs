@@ -33,7 +33,7 @@ fn main() {
             }
             let inst = proportional_instance(w, k, 0.1);
             // "Price of fairness" reference: the unconstrained greedy.
-            let unc = FairHmsInstance::unconstrained(w.input.clone(), k).unwrap();
+            let unc = FairHmsInstance::unconstrained(std::sync::Arc::clone(&w.input), k).unwrap();
             let unfair = rdp_greedy(unc.data(), k)
                 .map(|sel| fairhms_bench::harness::evaluate_mhr(unc.data(), &sel))
                 .unwrap_or(0.0);

@@ -1,5 +1,7 @@
 //! Dataset variants used across the paper's figures.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,8 +19,9 @@ pub const SEED: u64 = 1;
 pub struct Workload {
     /// Label as used in the paper's figure captions.
     pub name: String,
-    /// Skyline-union input (what the algorithms actually consume).
-    pub input: Dataset,
+    /// Skyline-union input (what the algorithms actually consume), shared
+    /// so every instance built over a workload reuses one allocation.
+    pub input: Arc<Dataset>,
     /// Size of the original dataset before skyline restriction.
     pub full_n: usize,
 }
@@ -29,7 +32,7 @@ fn prepare(name: &str, mut data: Dataset) -> Workload {
     let sky = group_skyline_indices(&data);
     Workload {
         name: name.to_string(),
-        input: data.subset(&sky),
+        input: Arc::new(data.subset(&sky)),
         full_n,
     }
 }
@@ -82,7 +85,7 @@ pub fn anticor(n: usize, d: usize, c: usize) -> Workload {
 /// on a workload.
 pub fn proportional_instance(w: &Workload, k: usize, alpha: f64) -> FairHmsInstance {
     let (lower, upper) = proportional_bounds(&w.input.group_sizes(), k, alpha);
-    FairHmsInstance::new(w.input.clone(), k, lower, upper)
+    FairHmsInstance::new(Arc::clone(&w.input), k, lower, upper)
         .expect("proportional bounds are repaired to feasibility")
 }
 

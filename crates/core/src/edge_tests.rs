@@ -91,10 +91,10 @@ fn k_equals_n_selects_everything_feasible() {
 
 #[test]
 fn infeasible_bounds_rejected_at_construction() {
-    let ds = duplicated_dataset();
+    let ds = std::sync::Arc::new(duplicated_dataset());
     // lower bound exceeds group size
     assert!(matches!(
-        FairHmsInstance::new(ds.clone(), 5, vec![4, 1], vec![4, 4]).unwrap_err(),
+        FairHmsInstance::new(std::sync::Arc::clone(&ds), 5, vec![4, 1], vec![4, 4]).unwrap_err(),
         CoreError::Bounds(_)
     ));
     // Σ lower > k

@@ -8,7 +8,7 @@
 //! covered prefix and reaches furthest right. Binary search over the
 //! candidate MHR array yields the optimum.
 //!
-//! This module shares no decision logic with [`crate::intcov`]'s dynamic
+//! This module shares no decision logic with [`mod@crate::intcov`]'s dynamic
 //! program (only the geometric primitives), so agreement between the two
 //! is a meaningful end-to-end check — enforced by tests here and in
 //! `tests/exactness.rs`.
@@ -142,10 +142,10 @@ mod tests {
     #[test]
     fn agrees_with_intcov_on_unconstrained_instances() {
         // Independent decision procedures (greedy scan vs DP) must agree.
-        let ds = lsac();
+        let ds = std::sync::Arc::new(lsac());
         for k in 1..=6 {
             let a = exact2d_greedy(&ds, k).unwrap();
-            let inst = FairHmsInstance::unconstrained(ds.clone(), k).unwrap();
+            let inst = FairHmsInstance::unconstrained(std::sync::Arc::clone(&ds), k).unwrap();
             let b = intcov(&inst).unwrap();
             assert!(
                 (a.mhr.unwrap() - b.mhr.unwrap()).abs() < 1e-9,
@@ -165,9 +165,10 @@ mod tests {
             let pts: Vec<f64> = (0..60).map(|_| rng.gen::<f64>()).collect();
             let mut ds = Dataset::ungrouped("r", 2, pts).unwrap();
             ds.normalize();
+            let ds = std::sync::Arc::new(ds);
             let k = 2 + (seed as usize % 3);
             let a = exact2d_greedy(&ds, k).unwrap();
-            let inst = FairHmsInstance::unconstrained(ds.clone(), k).unwrap();
+            let inst = FairHmsInstance::unconstrained(std::sync::Arc::clone(&ds), k).unwrap();
             let b = intcov(&inst).unwrap();
             assert!(
                 (a.mhr.unwrap() - b.mhr.unwrap()).abs() < 1e-9,

@@ -15,6 +15,8 @@
 //! explicit stack — the recurrence and visit set are identical — and keep
 //! parent pointers for solution reconstruction.
 
+use std::sync::Arc;
+
 use fairhms_data::Dataset;
 use fairhms_geometry::envelope::Envelope;
 use fairhms_geometry::line::Line;
@@ -75,9 +77,11 @@ pub fn intcov(inst: &FairHmsInstance) -> Result<Solution, CoreError> {
 ///
 /// Runs the fair interval-cover DP once — its layers enumerate solution
 /// sizes in increasing order, so the first cover found is minimum-size —
-/// then pads up to the lower bounds. 2D only.
+/// then pads up to the lower bounds. 2D only. Takes a shared dataset
+/// handle (e.g. [`FairHmsInstance::shared_data`]); the internal budget
+/// instance shares it instead of copying the matrix.
 pub fn intcov_min_size(
-    data: &fairhms_data::Dataset,
+    data: Arc<fairhms_data::Dataset>,
     lower: Vec<usize>,
     upper: Vec<usize>,
     max_k: usize,
@@ -87,7 +91,8 @@ pub fn intcov_min_size(
         return Err(CoreError::Not2D { dim: data.dim() });
     }
     // max_k bounds the DP budget; the returned set may be smaller.
-    let inst = FairHmsInstance::new(data.clone(), max_k, lower, upper)?;
+    let inst = FairHmsInstance::new(Arc::clone(&data), max_k, lower, upper)?;
+    let data = inst.data();
     let lines: Vec<Line> = (0..data.len())
         .map(|i| Line::from_point(data.point(i)))
         .collect();
@@ -371,9 +376,8 @@ mod tests {
         let inst = lsac_instance(3, Some((1, 2)));
         let primal = intcov(&inst).unwrap();
         let alpha = primal.mhr.unwrap();
-        let ds = inst.data();
         let dual = intcov_min_size(
-            ds,
+            inst.shared_data(),
             inst.matroid().lower().to_vec(),
             inst.matroid().upper().to_vec(),
             3,
@@ -388,9 +392,9 @@ mod tests {
     #[test]
     fn min_size_dual_reports_infeasible_targets() {
         let inst = lsac_instance(2, Some((1, 1)));
-        let ds = inst.data();
+        let ds = inst.shared_data();
         // α above the k=2 fair optimum (0.9834) but with max_k = 2: no cover.
-        let none = intcov_min_size(ds, vec![1, 1], vec![1, 1], 2, 0.999).unwrap();
+        let none = intcov_min_size(Arc::clone(&ds), vec![1, 1], vec![1, 1], 2, 0.999).unwrap();
         assert!(none.is_none());
         // trivial α: a single point plus lower-bound padding suffices
         let some = intcov_min_size(ds, vec![1, 1], vec![2, 2], 4, 0.1)
@@ -403,10 +407,10 @@ mod tests {
     #[test]
     fn min_size_dual_monotone_in_alpha() {
         let inst = lsac_instance(4, Some((1, 3)));
-        let ds = inst.data();
+        let ds = inst.shared_data();
         let mut prev = 0usize;
         for alpha in [0.5, 0.9, 0.98, 0.9833] {
-            let sol = intcov_min_size(ds, vec![1, 1], vec![4, 4], 5, alpha)
+            let sol = intcov_min_size(Arc::clone(&ds), vec![1, 1], vec![4, 4], 5, alpha)
                 .unwrap()
                 .unwrap_or_else(|| panic!("α = {alpha} should be feasible"));
             assert!(sol.len() >= prev, "α = {alpha}: size decreased");

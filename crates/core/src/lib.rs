@@ -23,8 +23,12 @@
 //!   experiment harness.
 //!
 //! The entry type is [`FairHmsInstance`]: a normalized grouped dataset plus
-//! the solution size `k` and per-group bounds. See the crate-level examples
-//! in the repository's `examples/` directory for end-to-end usage.
+//! the solution size `k` and per-group bounds. Instances hold their
+//! dataset behind an `Arc`, so building many instances over one prepared
+//! dataset (the serving catalog's pattern) shares a single allocation —
+//! construction never copies the point matrix. See the crate-level
+//! examples in the repository's `examples/` directory for end-to-end
+//! usage.
 
 pub mod adapt;
 pub mod adaptive;

@@ -1,5 +1,7 @@
 //! Problem instance and solution types.
 
+use std::sync::Arc;
+
 use fairhms_data::Dataset;
 use fairhms_matroid::{FairnessError, FairnessMatroid};
 
@@ -79,21 +81,48 @@ impl From<FairnessError> for CoreError {
 /// [`fairhms_data::skyline::group_skyline_indices`]); the restriction is
 /// lossless because the global skyline — which realizes every utility's
 /// maximum — is contained in that union.
+///
+/// The instance holds its dataset behind an [`Arc`], so constructing an
+/// instance from already-shared data (a serving catalog, a bench workload)
+/// never copies the point matrix: concurrent solves against the same
+/// prepared dataset all read one allocation. Cloning an instance is cheap
+/// for the same reason.
 #[derive(Debug, Clone)]
 pub struct FairHmsInstance {
-    data: Dataset,
+    data: Arc<Dataset>,
     k: usize,
     matroid: FairnessMatroid,
 }
 
 impl FairHmsInstance {
     /// Builds an instance, validating `k` and the bounds.
+    ///
+    /// Accepts either an owned [`Dataset`] (moved into a fresh `Arc`; no
+    /// matrix copy) or an `Arc<Dataset>` handle, which is shared
+    /// zero-copy:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use fairhms_core::types::FairHmsInstance;
+    /// use fairhms_data::Dataset;
+    ///
+    /// let points = vec![1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3];
+    /// let data = Arc::new(Dataset::new("toy", 2, points, vec![0, 1, 0, 1], vec![]).unwrap());
+    ///
+    /// // Two concurrent instances over the same prepared data: both hold
+    /// // the *same* allocation — no per-instance matrix copy.
+    /// let a = FairHmsInstance::new(Arc::clone(&data), 2, vec![1, 1], vec![1, 1]).unwrap();
+    /// let b = FairHmsInstance::unconstrained(Arc::clone(&data), 3).unwrap();
+    /// assert!(std::ptr::eq(a.data(), &*data));
+    /// assert!(std::ptr::eq(b.data(), &*data));
+    /// ```
     pub fn new(
-        data: Dataset,
+        data: impl Into<Arc<Dataset>>,
         k: usize,
         lower: Vec<usize>,
         upper: Vec<usize>,
     ) -> Result<Self, CoreError> {
+        let data = data.into();
         if data.is_empty() {
             return Err(CoreError::EmptyDataset);
         }
@@ -103,12 +132,17 @@ impl FairHmsInstance {
         if k > data.len() {
             return Err(CoreError::KTooLarge { k, n: data.len() });
         }
-        let matroid = FairnessMatroid::new(data.groups().to_vec(), lower, upper, k)?;
+        // The matroid shares the dataset's label allocation — together
+        // with the `Arc<Dataset>` above, construction allocates nothing
+        // proportional to the data; the only remaining O(n) work is the
+        // matroid's bounds-validation scan over the labels.
+        let matroid = FairnessMatroid::new(data.shared_groups(), lower, upper, k)?;
         Ok(Self { data, k, matroid })
     }
 
     /// An unconstrained (vanilla HMS) instance: bounds `0 ≤ |S ∩ D_c| ≤ k`.
-    pub fn unconstrained(data: Dataset, k: usize) -> Result<Self, CoreError> {
+    pub fn unconstrained(data: impl Into<Arc<Dataset>>, k: usize) -> Result<Self, CoreError> {
+        let data = data.into();
         let c = data.num_groups();
         Self::new(data, k, vec![0; c], vec![k; c])
     }
@@ -116,6 +150,12 @@ impl FairHmsInstance {
     /// The dataset.
     pub fn data(&self) -> &Dataset {
         &self.data
+    }
+
+    /// A shared handle to the dataset (a refcount bump, never a copy) —
+    /// for building derived instances over the same data.
+    pub fn shared_data(&self) -> Arc<Dataset> {
+        Arc::clone(&self.data)
     }
 
     /// Solution size `k`.
@@ -245,14 +285,14 @@ mod tests {
 
     #[test]
     fn instance_validation() {
-        let d = four_points();
-        assert!(FairHmsInstance::new(d.clone(), 2, vec![1, 1], vec![1, 1]).is_ok());
+        let d = Arc::new(four_points());
+        assert!(FairHmsInstance::new(Arc::clone(&d), 2, vec![1, 1], vec![1, 1]).is_ok());
         assert_eq!(
-            FairHmsInstance::new(d.clone(), 0, vec![0, 0], vec![1, 1]).unwrap_err(),
+            FairHmsInstance::new(Arc::clone(&d), 0, vec![0, 0], vec![1, 1]).unwrap_err(),
             CoreError::KZero
         );
         assert_eq!(
-            FairHmsInstance::new(d.clone(), 9, vec![0, 0], vec![9, 9]).unwrap_err(),
+            FairHmsInstance::new(Arc::clone(&d), 9, vec![0, 0], vec![9, 9]).unwrap_err(),
             CoreError::KTooLarge { k: 9, n: 4 }
         );
         assert!(matches!(
@@ -278,6 +318,20 @@ mod tests {
         // from empty
         let sel2 = inst.complete_to_feasible(&[]).unwrap();
         assert!(inst.matroid().is_feasible(&sel2));
+    }
+
+    #[test]
+    fn instances_share_the_dataset_allocation() {
+        let d = Arc::new(four_points());
+        let before = fairhms_data::deep_clone_count();
+        let a = FairHmsInstance::new(Arc::clone(&d), 2, vec![1, 1], vec![1, 1]).unwrap();
+        let b = a.clone();
+        // Construction and instance cloning are refcount bumps on the one
+        // allocation — never point-matrix copies.
+        assert!(std::ptr::eq(a.data(), &*d));
+        assert!(std::ptr::eq(b.data(), &*d));
+        assert!(Arc::ptr_eq(&a.shared_data(), &d));
+        assert_eq!(fairhms_data::deep_clone_count(), before);
     }
 
     #[test]

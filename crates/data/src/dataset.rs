@@ -1,6 +1,25 @@
 //! The [`Dataset`] type and the multi-grouping [`Table`] wrapper.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of [`Dataset`] deep copies (`Clone::clone` calls).
+///
+/// The serving stack shares prepared datasets through `Arc<Dataset>`, so a
+/// query must never deep-copy the point matrix; this counter is the probe
+/// the zero-copy regression tests assert on. Derived datasets built by
+/// [`Dataset::subset`] / [`Dataset::project`] are *not* counted — they are
+/// new (usually smaller) datasets, not copies of an existing one.
+static DEEP_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`Dataset`] deep copies performed by this process so far.
+///
+/// Monotone; sample it before and after a code path to assert the path
+/// performed no full-matrix copies.
+pub fn deep_clone_count() -> usize {
+    DEEP_CLONES.load(Ordering::SeqCst)
+}
 
 /// Errors raised by dataset construction and manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,14 +68,35 @@ impl std::error::Error for DatasetError {}
 /// group index of row `i` (in `0..num_groups`). All FairHMS algorithms
 /// consume this type after [`Dataset::normalize`] (scale-only) and usually
 /// after restriction to the union of per-group skylines.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dataset {
     name: String,
     dim: usize,
     points: Vec<f64>,
-    groups: Vec<usize>,
+    /// Shared so consumers needing owned group labels (e.g. the fairness
+    /// matroid) can hold a refcounted handle instead of an `O(n)` copy.
+    groups: Arc<[usize]>,
     num_groups: usize,
     group_names: Vec<String>,
+}
+
+/// Deep copy of the full point matrix (group labels stay shared).
+///
+/// Counted by [`deep_clone_count`] so tests can assert hot paths share
+/// datasets (via `Arc<Dataset>`) instead of copying them. Prefer
+/// `Arc::clone` on an already-shared dataset wherever possible.
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        DEEP_CLONES.fetch_add(1, Ordering::SeqCst);
+        Self {
+            name: self.name.clone(),
+            dim: self.dim,
+            points: self.points.clone(),
+            groups: Arc::clone(&self.groups),
+            num_groups: self.num_groups,
+            group_names: self.group_names.clone(),
+        }
+    }
 }
 
 impl Dataset {
@@ -104,7 +144,7 @@ impl Dataset {
             name: name.into(),
             dim,
             points,
-            groups,
+            groups: groups.into(),
             num_groups,
             group_names,
         })
@@ -172,10 +212,17 @@ impl Dataset {
         &self.groups
     }
 
+    /// A shared handle to the group labels (a refcount bump, never a
+    /// copy) — for consumers that must own the labels, like the fairness
+    /// matroid built per instance.
+    pub fn shared_groups(&self) -> Arc<[usize]> {
+        Arc::clone(&self.groups)
+    }
+
     /// `|D_c|` for every group `c`.
     pub fn group_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.num_groups];
-        for &g in &self.groups {
+        for &g in self.groups.iter() {
             sizes[g] += 1;
         }
         sizes
@@ -222,7 +269,7 @@ impl Dataset {
             name: self.name.clone(),
             dim: self.dim,
             points,
-            groups,
+            groups: groups.into(),
             num_groups: self.num_groups,
             group_names: self.group_names.clone(),
         }
@@ -239,7 +286,8 @@ impl Dataset {
             name: self.name.clone(),
             dim: dim_keep,
             points,
-            groups: self.groups.clone(),
+            // same rows, same labels: share the allocation
+            groups: Arc::clone(&self.groups),
             num_groups: self.num_groups,
             group_names: self.group_names.clone(),
         }
@@ -334,6 +382,21 @@ mod tests {
         assert_eq!(d.point(1), &[0.0, 4.0]);
         assert_eq!(d.group_sizes(), vec![2, 1]);
         assert_eq!(d.group_indices(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn clone_moves_the_deep_clone_probe() {
+        let d = tiny();
+        let before = deep_clone_count();
+        let copy = d.clone();
+        assert_eq!(copy.points_flat(), d.points_flat());
+        // Monotone global counter: our clone adds at least one.
+        assert!(deep_clone_count() > before);
+        // Derivations are new datasets, not copies — not counted.
+        let mid = deep_clone_count();
+        let _sub = d.subset(&[0, 1]);
+        let _proj = d.project(1);
+        assert_eq!(deep_clone_count(), mid);
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod realsim;
 pub mod skyline;
 pub mod stats;
 
-pub use dataset::{Dataset, DatasetError, Table};
+pub use dataset::{deep_clone_count, Dataset, DatasetError, Table};

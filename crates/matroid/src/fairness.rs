@@ -7,6 +7,8 @@
 //! measures how many "free" picks remain after reserving room for every
 //! group's unmet lower bound.
 
+use std::sync::Arc;
+
 use crate::Matroid;
 
 /// Validation failures for fairness bounds.
@@ -56,20 +58,27 @@ impl std::error::Error for FairnessError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct FairnessMatroid {
-    groups: Vec<usize>,
+    /// Shared group labels: instances built over an `Arc`-held dataset
+    /// hand the matroid the same allocation (see
+    /// `Dataset::shared_groups` in `fairhms-data`) instead of an `O(n)`
+    /// copy per solve.
+    groups: Arc<[usize]>,
     lower: Vec<usize>,
     upper: Vec<usize>,
     k: usize,
 }
 
 impl FairnessMatroid {
-    /// Builds and validates the matroid. `groups[i]` is element `i`'s group.
+    /// Builds and validates the matroid. `groups[i]` is element `i`'s
+    /// group; pass either an owned `Vec<usize>` or a shared `Arc<[usize]>`
+    /// handle (no copy).
     pub fn new(
-        groups: Vec<usize>,
+        groups: impl Into<Arc<[usize]>>,
         lower: Vec<usize>,
         upper: Vec<usize>,
         k: usize,
     ) -> Result<Self, FairnessError> {
+        let groups = groups.into();
         if lower.len() != upper.len() {
             return Err(FairnessError::ShapeMismatch);
         }
@@ -86,7 +95,7 @@ impl FairnessMatroid {
             return Err(FairnessError::LowerExceedsK);
         }
         let mut sizes = vec![0usize; c];
-        for &g in &groups {
+        for &g in groups.iter() {
             sizes[g] += 1;
         }
         // lower bounds must be attainable within each group as well
@@ -367,10 +376,13 @@ mod tests {
         assert_eq!(l, vec![5, 3]);
         assert_eq!(h, vec![7, 5]);
         // bounds always admit a feasible solution
-        assert!(
-            FairnessMatroid::new((0..100).map(|i| usize::from(i >= 60)).collect(), l, h, 10)
-                .is_ok()
-        );
+        assert!(FairnessMatroid::new(
+            (0..100).map(|i| usize::from(i >= 60)).collect::<Vec<_>>(),
+            l,
+            h,
+            10
+        )
+        .is_ok());
     }
 
     #[test]

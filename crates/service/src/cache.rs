@@ -1,7 +1,7 @@
 //! Sharded LRU cache of solved queries.
 //!
 //! Keys are [`Query::fingerprint`](crate::Query::fingerprint) values;
-//! values are shared [`Answer`](crate::Answer)s. The map is split into
+//! values are shared [`Answer`]s. The map is split into
 //! shards, each behind its own mutex, so concurrent workers hitting
 //! different fingerprints do not serialize on one lock; recency is tracked
 //! per shard with an ordered tick index, making eviction `O(log n)`.

@@ -19,18 +19,24 @@ use fairhms_data::Dataset;
 use crate::ServiceError;
 
 /// A dataset plus everything the engine precomputes for it.
+///
+/// Both dataset forms are held behind [`Arc`] so the engine hands the
+/// *same* allocation to every concurrent solve: a cold query costs an
+/// `Arc` refcount bump, never a point-matrix copy
+/// (`fairhms_core::types::FairHmsInstance` shares the handle).
 #[derive(Debug)]
 pub struct PreparedDataset {
     /// Catalog key.
     pub name: String,
-    /// The full dataset, scale-normalized.
-    pub dataset: Dataset,
+    /// The full dataset, scale-normalized — shared, never copied, by
+    /// `skyline=false` solves.
+    pub dataset: Arc<Dataset>,
     /// Union of per-group skyline rows (indices into `dataset`), the
     /// lossless restriction every algorithm runs on by default.
     pub skyline_rows: Vec<usize>,
     /// `dataset` restricted to `skyline_rows` (row `i` here is row
-    /// `skyline_rows[i]` of `dataset`).
-    pub skyline_data: Dataset,
+    /// `skyline_rows[i]` of `dataset`) — shared by default-path solves.
+    pub skyline_data: Arc<Dataset>,
     /// Per-group row counts of the full dataset.
     pub group_sizes: Vec<usize>,
     /// Per-group row counts of `skyline_data` — the form bounds are
@@ -55,12 +61,12 @@ impl PreparedDataset {
         let t = Instant::now();
         data.normalize();
         let skyline_rows = group_skyline_indices(&data);
-        let skyline_data = data.subset(&skyline_rows);
+        let skyline_data = Arc::new(data.subset(&skyline_rows));
         let group_sizes = data.group_sizes();
         let skyline_group_sizes = skyline_data.group_sizes();
         Ok(Self {
             name: name.into(),
-            dataset: data,
+            dataset: Arc::new(data),
             skyline_rows,
             skyline_data,
             group_sizes,

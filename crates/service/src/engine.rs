@@ -170,22 +170,27 @@ impl QueryEngine {
         q: &Query,
         prep: &crate::catalog::PreparedDataset,
     ) -> Result<Answer, ServiceError> {
-        let (input, group_sizes, row_map): (&fairhms_data::Dataset, &[usize], Option<&[usize]>) =
-            if q.skyline {
-                (
-                    &prep.skyline_data,
-                    &prep.skyline_group_sizes,
-                    Some(&prep.skyline_rows),
-                )
-            } else {
-                (&prep.dataset, &prep.group_sizes, None)
-            };
+        let (input, group_sizes, row_map): (
+            &Arc<fairhms_data::Dataset>,
+            &[usize],
+            Option<&[usize]>,
+        ) = if q.skyline {
+            (
+                &prep.skyline_data,
+                &prep.skyline_group_sizes,
+                Some(&prep.skyline_rows),
+            )
+        } else {
+            (&prep.dataset, &prep.group_sizes, None)
+        };
         let (lower, upper) = if q.balanced {
             balanced_bounds(group_sizes, q.k, q.alpha)
         } else {
             proportional_bounds(group_sizes, q.k, q.alpha)
         };
-        let inst = FairHmsInstance::new(input.clone(), q.k, lower, upper)?;
+        // Zero-copy hand-off: the instance shares the catalog's prepared
+        // allocation; concurrent solves against one dataset all read it.
+        let inst = FairHmsInstance::new(Arc::clone(input), q.k, lower, upper)?;
         let params = AlgorithmParams {
             seed: q.seed,
             ..AlgorithmParams::default()

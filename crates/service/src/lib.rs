@@ -39,6 +39,8 @@
 //! assert_eq!(cold.answer.indices, warm.answer.indices);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod catalog;
 pub mod engine;

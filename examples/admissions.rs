@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example admissions`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fairhms::core::adapt::f_greedy;
@@ -33,15 +34,15 @@ fn main() {
 
     // Lossless restriction to the union of per-group skylines.
     let sky = group_skyline_indices(&data);
-    let input = data.subset(&sky);
+    let input = Arc::new(data.subset(&sky)); // shared by both instances below
     println!("per-group skyline union: {} points", input.len());
 
     let (lower, upper) = proportional_bounds(&input.group_sizes(), k, alpha);
     println!("proportional bounds (α = {alpha}): l = {lower:?}, h = {upper:?}");
-    let inst = FairHmsInstance::new(input.clone(), k, lower, upper).unwrap();
+    let inst = FairHmsInstance::new(Arc::clone(&input), k, lower, upper).unwrap();
 
     // Unconstrained optimum for the price-of-fairness reference.
-    let unconstrained = FairHmsInstance::unconstrained(input.clone(), k).unwrap();
+    let unconstrained = FairHmsInstance::unconstrained(Arc::clone(&input), k).unwrap();
     let t = Instant::now();
     let opt_unfair = intcov(&unconstrained).unwrap();
     println!(

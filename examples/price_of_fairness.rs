@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example price_of_fairness`
 
+use std::sync::Arc;
+
 use fairhms::prelude::*;
 
 fn main() {
@@ -11,7 +13,7 @@ fn main() {
     let mut data = fairhms::data::realsim::adult(1).dataset(&["race"]).unwrap();
     data.normalize();
     let sky = group_skyline_indices(&data);
-    let input = data.subset(&sky);
+    let input = Arc::new(data.subset(&sky)); // one allocation, many instances
     println!(
         "Adult (simulated) by race: n = {}, skyline union = {}, C = {}",
         data.len(),
@@ -22,7 +24,7 @@ fn main() {
     println!("group sizes on the skyline union: {sizes:?}\n");
 
     // Unconstrained reference.
-    let unconstrained = FairHmsInstance::unconstrained(input.clone(), k).unwrap();
+    let unconstrained = FairHmsInstance::unconstrained(Arc::clone(&input), k).unwrap();
     let reference = bigreedy(
         &unconstrained,
         &BiGreedyConfig::paper_default(k, input.dim()),
@@ -38,13 +40,13 @@ fn main() {
     for alpha in [0.5, 0.3, 0.2, 0.1, 0.05] {
         let (lp_, hp) = proportional_bounds(&sizes, k, alpha);
         let (lb, hb) = balanced_bounds(&sizes, k, alpha);
-        let prop = FairHmsInstance::new(input.clone(), k, lp_, hp)
+        let prop = FairHmsInstance::new(Arc::clone(&input), k, lp_, hp)
             .map(|inst| {
                 let sol = bigreedy(&inst, &BiGreedyConfig::paper_default(k, input.dim())).unwrap();
                 mhr_exact_lp(&input, &sol.indices)
             })
             .ok();
-        let bal = FairHmsInstance::new(input.clone(), k, lb, hb)
+        let bal = FairHmsInstance::new(Arc::clone(&input), k, lb, hb)
             .map(|inst| {
                 let sol = bigreedy(&inst, &BiGreedyConfig::paper_default(k, input.dim())).unwrap();
                 mhr_exact_lp(&input, &sol.indices)

@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::sync::Arc;
+
 use fairhms::prelude::*;
 
 fn main() {
@@ -17,6 +19,7 @@ fn main() {
 
     let mut data = table.dataset(&["gender"]).unwrap();
     data.normalize(); // scale-only; preserves every happiness ratio
+    let data = Arc::new(data); // instances below share it, no copies
 
     let names = ["a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"];
     let describe = |data: &Dataset, sol: &Solution| -> String {
@@ -34,7 +37,7 @@ fn main() {
     };
 
     // Vanilla HMS: k = 2, no constraints.
-    let unconstrained = FairHmsInstance::unconstrained(data.clone(), 2).unwrap();
+    let unconstrained = FairHmsInstance::unconstrained(Arc::clone(&data), 2).unwrap();
     let hms = intcov(&unconstrained).unwrap();
     println!(
         "\nHMS (k = 2, unconstrained) : {{{}}}  mhr = {:.4}",
@@ -43,7 +46,7 @@ fn main() {
     );
 
     // FairHMS: exactly one applicant per gender.
-    let fair = FairHmsInstance::new(data.clone(), 2, vec![1, 1], vec![1, 1]).unwrap();
+    let fair = FairHmsInstance::new(Arc::clone(&data), 2, vec![1, 1], vec![1, 1]).unwrap();
     let fairhms = intcov(&fair).unwrap();
     println!(
         "FairHMS (one per gender)   : {{{}}}  mhr = {:.4}",

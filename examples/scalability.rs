@@ -30,9 +30,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(7);
         let data = anti_correlated_dataset(n, d, c, &mut rng);
         let sky = group_skyline_indices(&data);
-        let input = data.subset(&sky);
+        let input = std::sync::Arc::new(data.subset(&sky));
         let (lower, upper) = proportional_bounds(&input.group_sizes(), k, 0.1);
-        let inst = FairHmsInstance::new(input.clone(), k, lower, upper).unwrap();
+        let inst = FairHmsInstance::new(std::sync::Arc::clone(&input), k, lower, upper).unwrap();
         // One shared evaluation net so the quality columns are comparable
         // (each algorithm's own estimate lives on a different-sized net).
         let eval = NetEvaluator::new(&input, random_net(d, 2_000, &mut rng));

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example streaming`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -19,7 +20,7 @@ fn main() {
     let k = 12;
     let d = 5;
     let mut rng = StdRng::seed_from_u64(3);
-    let data = anti_correlated_dataset(50_000, d, 4, &mut rng);
+    let data = Arc::new(anti_correlated_dataset(50_000, d, 4, &mut rng));
     println!(
         "anti-correlated stream: n = {}, d = {d}, C = {}",
         data.len(),
@@ -28,7 +29,7 @@ fn main() {
 
     // Streaming mode consumes the RAW dataset — no skyline buffer needed.
     let (lower, upper) = proportional_bounds(&data.group_sizes(), k, 0.1);
-    let inst = FairHmsInstance::new(data.clone(), k, lower.clone(), upper.clone()).unwrap();
+    let inst = FairHmsInstance::new(Arc::clone(&data), k, lower.clone(), upper.clone()).unwrap();
     let eval = NetEvaluator::new(&data, random_net(d, 2_000, &mut rng));
 
     let t = Instant::now();
@@ -44,8 +45,8 @@ fn main() {
     // The bounds stay those of the *raw* population — representation
     // targets are about the original data, not the skyline sample.
     let sky = group_skyline_indices(&data);
-    let input = data.subset(&sky);
-    let off_inst = FairHmsInstance::new(input.clone(), k, lower, upper).unwrap();
+    let input = Arc::new(data.subset(&sky));
+    let off_inst = FairHmsInstance::new(Arc::clone(&input), k, lower, upper).unwrap();
     let t = Instant::now();
     let offline = bigreedy(&off_inst, &BiGreedyConfig::paper_default(k, d)).unwrap();
     let t_off = t.elapsed();

@@ -203,7 +203,11 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         proportional_bounds(&input.group_sizes(), k, alpha)
     };
     println!("bounds: l = {lower:?}, h = {upper:?}");
-    let inst = FairHmsInstance::new(input.clone(), k, lower, upper).map_err(|e| e.to_string())?;
+    // Move the dataset into a shared handle; the instance and the
+    // evaluation below read the same allocation (no matrix copy).
+    let input = std::sync::Arc::new(input);
+    let inst = FairHmsInstance::new(std::sync::Arc::clone(&input), k, lower, upper)
+        .map_err(|e| e.to_string())?;
 
     let params = AlgorithmParams {
         seed,

@@ -106,10 +106,10 @@ fn full_pipeline_anticor_6d() {
     use fairhms::core::bigreedy::{bigreedy, BiGreedyConfig};
     let mut rng = StdRng::seed_from_u64(15);
     let data = anti_correlated_dataset(800, 6, 4, &mut rng);
-    let input = data.subset(&group_skyline_indices(&data));
+    let input = std::sync::Arc::new(data.subset(&group_skyline_indices(&data)));
     let k = 12;
     let (l, h) = proportional_bounds(&input.group_sizes(), k, 0.1);
-    let inst = FairHmsInstance::new(input.clone(), k, l, h).unwrap();
+    let inst = FairHmsInstance::new(std::sync::Arc::clone(&input), k, l, h).unwrap();
     let sol = bigreedy(&inst, &BiGreedyConfig::paper_default(k, 6)).unwrap();
     assert_eq!(sol.len(), k);
     assert!(inst.matroid().is_feasible(&sol.indices));

@@ -107,7 +107,8 @@ proptest! {
         let groups: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let mut data = Dataset::new("prop", 2, flat, groups, vec!["a".into(), "b".into()]).unwrap();
         data.normalize();
-        let unc = FairHmsInstance::unconstrained(data.clone(), 2).unwrap();
+        let data = std::sync::Arc::new(data);
+        let unc = FairHmsInstance::unconstrained(std::sync::Arc::clone(&data), 2).unwrap();
         let fair = FairHmsInstance::new(data, 2, vec![1, 1], vec![1, 1]).unwrap();
         let u = intcov(&unc).unwrap().mhr.unwrap();
         let f = intcov(&fair).unwrap().mhr.unwrap();
