@@ -1,0 +1,73 @@
+//! Sharded-preparation benchmarks: full catalog prep (normalize +
+//! group-skyline + merge) at 1/2/4/8 shards for n = 20 000 / 100 000,
+//! plus a cold-solve check showing solve latency is shard-count-
+//! independent (sharding only moves *preparation* work onto threads; the
+//! merged candidate set is bit-identical).
+//!
+//! Numbers feed the "Sharded preparation & merge" table in
+//! docs/ARCHITECTURE.md. Speedups require real cores: on a 1-CPU
+//! container the shard passes serialize and the bench degenerates to a
+//! (useful) overhead measurement.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::{gen, Dataset};
+use fairhms_service::{Catalog, CatalogConfig, PreparedDataset, Query, QueryEngine};
+
+fn bench_dataset(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(23);
+    let d = 3;
+    let points = gen::uniform(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, 4);
+    Dataset::new("shardbench", d, points, groups, vec![]).unwrap()
+}
+
+fn bench_shard_prep(c: &mut Criterion) {
+    for n in [20_000usize, 100_000] {
+        let data = bench_dataset(n);
+        let mut group = c.benchmark_group(format!("shard_prep_n{n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = CatalogConfig::with_shards(shards);
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &cfg, |b, cfg| {
+                // `prepare_with` consumes its dataset; the per-iteration
+                // clone is an O(nd) memcpy charged identically to every
+                // shard count, so relative numbers stay comparable.
+                b.iter(|| {
+                    PreparedDataset::prepare_with("p", std::hint::black_box(&data).clone(), cfg)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // Cold solves against a 1-shard and an 8-shard catalog: latencies
+    // must match (same merged candidate set) — this is the "sharding is
+    // invisible to queries" half of the story.
+    let mut group = c.benchmark_group("shard_cold_solve_n20000");
+    group.sample_size(10);
+    for shards in [1usize, 8] {
+        let catalog = Arc::new(Catalog::with_config(CatalogConfig::with_shards(shards)));
+        catalog.insert_dataset(bench_dataset(20_000)).unwrap();
+        let eng = QueryEngine::new(catalog, 4096);
+        let seed = Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &eng, |b, eng| {
+            b.iter(|| {
+                let mut q = Query::new("shardbench", 8);
+                q.seed = seed.replace(seed.get() + 1);
+                eng.execute(std::hint::black_box(&q)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_prep);
+criterion_main!(benches);

@@ -237,6 +237,92 @@ impl FairHmsInstance {
     }
 }
 
+/// A reduced candidate set: the (possibly restricted) dataset a solver
+/// actually runs on, plus the map from its row ids back to the originating
+/// dataset's row ids.
+///
+/// This is the seam between preprocessing (skyline reduction, sharded
+/// prep + merge) and solving: the reducer materializes the candidate
+/// dataset **once** (per dataset, not per query), every solve shares it
+/// through the `Arc`, and answers are translated back to original row ids
+/// with [`CandidateSet::to_original`]. The CLI `solve` path and the
+/// serving engine both route through this type, so a reduction produces
+/// identical answer indices no matter which front end ran it.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    data: Arc<Dataset>,
+    /// `row_map[i]` = original row id of candidate row `i`; `None` means
+    /// the candidate set *is* the full dataset (identity map).
+    row_map: Option<Arc<[usize]>>,
+}
+
+impl CandidateSet {
+    /// The full dataset as its own candidate set (identity row map).
+    pub fn full(data: Arc<Dataset>) -> Self {
+        Self {
+            data,
+            row_map: None,
+        }
+    }
+
+    /// An already-materialized reduction: `data` holds the candidate rows
+    /// and `rows[i]` is the original id of `data`'s row `i`.
+    ///
+    /// Panics if the map length does not match the candidate count — a
+    /// mismatched map would silently translate answers to wrong rows.
+    pub fn reduced(data: Arc<Dataset>, rows: Arc<[usize]>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows.len(),
+            "candidate row map length must match candidate dataset size"
+        );
+        Self {
+            data,
+            row_map: Some(rows),
+        }
+    }
+
+    /// Materializes the sub-dataset induced by `rows` of `full` as a
+    /// candidate set (the one point-matrix copy of a reduction's life).
+    pub fn restrict(full: &Dataset, rows: &[usize]) -> Self {
+        Self {
+            data: Arc::new(full.subset(rows)),
+            row_map: Some(rows.into()),
+        }
+    }
+
+    /// The candidate dataset (what [`FairHmsInstance`] should be built on).
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Number of candidate rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the candidate set holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when the candidate set is the full dataset (identity map).
+    pub fn is_full(&self) -> bool {
+        self.row_map.is_none()
+    }
+
+    /// Translates candidate-local row ids to original row ids, sorted
+    /// ascending — the form answers are reported in.
+    pub fn to_original(&self, local: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = match &self.row_map {
+            Some(map) => local.iter().map(|&i| map[i]).collect(),
+            None => local.to_vec(),
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
 /// A solution to a FairHMS instance.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -304,6 +390,36 @@ mod tests {
             FairHmsInstance::unconstrained(empty, 1).unwrap_err(),
             CoreError::EmptyDataset
         );
+    }
+
+    #[test]
+    fn candidate_set_maps_rows_back() {
+        let d = four_points();
+        // Restrict to rows 1 and 3 (one per group).
+        let cand = CandidateSet::restrict(&d, &[1, 3]);
+        assert_eq!(cand.len(), 2);
+        assert!(!cand.is_full());
+        assert_eq!(cand.data().point(0), &[0.0, 1.0]);
+        assert_eq!(cand.to_original(&[1, 0]), vec![1, 3]);
+
+        let full = CandidateSet::full(Arc::new(four_points()));
+        assert!(full.is_full());
+        assert_eq!(full.to_original(&[2, 0]), vec![0, 2]);
+
+        // A reduced set built from parts shares — never copies — the
+        // already-materialized candidate dataset.
+        let sky = Arc::new(d.subset(&[0, 2]));
+        let before = fairhms_data::deep_clone_count();
+        let shared = CandidateSet::reduced(Arc::clone(&sky), vec![0usize, 2].into());
+        assert_eq!(fairhms_data::deep_clone_count(), before);
+        assert!(std::ptr::eq(&**shared.data(), &*sky));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate row map length")]
+    fn candidate_set_rejects_mismatched_map() {
+        let d = Arc::new(four_points());
+        let _ = CandidateSet::reduced(d, vec![0usize].into());
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Deterministic dataset partitioning for sharded preparation.
+//!
+//! The FairHMS pipeline (normalize → group-skyline reduction → fair solve)
+//! is embarrassingly partitionable: the union of per-group skylines of a
+//! dataset equals the group-skyline reduction of the union of per-shard
+//! group skylines, because dominance is transitive — every dominated point
+//! is dominated by some member of its own shard's skyline. A [`ShardPlan`]
+//! partitions the rows so that the expensive per-shard skyline passes can
+//! run in parallel, and [`merge_shard_skylines`] performs the final
+//! reduction; the merged row set is **bit-identical** to the unsharded
+//! [`crate::skyline::group_skyline_indices`] output (pinned by
+//! `tests/shard_properties.rs`).
+//!
+//! Plans carry row *indices* only — shards are views into the one shared
+//! point matrix, never copies of it.
+
+use crate::dataset::Dataset;
+use crate::skyline::group_skyline_of_rows;
+
+/// How rows are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Row `i` goes to shard `i mod s`. Cheapest; group balance is only
+    /// statistical.
+    RoundRobin,
+    /// Rows are dealt round-robin *within each group*, so every group with
+    /// at least `s` members is represented in every shard (a group with
+    /// fewer members lands in exactly `|D_c|` shards). This keeps each
+    /// shard's per-group skyline pass meaningful and mirrors the matroid
+    /// view of per-group quotas under partitioning.
+    GroupStratified,
+}
+
+impl PartitionStrategy {
+    /// Stable lowercase name (wire/CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionStrategy::RoundRobin => "roundrobin",
+            PartitionStrategy::GroupStratified => "stratified",
+        }
+    }
+
+    /// Parses a CLI/wire spelling (`roundrobin`/`rr`, `stratified`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "roundrobin" | "round-robin" | "rr" => Some(PartitionStrategy::RoundRobin),
+            "stratified" | "group-stratified" | "groupstratified" => {
+                Some(PartitionStrategy::GroupStratified)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic partition of a dataset's rows into shards.
+///
+/// Invariants (pinned by the property tests):
+/// - the shards are disjoint and their union is `0..n`;
+/// - every shard's row list is sorted ascending;
+/// - the effective shard count is `min(requested, n)` (never more shards
+///   than rows, so no shard is empty), with a floor of 1 — `n <
+/// requested` degrades gracefully instead of planning empty work.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    strategy: PartitionStrategy,
+    requested: usize,
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Partitions `data`'s rows into (at most) `shards` shards.
+    pub fn build(data: &Dataset, shards: usize, strategy: PartitionStrategy) -> ShardPlan {
+        let n = data.len();
+        let requested = shards.max(1);
+        let s = requested.min(n).max(1);
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::with_capacity(n.div_ceil(s)); s];
+        match strategy {
+            PartitionStrategy::RoundRobin => {
+                for i in 0..n {
+                    assignments[i % s].push(i);
+                }
+            }
+            PartitionStrategy::GroupStratified => {
+                // Deal each group's rows (ascending) round-robin, starting
+                // where the previous group's deal left off (cumulative
+                // group-size offsets). Equivalent to round-robin over the
+                // rows sorted by group: shard sizes stay balanced (differ
+                // by at most 1) even when every group is tiny, and a group
+                // with ≥ s members still hits every shard.
+                let sizes = data.group_sizes();
+                let mut next = vec![0usize; data.num_groups()];
+                let mut offset = 0usize;
+                for (g, &sz) in sizes.iter().enumerate() {
+                    next[g] = offset;
+                    offset += sz;
+                }
+                for i in 0..n {
+                    let g = data.group_of(i);
+                    assignments[next[g] % s].push(i);
+                    next[g] += 1;
+                }
+                for rows in &mut assignments {
+                    rows.sort_unstable();
+                }
+            }
+        }
+        ShardPlan {
+            strategy,
+            requested,
+            assignments,
+        }
+    }
+
+    /// The strategy the plan was built with.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The shard count the caller asked for (before clamping to `n`).
+    pub fn requested_shards(&self) -> usize {
+        self.requested
+    }
+
+    /// Effective shard count (`min(requested, n)`, at least 1).
+    pub fn num_shards(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Global row ids of shard `i`, sorted ascending.
+    pub fn rows(&self, i: usize) -> &[usize] {
+        &self.assignments[i]
+    }
+
+    /// All shard row lists.
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.assignments
+    }
+
+    /// Consumes the plan, yielding the shard row lists — for callers that
+    /// hand each shard's rows to a worker without re-copying them.
+    pub fn into_assignments(self) -> Vec<Vec<usize>> {
+        self.assignments
+    }
+
+    /// True when the plan is a single shard (the unsharded fast path).
+    pub fn is_trivial(&self) -> bool {
+        self.assignments.len() == 1
+    }
+}
+
+/// Final merge stage: reduces the union of per-shard group skylines to the
+/// exact global group skyline.
+///
+/// `shard_skylines[i]` must be the group skyline of shard `i`'s rows
+/// (global ids, as produced by [`group_skyline_of_rows`]). The result is
+/// sorted ascending and equals `group_skyline_indices(data)` exactly: a
+/// globally surviving point survives its shard (fewer competitors), and a
+/// globally dominated point is dominated by a *shard-skyline* member of
+/// its group (dominance is transitive), so the second reduction removes
+/// it.
+pub fn merge_shard_skylines<S: AsRef<[usize]>>(data: &Dataset, shard_skylines: &[S]) -> Vec<usize> {
+    if shard_skylines.len() == 1 {
+        return shard_skylines[0].as_ref().to_vec();
+    }
+    let mut union: Vec<usize> = shard_skylines
+        .iter()
+        .flat_map(|s| s.as_ref().iter().copied())
+        .collect();
+    union.sort_unstable();
+    group_skyline_of_rows(data, &union)
+}
+
+/// Upper bound on worker threads spawned by
+/// [`merge_shard_skylines_parallel`]. Group counts come from user data
+/// (`Dataset::new` infers one group per distinct label), so a
+/// high-cardinality group column must not translate into one thread per
+/// group — workers pull group buckets from a shared queue instead.
+pub const MAX_MERGE_THREADS: usize = 64;
+
+/// [`merge_shard_skylines`] with the per-group reduction passes run on
+/// scoped std threads (groups are independent in a group skyline, so the
+/// merge parallelizes across them for free) — at most
+/// [`MAX_MERGE_THREADS`] workers draining a bucket queue. Output is
+/// identical to the sequential merge: per-group survivors don't depend
+/// on scheduling, and the final sort fixes the order.
+pub fn merge_shard_skylines_parallel<S: AsRef<[usize]>>(
+    data: &Dataset,
+    shard_skylines: &[S],
+) -> Vec<usize> {
+    if shard_skylines.len() == 1 {
+        return shard_skylines[0].as_ref().to_vec();
+    }
+    let mut union: Vec<usize> = shard_skylines
+        .iter()
+        .flat_map(|s| s.as_ref().iter().copied())
+        .collect();
+    union.sort_unstable();
+    let buckets = crate::skyline::bucket_rows_by_group(data, &union);
+    let buckets: Vec<&Vec<usize>> = buckets.iter().filter(|b| !b.is_empty()).collect();
+    let workers = buckets.len().min(MAX_MERGE_THREADS);
+    if workers <= 1 {
+        let mut out: Vec<usize> = buckets
+            .iter()
+            .flat_map(|b| crate::skyline::bucket_skyline(data, b))
+            .collect();
+        out.sort_unstable();
+        return out;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<usize> = std::thread::scope(|s| {
+        let next = &next;
+        let buckets = &buckets;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut acc: Vec<usize> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(bucket) = buckets.get(i) else { break };
+                        acc.extend(crate::skyline::bucket_skyline(data, bucket));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    out.sort_unstable();
+    out
+}
+
+/// Sequential reference for the sharded pipeline: per-shard group
+/// skylines, then [`merge_shard_skylines`]. The serving catalog runs the
+/// per-shard passes on threads; this function is the single-threaded
+/// oracle the equivalence tests compare both paths against.
+pub fn sharded_group_skyline(data: &Dataset, plan: &ShardPlan) -> Vec<usize> {
+    let per_shard: Vec<Vec<usize>> = plan
+        .assignments()
+        .iter()
+        .map(|rows| group_skyline_of_rows(data, rows))
+        .collect();
+    merge_shard_skylines(data, &per_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::group_skyline_indices;
+
+    fn toy(n: usize, groups: Vec<usize>) -> Dataset {
+        // Deterministic pseudo-random coordinates in 2D.
+        let mut x = 0.37_f64;
+        let mut pts = Vec::with_capacity(n * 2);
+        for _ in 0..n * 2 {
+            x = (x * 997.13).fract();
+            pts.push(x);
+        }
+        Dataset::new("toy", 2, pts, groups, vec![]).unwrap()
+    }
+
+    #[test]
+    fn round_robin_partitions_all_rows() {
+        let d = toy(10, vec![0; 10]);
+        let plan = ShardPlan::build(&d, 3, PartitionStrategy::RoundRobin);
+        assert_eq!(plan.num_shards(), 3);
+        assert_eq!(plan.rows(0), &[0, 3, 6, 9]);
+        assert_eq!(plan.rows(1), &[1, 4, 7]);
+        assert_eq!(plan.rows(2), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn stratified_keeps_groups_in_every_shard() {
+        // 3 groups of 4 rows each, interleaved labels.
+        let groups = vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let d = toy(12, groups);
+        let plan = ShardPlan::build(&d, 4, PartitionStrategy::GroupStratified);
+        for s in 0..plan.num_shards() {
+            for g in 0..3 {
+                assert!(
+                    plan.rows(s).iter().any(|&r| d.group_of(r) == g),
+                    "group {g} missing from shard {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_group_lands_in_its_size_many_shards() {
+        // Group 1 has a single member: it can appear in exactly 1 shard.
+        let groups = vec![0, 0, 0, 0, 0, 0, 0, 1];
+        let d = toy(8, groups);
+        let plan = ShardPlan::build(&d, 4, PartitionStrategy::GroupStratified);
+        let holding: Vec<usize> = (0..plan.num_shards())
+            .filter(|&s| plan.rows(s).contains(&7))
+            .collect();
+        assert_eq!(holding.len(), 1);
+    }
+
+    #[test]
+    fn fewer_rows_than_shards_degrades_gracefully() {
+        let d = toy(2, vec![0, 1]);
+        for strat in [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::GroupStratified,
+        ] {
+            let plan = ShardPlan::build(&d, 7, strat);
+            assert_eq!(plan.requested_shards(), 7);
+            assert_eq!(plan.num_shards(), 2, "{strat}");
+            assert!(plan.assignments().iter().all(|s| !s.is_empty()));
+            assert_eq!(sharded_group_skyline(&d, &plan), group_skyline_indices(&d));
+        }
+    }
+
+    #[test]
+    fn empty_dataset_plans_one_empty_shard() {
+        let d = Dataset::ungrouped("e", 2, vec![]).unwrap();
+        let plan = ShardPlan::build(&d, 4, PartitionStrategy::RoundRobin);
+        assert_eq!(plan.num_shards(), 1);
+        assert!(plan.rows(0).is_empty());
+        assert!(sharded_group_skyline(&d, &plan).is_empty());
+    }
+
+    #[test]
+    fn merge_matches_unsharded_on_toy_data() {
+        let groups = (0..40).map(|i| i % 3).collect();
+        let d = toy(40, groups);
+        for shards in [1usize, 2, 3, 7] {
+            for strat in [
+                PartitionStrategy::RoundRobin,
+                PartitionStrategy::GroupStratified,
+            ] {
+                let plan = ShardPlan::build(&d, shards, strat);
+                assert_eq!(
+                    sharded_group_skyline(&d, &plan),
+                    group_skyline_indices(&d),
+                    "shards={shards} strategy={strat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential() {
+        let groups = (0..60).map(|i| i % 4).collect();
+        let d = toy(60, groups);
+        for shards in [2usize, 3, 7] {
+            let plan = ShardPlan::build(&d, shards, PartitionStrategy::GroupStratified);
+            let per_shard: Vec<Vec<usize>> = plan
+                .assignments()
+                .iter()
+                .map(|rows| group_skyline_of_rows(&d, rows))
+                .collect();
+            assert_eq!(
+                merge_shard_skylines_parallel(&d, &per_shard),
+                merge_shard_skylines(&d, &per_shard),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_parse_round_trips() {
+        for strat in [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::GroupStratified,
+        ] {
+            assert_eq!(PartitionStrategy::parse(strat.name()), Some(strat));
+        }
+        assert_eq!(
+            PartitionStrategy::parse("rr"),
+            Some(PartitionStrategy::RoundRobin)
+        );
+        assert_eq!(PartitionStrategy::parse("nope"), None);
+    }
+}

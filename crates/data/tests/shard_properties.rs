@@ -1,0 +1,137 @@
+//! Property tests pinning the sharded-preparation equivalence: for any
+//! dataset, partition strategy, and shard count, per-shard group skylines
+//! merged through [`fairhms_data::shard::merge_shard_skylines`] equal the
+//! unsharded [`group_skyline_indices`] output *exactly* (same rows, same
+//! order) — the invariant that makes catalog sharding invisible to
+//! answers.
+
+use proptest::prelude::*;
+
+use fairhms_data::dataset::Dataset;
+use fairhms_data::shard::{
+    merge_shard_skylines_parallel, sharded_group_skyline, PartitionStrategy, ShardPlan,
+};
+use fairhms_data::skyline::{group_skyline_indices, group_skyline_of_rows};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+const STRATEGIES: [PartitionStrategy; 2] = [
+    PartitionStrategy::RoundRobin,
+    PartitionStrategy::GroupStratified,
+];
+
+/// A random dataset: `d` in 2..=4, up to `max_n` rows, up to 4 groups
+/// (group labels random, so some groups may be empty or tiny).
+fn dataset(max_n: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..5).prop_flat_map(move |d| {
+        prop::collection::vec(
+            (prop::collection::vec(0.0f64..=1.0, d..=d), 0usize..4),
+            1..=max_n,
+        )
+        .prop_map(move |rows| {
+            let mut points = Vec::with_capacity(rows.len() * d);
+            let mut groups = Vec::with_capacity(rows.len());
+            for (p, g) in rows {
+                points.extend(p);
+                groups.push(g);
+            }
+            // 4 named groups regardless of which labels occur, so
+            // vacant groups exercise the empty-group paths.
+            Dataset::new(
+                "prop",
+                d,
+                points,
+                groups,
+                (0..4).map(|g| format!("g{g}")).collect(),
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline equivalence: sharded prep + merge == unsharded prep,
+    /// for every shard count and both strategies.
+    #[test]
+    fn sharded_merge_equals_unsharded_skyline(data in dataset(48)) {
+        let reference = group_skyline_indices(&data);
+        for &shards in &SHARD_COUNTS {
+            for &strat in &STRATEGIES {
+                let plan = ShardPlan::build(&data, shards, strat);
+                let merged = sharded_group_skyline(&data, &plan);
+                prop_assert_eq!(
+                    &merged, &reference,
+                    "shards={} strategy={} diverged", shards, strat
+                );
+                // The threaded merge (what the catalog runs) agrees with
+                // the sequential oracle.
+                let per_shard: Vec<Vec<usize>> = plan
+                    .assignments()
+                    .iter()
+                    .map(|rows| group_skyline_of_rows(&data, rows))
+                    .collect();
+                let parallel = merge_shard_skylines_parallel(&data, &per_shard);
+                prop_assert_eq!(
+                    &parallel, &reference,
+                    "parallel merge diverged at shards={} strategy={}", shards, strat
+                );
+            }
+        }
+    }
+
+    /// Every plan is a true partition: disjoint shards covering 0..n,
+    /// each sorted ascending, never more shards than rows.
+    #[test]
+    fn plans_partition_the_rows(data in dataset(48)) {
+        for &shards in &SHARD_COUNTS {
+            for &strat in &STRATEGIES {
+                let plan = ShardPlan::build(&data, shards, strat);
+                prop_assert!(plan.num_shards() <= data.len().max(1));
+                let mut seen = vec![false; data.len()];
+                for s in 0..plan.num_shards() {
+                    let rows = plan.rows(s);
+                    prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+                    for &r in rows {
+                        prop_assert!(!seen[r], "row {} dealt twice", r);
+                        seen[r] = true;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&b| b), "some row unassigned");
+            }
+        }
+    }
+
+    /// Stratified plans represent every group in min(|D_c|, shards)
+    /// shards — the "no shard loses a whole group" guarantee.
+    #[test]
+    fn stratified_spreads_groups(data in dataset(48)) {
+        for &shards in &SHARD_COUNTS {
+            let plan = ShardPlan::build(&data, shards, PartitionStrategy::GroupStratified);
+            let sizes = data.group_sizes();
+            for (g, &sz) in sizes.iter().enumerate() {
+                let holding = (0..plan.num_shards())
+                    .filter(|&s| plan.rows(s).iter().any(|&r| data.group_of(r) == g))
+                    .count();
+                prop_assert_eq!(
+                    holding,
+                    sz.min(plan.num_shards()),
+                    "group {} (size {}) in {} of {} shards",
+                    g, sz, holding, plan.num_shards()
+                );
+            }
+        }
+    }
+
+    /// `group_skyline_of_rows` over all rows is exactly
+    /// `group_skyline_indices` (the shard work unit generalizes the
+    /// classic pipeline).
+    #[test]
+    fn restricted_skyline_generalizes_global(data in dataset(48)) {
+        let all: Vec<usize> = (0..data.len()).collect();
+        prop_assert_eq!(
+            group_skyline_of_rows(&data, &all),
+            group_skyline_indices(&data)
+        );
+    }
+}

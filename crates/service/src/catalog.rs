@@ -1,4 +1,4 @@
-//! Named-dataset catalog with memoized preprocessing.
+//! Named-dataset catalog with memoized, optionally sharded preprocessing.
 //!
 //! Every FairHMS algorithm consumes the same prepared form of a dataset:
 //! scale-normalized coordinates restricted to the union of per-group
@@ -6,6 +6,14 @@
 //! computes it **once per dataset** at registration time and hands out
 //! shared [`PreparedDataset`]s, so a query's marginal cost is just the
 //! solve itself.
+//!
+//! With [`CatalogConfig::shards`] > 1, the skyline reduction is
+//! *partitioned*: a [`ShardPlan`] splits the rows, each shard's group
+//! skyline runs on its own std thread against the one shared matrix (a
+//! view, never a copy), and a final merge pass reduces the union — an
+//! output **bit-identical** to the unsharded pipeline (see
+//! [`fairhms_data::shard`]), so sharding is purely a preparation-latency
+//! knob, invisible to answers.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -13,10 +21,93 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use fairhms_data::csv;
-use fairhms_data::skyline::group_skyline_indices;
+use fairhms_data::shard::{merge_shard_skylines_parallel, PartitionStrategy, ShardPlan};
+use fairhms_data::skyline::group_skyline_of_rows;
 use fairhms_data::Dataset;
 
 use crate::ServiceError;
+
+/// Upper limit on the configurable shard count (CLI `--shards`, wire
+/// `SHARDS`): beyond this, per-shard thread and merge overhead dwarfs any
+/// parallelism a realistic machine can supply.
+pub const MAX_SHARDS: usize = 64;
+
+/// Catalog-wide preparation tunables, applied to every subsequent dataset
+/// registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogConfig {
+    /// Number of preparation shards (clamped to `1..=`[`MAX_SHARDS`]).
+    /// 1 = the classic unsharded pipeline.
+    pub shards: usize,
+    /// How rows are dealt to shards.
+    pub strategy: PartitionStrategy,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            strategy: PartitionStrategy::GroupStratified,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// A config with `shards` shards and the default (group-stratified)
+    /// strategy.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: shards.clamp(1, MAX_SHARDS),
+            ..Self::default()
+        }
+    }
+
+    /// The default config, overridden by the `FAIRHMS_TEST_SHARDS` (shard
+    /// count) and `FAIRHMS_TEST_STRATEGY` (`roundrobin`/`stratified`)
+    /// environment variables when set.
+    ///
+    /// This is the CI hook that re-runs the whole service test suite over
+    /// the sharded pipeline (`scripts/ci.sh` sets `FAIRHMS_TEST_SHARDS=4`
+    /// for the second pass): [`Catalog::new`] routes through it, so every
+    /// test that builds a catalog exercises whichever pipeline the
+    /// environment selects. Unset (production) it is exactly
+    /// `CatalogConfig::default()`.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("FAIRHMS_TEST_SHARDS") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.shards = n.clamp(1, MAX_SHARDS);
+            }
+        }
+        if let Ok(v) = std::env::var("FAIRHMS_TEST_STRATEGY") {
+            if let Some(s) = PartitionStrategy::parse(&v) {
+                cfg.strategy = s;
+            }
+        }
+        cfg
+    }
+}
+
+/// One shard's view of a prepared dataset: which rows it owned, what its
+/// local group skyline kept, and what the pass cost.
+///
+/// Holds row indices only — the points stay in the parent
+/// [`PreparedDataset`]'s shared matrix.
+#[derive(Debug)]
+pub struct ShardPrep {
+    /// How many rows this shard was dealt. (The full assignment lists are
+    /// dropped after the merge — retaining them would pin `O(n)` extra
+    /// memory per catalog entry for introspection nothing reads.)
+    pub num_rows: usize,
+    /// This shard's group-skyline survivors (global row ids, ascending).
+    /// The union over shards, reduced once more, is the exact global
+    /// group skyline.
+    pub skyline_rows: Vec<usize>,
+    /// Per-group row counts of the shard's dealt rows.
+    pub group_sizes: Vec<usize>,
+    /// Wall-clock of this shard's skyline pass, microseconds.
+    pub prep_micros: u64,
+}
 
 /// A dataset plus everything the engine precomputes for it.
 ///
@@ -32,8 +123,11 @@ pub struct PreparedDataset {
     /// `skyline=false` solves.
     pub dataset: Arc<Dataset>,
     /// Union of per-group skyline rows (indices into `dataset`), the
-    /// lossless restriction every algorithm runs on by default.
-    pub skyline_rows: Vec<usize>,
+    /// lossless restriction every algorithm runs on by default. Shared
+    /// (`Arc<[usize]>`) so the engine's per-query
+    /// [`fairhms_core::types::CandidateSet`] holds the row map by
+    /// refcount, not by copy.
+    pub skyline_rows: Arc<[usize]>,
     /// `dataset` restricted to `skyline_rows` (row `i` here is row
     /// `skyline_rows[i]` of `dataset`) — shared by default-path solves.
     pub skyline_data: Arc<Dataset>,
@@ -50,17 +144,45 @@ pub struct PreparedDataset {
     pub epoch: u64,
     /// Wall-clock cost of normalization + skyline preprocessing.
     pub prep_micros: u64,
+    /// Partition strategy the preparation ran under.
+    pub strategy: PartitionStrategy,
+    /// Per-shard preparation views (length 1 for the unsharded pipeline).
+    /// `skyline_rows` is always the merged, exact global group skyline.
+    pub shards: Vec<ShardPrep>,
 }
 
 impl PreparedDataset {
-    /// Normalizes `data` and builds the group-skyline restriction.
-    pub fn prepare(name: impl Into<String>, mut data: Dataset) -> Result<Self, ServiceError> {
+    /// Normalizes `data` and builds the group-skyline restriction through
+    /// the classic single-shard pipeline.
+    pub fn prepare(name: impl Into<String>, data: Dataset) -> Result<Self, ServiceError> {
+        Self::prepare_with(name, data, &CatalogConfig::default())
+    }
+
+    /// Normalizes `data` and builds the group-skyline restriction,
+    /// partitioned across `cfg.shards` preparation shards.
+    ///
+    /// Each shard's group-skyline pass runs on its own scoped std thread
+    /// and reads the one shared point matrix (no per-shard dataset copy);
+    /// [`merge_shard_skylines_parallel`] then reduces the union to the
+    /// exact global
+    /// group skyline, so the resulting `skyline_rows`/`skyline_data` are
+    /// **bit-identical for every shard count and strategy** — pinned by
+    /// the shard-equivalence test suite.
+    pub fn prepare_with(
+        name: impl Into<String>,
+        mut data: Dataset,
+        cfg: &CatalogConfig,
+    ) -> Result<Self, ServiceError> {
         if data.is_empty() {
             return Err(ServiceError::Dataset("dataset has no rows".into()));
         }
         let t = Instant::now();
-        data.normalize();
-        let skyline_rows = group_skyline_indices(&data);
+        let plan = ShardPlan::build(&data, cfg.shards.clamp(1, MAX_SHARDS), cfg.strategy);
+        let strategy = plan.strategy();
+        data.normalize_parallel(plan.num_shards());
+        let shards = prepare_shards(&data, plan);
+        let per_shard: Vec<&[usize]> = shards.iter().map(|s| s.skyline_rows.as_slice()).collect();
+        let skyline_rows: Arc<[usize]> = merge_shard_skylines_parallel(&data, &per_shard).into();
         let skyline_data = Arc::new(data.subset(&skyline_rows));
         let group_sizes = data.group_sizes();
         let skyline_group_sizes = skyline_data.group_sizes();
@@ -73,6 +195,8 @@ impl PreparedDataset {
             skyline_group_sizes,
             epoch: 0,
             prep_micros: t.elapsed().as_micros() as u64,
+            strategy,
+            shards,
         })
     }
 
@@ -87,6 +211,43 @@ impl PreparedDataset {
             self.skyline_rows.len()
         )
     }
+
+    /// Number of preparation shards this dataset was prepared with.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Runs every shard's group-skyline pass — on scoped std threads when the
+/// plan has more than one shard. Each thread reads the shared matrix
+/// through `&Dataset`; only row-index lists are moved, nothing is copied.
+fn prepare_shards(data: &Dataset, plan: ShardPlan) -> Vec<ShardPrep> {
+    let prep_one = |rows: Vec<usize>| -> ShardPrep {
+        let t = Instant::now();
+        let skyline_rows = group_skyline_of_rows(data, &rows);
+        let mut group_sizes = vec![0usize; data.num_groups()];
+        for &r in &rows {
+            group_sizes[data.group_of(r)] += 1;
+        }
+        ShardPrep {
+            num_rows: rows.len(),
+            skyline_rows,
+            group_sizes,
+            prep_micros: t.elapsed().as_micros() as u64,
+        }
+    };
+    let mut assignments = plan.into_assignments();
+    if assignments.len() == 1 {
+        return vec![prep_one(assignments.pop().expect("one shard"))];
+    }
+    std::thread::scope(|s| {
+        let prep_one = &prep_one;
+        let handles: Vec<_> = assignments
+            .into_iter()
+            .map(|rows| s.spawn(move || prep_one(rows)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
 }
 
 /// A concurrent map of named [`PreparedDataset`]s.
@@ -94,18 +255,52 @@ impl PreparedDataset {
 /// Reads (the per-query hot path) take a shared lock; registration — rare —
 /// takes the exclusive lock only to publish the already-prepared entry, so
 /// queries are never blocked behind preprocessing.
-#[derive(Default)]
 pub struct Catalog {
     inner: RwLock<HashMap<String, Arc<PreparedDataset>>>,
     /// Monotone counter handing each insert a fresh epoch (starting at 1
     /// so the standalone-`prepare` epoch 0 never collides).
     next_epoch: std::sync::atomic::AtomicU64,
+    /// Preparation tunables applied to future registrations (the wire
+    /// `SHARDS` verb mutates it at runtime, hence the lock).
+    config: RwLock<CatalogConfig>,
+}
+
+impl Default for Catalog {
+    /// Same as [`Catalog::new`]: empty, configured from the environment.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog with [`CatalogConfig::from_env`] preparation
+    /// settings (the defaults unless `FAIRHMS_TEST_SHARDS`/`_STRATEGY`
+    /// are set — see that method for why the environment is consulted).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(CatalogConfig::from_env())
+    }
+
+    /// An empty catalog with explicit preparation settings.
+    pub fn with_config(config: CatalogConfig) -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+            next_epoch: std::sync::atomic::AtomicU64::new(0),
+            config: RwLock::new(config),
+        }
+    }
+
+    /// The current preparation config.
+    pub fn config(&self) -> CatalogConfig {
+        *self.config.read().unwrap()
+    }
+
+    /// Sets the shard count for *future* registrations (already-prepared
+    /// datasets are untouched — their answers are identical under any
+    /// shard count anyway). Clamped to `1..=`[`MAX_SHARDS`].
+    pub fn set_shards(&self, shards: usize) -> usize {
+        let clamped = shards.clamp(1, MAX_SHARDS);
+        self.config.write().unwrap().shards = clamped;
+        clamped
     }
 
     /// Registers `data` under its own dataset name. Returns the prepared
@@ -137,7 +332,7 @@ impl Catalog {
                 "invalid catalog name {name:?}: must be non-empty, without whitespace or '=,:\"'"
             )));
         }
-        let mut prepared = PreparedDataset::prepare(name.clone(), data)?;
+        let mut prepared = PreparedDataset::prepare_with(name.clone(), data, &self.config())?;
         prepared.epoch = 1 + self
             .next_epoch
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fairhms_core::registry::{self, AlgorithmParams};
-use fairhms_core::types::FairHmsInstance;
+use fairhms_core::types::{CandidateSet, FairHmsInstance};
 use fairhms_matroid::{balanced_bounds, proportional_bounds};
 
 use crate::cache::{CacheStats, SolutionCache};
@@ -170,18 +170,22 @@ impl QueryEngine {
         q: &Query,
         prep: &crate::catalog::PreparedDataset,
     ) -> Result<Answer, ServiceError> {
-        let (input, group_sizes, row_map): (
-            &Arc<fairhms_data::Dataset>,
-            &[usize],
-            Option<&[usize]>,
-        ) = if q.skyline {
+        // The candidate-set seam: the prepared (merged, shard-count-
+        // independent) reduction plus the map back to original row ids —
+        // both shared by refcount, never copied per query.
+        let (cand, group_sizes): (CandidateSet, &[usize]) = if q.skyline {
             (
-                &prep.skyline_data,
+                CandidateSet::reduced(
+                    Arc::clone(&prep.skyline_data),
+                    Arc::clone(&prep.skyline_rows),
+                ),
                 &prep.skyline_group_sizes,
-                Some(&prep.skyline_rows),
             )
         } else {
-            (&prep.dataset, &prep.group_sizes, None)
+            (
+                CandidateSet::full(Arc::clone(&prep.dataset)),
+                &prep.group_sizes,
+            )
         };
         let (lower, upper) = if q.balanced {
             balanced_bounds(group_sizes, q.k, q.alpha)
@@ -190,7 +194,7 @@ impl QueryEngine {
         };
         // Zero-copy hand-off: the instance shares the catalog's prepared
         // allocation; concurrent solves against one dataset all read it.
-        let inst = FairHmsInstance::new(Arc::clone(input), q.k, lower, upper)?;
+        let inst = FairHmsInstance::new(Arc::clone(cand.data()), q.k, lower, upper)?;
         let params = AlgorithmParams {
             seed: q.seed,
             ..AlgorithmParams::default()
@@ -200,14 +204,7 @@ impl QueryEngine {
         let sol = alg.solve(&inst)?;
         let solve_micros = t.elapsed().as_micros() as u64;
         let violations = inst.matroid().violations(&sol.indices);
-        let mut indices: Vec<usize> = match row_map {
-            Some(map) => sol.indices.iter().map(|&i| map[i]).collect(),
-            None => sol.indices.clone(),
-        };
-        // `Solution` indices are sorted and `skyline_rows` is ascending,
-        // so this is a no-op today — but the "sorted" contract on
-        // `Answer.indices` should not depend on that distant invariant.
-        indices.sort_unstable();
+        let indices = cand.to_original(&sol.indices);
         Ok(Answer {
             indices,
             mhr: sol.mhr,

@@ -50,7 +50,7 @@ pub mod query;
 pub mod server;
 
 pub use cache::{CacheStats, SolutionCache};
-pub use catalog::{Catalog, PreparedDataset};
+pub use catalog::{Catalog, CatalogConfig, PreparedDataset, ShardPrep, MAX_SHARDS};
 pub use engine::{Answer, QueryEngine, QueryResponse};
 pub use executor::BatchExecutor;
 pub use query::Query;

@@ -11,6 +11,9 @@
 //! >> LIST                                   << OK datasets=name:n:d:c:sky,...
 //! >> ALGS                                   << OK algorithms=intcov,bigreedy,...
 //! >> STATS                                  << OK hits=… misses=… entries=… evictions=… hit_rate=…
+//! >> INFO                                   << OK shards=… strategy=… workers=… datasets=… cache_entries=…
+//! >> SHARDS                                 << OK shards=1
+//! >> SHARDS 4                               << OK shards=4   (future registrations prep with 4 shards)
 //! >> QUERY dataset=adult k=8 alg=bigreedy   << OK alg=BiGreedy cached=false micros=812 err=0 mhr=0.97 indices=3,17,40
 //! >> BATCH 2                                << OK batch=2
 //! >> QUERY …                                << (response line for query 1)
@@ -36,6 +39,13 @@ pub enum Request {
     Algorithms,
     /// Report cache counters.
     Stats,
+    /// Report server configuration (shards, strategy, workers, catalog
+    /// and cache sizes).
+    Info,
+    /// `SHARDS` reports the catalog's preparation shard count; `SHARDS n`
+    /// sets it for future dataset registrations (already-prepared
+    /// datasets are untouched — answers are shard-count-independent).
+    Shards(Option<usize>),
     /// `BATCH n`: the next `n` lines are queries executed as one batch.
     Batch(usize),
     /// A single query.
@@ -103,7 +113,23 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "LIST" => Ok(Request::List),
         "ALGS" => Ok(Request::Algorithms),
         "STATS" => Ok(Request::Stats),
+        "INFO" => Ok(Request::Info),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "SHARDS" => match rest {
+            [] => Ok(Request::Shards(None)),
+            [n] => {
+                let v: usize = parse_num("shards", n)?;
+                if (1..=crate::catalog::MAX_SHARDS).contains(&v) {
+                    Ok(Request::Shards(Some(v)))
+                } else {
+                    Err(ServiceError::Protocol(format!(
+                        "shards must be in 1..={}, got {v}",
+                        crate::catalog::MAX_SHARDS
+                    )))
+                }
+            }
+            _ => Err(ServiceError::Protocol("usage: SHARDS [n]".into())),
+        },
         "BATCH" => match rest {
             [n] => Ok(Request::Batch(parse_num("batch size", n)?)),
             _ => Err(ServiceError::Protocol("usage: BATCH <n>".into())),
@@ -243,6 +269,13 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("batch 12").unwrap(), Request::Batch(12));
         assert_eq!(parse_request("ShUtDoWn").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("INFO").unwrap(), Request::Info);
+        assert_eq!(parse_request("shards").unwrap(), Request::Shards(None));
+        assert_eq!(parse_request("SHARDS 4").unwrap(), Request::Shards(Some(4)));
+        assert_eq!(
+            parse_request("SHARDS 64").unwrap(),
+            Request::Shards(Some(64))
+        );
         for bad in [
             "",
             "FROB",
@@ -252,6 +285,11 @@ mod tests {
             "QUERY dataset=d k=3 zz=1",
             "BATCH",
             "BATCH x y",
+            "SHARDS 0",
+            "SHARDS -2",
+            "SHARDS x",
+            "SHARDS 65",
+            "SHARDS 4 8",
         ] {
             assert!(
                 matches!(parse_request(bad), Err(ServiceError::Protocol(_))),

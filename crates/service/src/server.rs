@@ -258,6 +258,25 @@ fn serve_connection(
                     st.hit_rate()
                 )?;
             }
+            Ok(Request::Info) => {
+                let cfg = engine.catalog().config();
+                writeln!(
+                    writer,
+                    "OK shards={} strategy={} workers={} datasets={} cache_entries={}",
+                    cfg.shards,
+                    cfg.strategy,
+                    executor.workers(),
+                    engine.catalog().len(),
+                    engine.cache_stats().entries
+                )?;
+            }
+            Ok(Request::Shards(set)) => {
+                let shards = match set {
+                    Some(n) => engine.catalog().set_shards(n),
+                    None => engine.catalog().config().shards,
+                };
+                writeln!(writer, "OK shards={shards}")?;
+            }
             Ok(Request::Shutdown) => {
                 writeln!(writer, "OK bye")?;
                 writer.flush()?;

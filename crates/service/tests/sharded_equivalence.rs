@@ -1,0 +1,340 @@
+//! Sharded-catalog equivalence suite: prepared datasets and served
+//! answers must be **bit-identical** for every shard count and partition
+//! strategy. This is the contract that makes `--shards` a pure
+//! preparation-latency knob — if any of these fail, sharding is changing
+//! answers and must not ship.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::registry::ALGORITHM_NAMES;
+use fairhms_data::shard::PartitionStrategy;
+use fairhms_data::{gen, Dataset};
+use fairhms_service::{Catalog, CatalogConfig, PreparedDataset, Query, QueryEngine};
+
+const STRATEGIES: [PartitionStrategy; 2] = [
+    PartitionStrategy::RoundRobin,
+    PartitionStrategy::GroupStratified,
+];
+
+fn generated(name: &str, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, c);
+    Dataset::new(
+        name,
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap()
+}
+
+fn cfg(shards: usize, strategy: PartitionStrategy) -> CatalogConfig {
+    CatalogConfig { shards, strategy }
+}
+
+/// Prepared form equality, field by field, against the 1-shard reference.
+fn assert_prep_identical(reference: &PreparedDataset, sharded: &PreparedDataset, label: &str) {
+    assert_eq!(
+        reference.skyline_rows, sharded.skyline_rows,
+        "{label}: skyline_rows diverged"
+    );
+    assert_eq!(
+        reference.skyline_data.points_flat(),
+        sharded.skyline_data.points_flat(),
+        "{label}: skyline matrix diverged"
+    );
+    assert_eq!(
+        reference.skyline_data.groups(),
+        sharded.skyline_data.groups(),
+        "{label}: skyline group labels diverged"
+    );
+    assert_eq!(
+        reference.dataset.points_flat(),
+        sharded.dataset.points_flat(),
+        "{label}: normalized matrix diverged"
+    );
+    assert_eq!(
+        reference.skyline_group_sizes, sharded.skyline_group_sizes,
+        "{label}: skyline group sizes diverged"
+    );
+}
+
+#[test]
+fn prepared_form_is_shard_count_invariant() {
+    for (n, d, c) in [(300, 3, 3), (500, 2, 4), (200, 4, 2)] {
+        let reference = PreparedDataset::prepare_with(
+            "ref",
+            generated("ds", n, d, c, 7),
+            &cfg(1, STRATEGIES[0]),
+        )
+        .unwrap();
+        for shards in [2usize, 3, 4, 7, 8] {
+            for strat in STRATEGIES {
+                let sharded = PreparedDataset::prepare_with(
+                    "sharded",
+                    generated("ds", n, d, c, 7),
+                    &cfg(shards, strat),
+                )
+                .unwrap();
+                assert_eq!(sharded.num_shards(), shards.min(n));
+                // Shard views are consistent: the dealt rows cover the
+                // dataset, each shard's skyline fits inside its deal, and
+                // the merged skyline is a subset of the shard-skyline
+                // union.
+                assert_eq!(
+                    sharded.shards.iter().map(|sp| sp.num_rows).sum::<usize>(),
+                    n
+                );
+                for sp in &sharded.shards {
+                    assert_eq!(sp.group_sizes.iter().sum::<usize>(), sp.num_rows);
+                    assert!(sp.skyline_rows.len() <= sp.num_rows);
+                }
+                let union: std::collections::HashSet<usize> = sharded
+                    .shards
+                    .iter()
+                    .flat_map(|sp| sp.skyline_rows.iter().copied())
+                    .collect();
+                assert!(sharded.skyline_rows.iter().all(|r| union.contains(r)));
+                assert_prep_identical(
+                    &reference,
+                    &sharded,
+                    &format!("n={n} d={d} c={c} shards={shards} strat={strat}"),
+                );
+            }
+        }
+    }
+}
+
+/// Served answers are bit-identical between a 1-shard and a multi-shard
+/// engine, across every registered algorithm (2D dataset so `intcov`
+/// participates), both bounds policies, several k and seeds.
+#[test]
+fn served_answers_are_shard_count_invariant() {
+    let data = || generated("eq", 240, 2, 3, 21);
+    let reference = {
+        let cat = Arc::new(Catalog::with_config(cfg(1, STRATEGIES[0])));
+        cat.insert_dataset(data()).unwrap();
+        QueryEngine::new(cat, 1024)
+    };
+    for shards in [2usize, 4, 7] {
+        for strat in STRATEGIES {
+            let sharded = {
+                let cat = Arc::new(Catalog::with_config(cfg(shards, strat)));
+                cat.insert_dataset(data()).unwrap();
+                QueryEngine::new(cat, 1024)
+            };
+            for alg in ALGORITHM_NAMES {
+                for (k, balanced, seed) in [(3usize, false, 42u64), (5, true, 7), (6, false, 99)] {
+                    let mut q = Query::new("eq", k);
+                    q.alg = alg.to_string();
+                    q.balanced = balanced;
+                    q.seed = seed;
+                    let a = reference.execute(&q);
+                    let b = sharded.execute(&q);
+                    match (a, b) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(
+                                a.answer.indices, b.answer.indices,
+                                "indices diverged: alg={alg} k={k} shards={shards} {strat}"
+                            );
+                            assert_eq!(
+                                a.answer.mhr.map(f64::to_bits),
+                                b.answer.mhr.map(f64::to_bits),
+                                "mhr bits diverged: alg={alg} k={k} shards={shards} {strat}"
+                            );
+                            assert_eq!(a.answer.violations, b.answer.violations);
+                        }
+                        // An algorithm that rejects the instance (e.g. a
+                        // k < d gate) must reject it identically.
+                        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "errors diverged: alg={alg}"),
+                        (a, b) => {
+                            panic!("one path failed, the other did not: {alg}: {a:?} vs {b:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge cases: degraded shapes must degrade identically, never violate
+// bounds that were feasible unsharded.
+// ---------------------------------------------------------------------
+
+/// A group smaller than the shard count: its rows land in |D_c| shards;
+/// prep and solves stay identical, and a lower bound of 1 on the tiny
+/// group is still met.
+#[test]
+fn group_smaller_than_shard_count() {
+    // Group 2 has a single member (row 6: weak point, kept only by the
+    // per-group skyline).
+    let mk = || {
+        Dataset::new(
+            "tiny-group",
+            2,
+            vec![
+                1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3, 0.4, 0.8, 0.6, 0.6, 0.05, 0.05,
+            ],
+            vec![0, 0, 1, 1, 0, 1, 2],
+            vec![],
+        )
+        .unwrap()
+    };
+    let reference = PreparedDataset::prepare_with("r", mk(), &cfg(1, STRATEGIES[0])).unwrap();
+    for strat in STRATEGIES {
+        let sharded = PreparedDataset::prepare_with("s", mk(), &cfg(4, strat)).unwrap();
+        assert_prep_identical(&reference, &sharded, &format!("tiny group, {strat}"));
+        // The singleton group survives the merged skyline.
+        assert!(sharded.skyline_rows.contains(&6));
+        assert_eq!(sharded.skyline_group_sizes[2], 1);
+
+        let cat = Arc::new(Catalog::with_config(cfg(4, strat)));
+        cat.insert_dataset(mk()).unwrap();
+        let eng = QueryEngine::new(cat, 64);
+        let mut q = Query::new("tiny-group", 3);
+        q.alg = "intcov".into();
+        let resp = eng.execute(&q).unwrap();
+        // Proportional bounds give group 2 a lower bound of at most 1;
+        // feasible unsharded, so it must be met sharded: zero violations.
+        assert_eq!(resp.answer.violations, 0);
+        assert!(resp.answer.indices.iter().all(|&i| i < 7));
+    }
+}
+
+/// A group that is *named* but has no rows at all (vacant label): prep
+/// must not panic, the empty group contributes nothing anywhere, and
+/// derived bounds stay feasible.
+#[test]
+fn vacant_group_degrades_gracefully() {
+    let mk = || {
+        Dataset::new(
+            "vacant",
+            2,
+            vec![1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3],
+            vec![0, 1, 0, 1],
+            // Group 2 exists in the schema but owns no rows.
+            vec!["a".into(), "b".into(), "ghost".into()],
+        )
+        .unwrap()
+    };
+    let reference = PreparedDataset::prepare_with("r", mk(), &cfg(1, STRATEGIES[0])).unwrap();
+    for shards in [2usize, 3, 7] {
+        for strat in STRATEGIES {
+            let sharded = PreparedDataset::prepare_with("s", mk(), &cfg(shards, strat)).unwrap();
+            assert_prep_identical(
+                &reference,
+                &sharded,
+                &format!("vacant group {shards} {strat}"),
+            );
+            assert_eq!(sharded.skyline_group_sizes.len(), 3);
+            assert_eq!(sharded.skyline_group_sizes[2], 0);
+        }
+    }
+    let cat = Arc::new(Catalog::with_config(cfg(
+        3,
+        PartitionStrategy::GroupStratified,
+    )));
+    cat.insert_dataset(mk()).unwrap();
+    let eng = QueryEngine::new(cat, 64);
+    let mut q = Query::new("vacant", 2);
+    q.alg = "intcov".into();
+    // Bounds repair clamps the vacant group to l=h=0; the solve succeeds.
+    assert_eq!(eng.execute(&q).unwrap().answer.violations, 0);
+}
+
+/// Fewer rows than requested shards: the plan clamps to n shards and the
+/// pipeline behaves exactly like the unsharded one.
+#[test]
+fn fewer_rows_than_shards() {
+    let mk = || {
+        Dataset::new(
+            "micro",
+            2,
+            vec![1.0, 0.2, 0.3, 0.9, 0.6, 0.6],
+            vec![0, 1, 0],
+            vec![],
+        )
+        .unwrap()
+    };
+    let reference = PreparedDataset::prepare_with("r", mk(), &cfg(1, STRATEGIES[0])).unwrap();
+    for strat in STRATEGIES {
+        let sharded = PreparedDataset::prepare_with("s", mk(), &cfg(8, strat)).unwrap();
+        assert_eq!(sharded.num_shards(), 3, "clamped to n");
+        assert_prep_identical(&reference, &sharded, &format!("n<shards {strat}"));
+
+        let cat = Arc::new(Catalog::with_config(cfg(8, strat)));
+        cat.insert_dataset(mk()).unwrap();
+        let eng = QueryEngine::new(cat, 64);
+        let mut q = Query::new("micro", 2);
+        q.alg = "intcov".into();
+        let resp = eng.execute(&q).unwrap();
+        assert_eq!(resp.answer.violations, 0);
+        assert_eq!(resp.answer.indices.len(), 2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized end-to-end property: random dataset/bounds/k, sharded vs
+// unsharded answers bit-identical (vendored proptest; deterministic
+// algorithms so equality is exact, not statistical).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_queries_shard_invariant(
+        n in 20usize..120,
+        c in 1usize..4,
+        k in 2usize..8,
+        alpha in 0.0f64..0.5,
+        balanced_bit in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let balanced = balanced_bit == 1;
+        let data = |nm: &str| generated(nm, n, 2, c, seed.wrapping_mul(31).wrapping_add(n as u64));
+        let reference = {
+            let cat = Arc::new(Catalog::with_config(cfg(1, STRATEGIES[0])));
+            cat.insert_dataset(data("p")).unwrap();
+            QueryEngine::new(cat, 64)
+        };
+        for shards in [2usize, 3, 7] {
+            for strat in STRATEGIES {
+                let cat = Arc::new(Catalog::with_config(cfg(shards, strat)));
+                cat.insert_dataset(data("p")).unwrap();
+                let eng = QueryEngine::new(cat, 64);
+                for alg in ["intcov", "f-greedy", "bigreedy"] {
+                    let mut q = Query::new("p", k.min(n));
+                    q.alg = alg.into();
+                    q.alpha = alpha;
+                    q.balanced = balanced;
+                    q.seed = seed;
+                    let a = reference.execute(&q);
+                    let b = eng.execute(&q);
+                    match (a, b) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(&a.answer.indices, &b.answer.indices);
+                            prop_assert_eq!(
+                                a.answer.mhr.map(f64::to_bits),
+                                b.answer.mhr.map(f64::to_bits)
+                            );
+                        }
+                        (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                        (a, b) => {
+                            return Err(TestCaseError::fail(format!(
+                                "divergent outcome for {alg}: {a:?} vs {b:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -21,7 +21,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> bench smoke (service engine, tiny sizes)"
+# The service suite runs twice more, pinned to each preparation
+# pipeline: every engine/cache/server test must pass over the classic
+# single-shard catalog AND the sharded (4-way) one — answers are
+# contractually bit-identical (see docs/ARCHITECTURE.md, "Sharded
+# preparation & merge").
+echo "==> service tests, unsharded catalog (FAIRHMS_TEST_SHARDS=1)"
+FAIRHMS_TEST_SHARDS=1 cargo test -p fairhms-service -q
+
+echo "==> service tests, sharded catalog (FAIRHMS_TEST_SHARDS=4)"
+FAIRHMS_TEST_SHARDS=4 cargo test -p fairhms-service -q
+
+echo "==> bench smoke (service engine + shard prep, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
+FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
 
 echo "CI OK"

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fairhms::core::registry::{self, AlgorithmParams};
-use fairhms::core::types::{FairHmsInstance, Solution};
+use fairhms::core::types::{CandidateSet, FairHmsInstance, Solution};
 use fairhms::data::gen;
 use fairhms::data::skyline::group_skyline_indices;
 use fairhms::data::stats::DatasetStats;
@@ -69,7 +69,7 @@ USAGE:
   fairhms solve --input FILE --dim D --k K [--alg NAME] [--alpha A] [--balanced]
                 [--no-skyline] [--seed S]
   fairhms serve --data NAME=FILE[,NAME=FILE...] [--addr HOST:PORT] [--workers N]
-                [--cache N]
+                [--cache N] [--shards N] [--strategy roundrobin|stratified]
   fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
                 [--balanced] [--no-skyline] [--seed S] | --file FILE) [--show-stats]
 
@@ -78,9 +78,11 @@ ALGORITHMS (for --alg):
   greedy dmm hs sphere (unfair baselines)
 
 `serve` loads each CSV once (dimensionality sniffed from the first row),
-precomputes group skylines, and answers the line protocol documented in
-README.md; `query` is the matching client (`--file` sends a BATCH of QUERY
-lines through the server's thread pool).
+precomputes group skylines — partitioned across --shards parallel prep
+threads; answers are bit-identical for every shard count — and answers the
+line protocol documented in docs/PROTOCOL.md; `query` is the matching
+client (`--file` sends a BATCH of QUERY lines through the server's thread
+pool).
 
 INPUT FORMAT: CSV rows `attr_1,...,attr_D,group_label` (no header).";
 
@@ -187,15 +189,16 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     let seed: u64 = num(opts, "seed")?.unwrap_or(42);
     let alg_name = opts.get("alg").map(|s| s.as_str()).unwrap_or("bigreedy");
 
-    // Skyline restriction (lossless) unless disabled.
-    let (input, row_map): (fairhms::data::Dataset, Vec<usize>) = if opts.contains_key("no-skyline")
-    {
-        let map = (0..data.len()).collect();
-        (data, map)
+    // Candidate-set seam (shared with the serving engine): skyline
+    // restriction (lossless) unless disabled, carrying the map back to
+    // original row ids.
+    let cand = if opts.contains_key("no-skyline") {
+        CandidateSet::full(std::sync::Arc::new(data))
     } else {
         let sky = group_skyline_indices(&data);
-        (data.subset(&sky), sky)
+        CandidateSet::restrict(&data, &sky)
     };
+    let input = cand.data();
 
     let (lower, upper) = if opts.contains_key("balanced") {
         balanced_bounds(&input.group_sizes(), k, alpha)
@@ -203,10 +206,9 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         proportional_bounds(&input.group_sizes(), k, alpha)
     };
     println!("bounds: l = {lower:?}, h = {upper:?}");
-    // Move the dataset into a shared handle; the instance and the
-    // evaluation below read the same allocation (no matrix copy).
-    let input = std::sync::Arc::new(input);
-    let inst = FairHmsInstance::new(std::sync::Arc::clone(&input), k, lower, upper)
+    // The instance and the evaluation below share the candidate
+    // allocation (no matrix copy).
+    let inst = FairHmsInstance::new(std::sync::Arc::clone(input), k, lower, upper)
         .map_err(|e| e.to_string())?;
 
     let params = AlgorithmParams {
@@ -219,16 +221,13 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     let elapsed = t.elapsed();
 
     let mhr = if input.dim() == 2 {
-        fairhms::core::eval::mhr_exact_2d(&input, &sol.indices)
+        fairhms::core::eval::mhr_exact_2d(input, &sol.indices)
     } else {
-        fairhms::core::eval::mhr_exact_lp(&input, &sol.indices)
+        fairhms::core::eval::mhr_exact_lp(input, &sol.indices)
     };
     let err = inst.matroid().violations(&sol.indices);
     println!("algorithm : {alg_name}");
-    println!(
-        "rows      : {:?}",
-        sol.indices.iter().map(|&i| row_map[i]).collect::<Vec<_>>()
-    );
+    println!("rows      : {:?}", cand.to_original(&sol.indices));
     println!("mhr       : {mhr:.6}");
     println!("err(S)    : {err}");
     println!("time      : {elapsed:?}");
@@ -239,7 +238,8 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
 /// in the foreground until a client sends SHUTDOWN (or the process is
 /// killed).
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
-    use fairhms::service::{Catalog, QueryEngine, Server, ServerConfig};
+    use fairhms::data::shard::PartitionStrategy;
+    use fairhms::service::{Catalog, CatalogConfig, QueryEngine, Server, ServerConfig, MAX_SHARDS};
     use std::sync::Arc;
 
     let specs = req(opts, "data")?;
@@ -249,8 +249,21 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_else(|| "127.0.0.1:4077".to_string());
     let workers: usize = num(opts, "workers")?.unwrap_or(4);
     let cache: usize = num(opts, "cache")?.unwrap_or(1024);
+    let mut cfg = CatalogConfig::default();
+    if let Some(shards) = num::<usize>(opts, "shards")? {
+        if !(1..=MAX_SHARDS).contains(&shards) {
+            return Err(format!(
+                "--shards must be in 1..={MAX_SHARDS}, got {shards}"
+            ));
+        }
+        cfg.shards = shards;
+    }
+    if let Some(strat) = opts.get("strategy") {
+        cfg.strategy = PartitionStrategy::parse(strat)
+            .ok_or_else(|| format!("--strategy: expected roundrobin|stratified, got {strat:?}"))?;
+    }
 
-    let catalog = Arc::new(Catalog::new());
+    let catalog = Arc::new(Catalog::with_config(cfg));
     for spec in specs.split(',').filter(|s| !s.is_empty()) {
         let (name, path) = spec
             .split_once('=')
@@ -260,12 +273,13 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .load_csv(name, &PathBuf::from(path))
             .map_err(|e| e.to_string())?;
         println!(
-            "loaded {:<16} n={:<8} d={} groups={} skyline={} ({:?})",
+            "loaded {:<16} n={:<8} d={} groups={} skyline={} shards={} ({:?})",
             prep.name,
             prep.dataset.len(),
             prep.dataset.dim(),
             prep.dataset.num_groups(),
             prep.skyline_rows.len(),
+            prep.num_shards(),
             t.elapsed()
         );
     }
@@ -273,14 +287,19 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err("no datasets loaded (use --data NAME=FILE)".into());
     }
 
+    let shards = cfg.shards;
+    let strategy = cfg.strategy;
     let engine = Arc::new(QueryEngine::new(catalog, cache));
     let server =
         Server::spawn(engine, ServerConfig { addr, workers }).map_err(|e| e.to_string())?;
     println!(
-        "fairhms-service listening on {} ({} batch workers, cache {} answers)",
+        "fairhms-service listening on {} ({} batch workers, cache {} answers, \
+         {} prep shards [{}])",
         server.addr(),
         workers,
-        cache
+        cache,
+        shards,
+        strategy
     );
     server.join();
     println!("server stopped");
