@@ -1,0 +1,114 @@
+//! Wire-codec benchmarks: encode/decode throughput of [`TextCodec`] vs
+//! [`BinaryCodec`] on answer frames, dominated by large `indices` lists —
+//! the payload shape `BATCH` responses actually ship. Throughput is
+//! reported in bytes of *encoded frame* per second, so the two codecs'
+//! numbers are comparable end-to-end (binary frames are smaller AND
+//! cheaper to decode; text decoding pays decimal parsing per index).
+//!
+//! CI runs this as a smoke test (`FAIRHMS_BENCH_MS` caps sampling);
+//! locally it quantifies the codec choice for docs/PROTOCOL.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fairhms_service::codec::{BinaryCodec, Codec, TextCodec};
+use fairhms_service::protocol::{Response, WireAnswer};
+
+/// A deterministic answer with `n` spread-out indices — the hot frame
+/// shape (an `mhr` with messy trailing digits exercises float handling
+/// in both codecs: shortest-round-trip decimal vs raw bits).
+fn answer_frame(n: usize, seq: Option<u64>) -> Response {
+    Response::Answer {
+        seq,
+        answer: WireAnswer {
+            alg: "BiGreedy".into(),
+            cached: false,
+            micros: 8_123_456,
+            violations: 0,
+            mhr: Some(0.1 + 0.2),
+            indices: (0..n).map(|i| i * 17 + (i % 13)).collect(),
+        },
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let codecs: [(&str, &dyn Codec); 2] = [("text", &TextCodec), ("binary", &BinaryCodec)];
+
+    for n in [100usize, 10_000, 100_000] {
+        let resp = answer_frame(n, Some(42));
+        let mut group = c.benchmark_group(format!("codec_answer_n{n}"));
+        group.sample_size(10);
+
+        for (name, codec) in codecs {
+            // Frame size drives the throughput denominator.
+            let mut frame = Vec::new();
+            codec.encode_frame(&resp, &mut frame).unwrap();
+            group.throughput(Throughput::Bytes(frame.len() as u64));
+
+            group.bench_with_input(BenchmarkId::new("encode", name), &resp, |b, resp| {
+                let mut out = Vec::with_capacity(frame.len());
+                b.iter(|| {
+                    out.clear();
+                    codec
+                        .encode_frame(std::hint::black_box(resp), &mut out)
+                        .unwrap();
+                    out.len()
+                })
+            });
+
+            group.bench_with_input(BenchmarkId::new("decode", name), &frame, |b, frame| {
+                b.iter(|| {
+                    let mut cursor = std::io::Cursor::new(std::hint::black_box(frame.as_slice()));
+                    codec.read_frame(&mut cursor).unwrap().unwrap()
+                })
+            });
+
+            group.bench_with_input(BenchmarkId::new("round_trip", name), &resp, |b, resp| {
+                let mut out = Vec::with_capacity(frame.len());
+                b.iter(|| {
+                    out.clear();
+                    codec
+                        .encode_frame(std::hint::black_box(resp), &mut out)
+                        .unwrap();
+                    let mut cursor = std::io::Cursor::new(out.as_slice());
+                    codec.read_frame(&mut cursor).unwrap().unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // Small control-plane frames: framing overhead, not payload, rules.
+    let mut group = c.benchmark_group("codec_small_frames");
+    let small = [
+        Response::Pong,
+        Response::Stats {
+            hits: 1_000_000,
+            misses: 250_000,
+            entries: 4096,
+            evictions: 17,
+            hit_rate: 0.8,
+        },
+        answer_frame(5, None),
+    ];
+    for (name, codec) in codecs {
+        group.throughput(Throughput::Elements(small.len() as u64));
+        group.bench_with_input(BenchmarkId::new("round_trip3", name), &small, |b, small| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut decoded = 0usize;
+                for resp in std::hint::black_box(small) {
+                    out.clear();
+                    codec.encode_frame(resp, &mut out).unwrap();
+                    let mut cursor = std::io::Cursor::new(out.as_slice());
+                    codec.read_frame(&mut cursor).unwrap().unwrap();
+                    decoded += 1;
+                }
+                decoded
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -121,12 +121,12 @@ fn bench_service(c: &mut Criterion) {
     let resp = eng.execute(&q).unwrap();
     codec.bench_function("format+parse", |b| {
         b.iter(|| {
-            let s = protocol::format_response(std::hint::black_box(&resp));
+            let s = protocol::format_response(std::hint::black_box(&resp)).unwrap();
             protocol::parse_response(&s).unwrap()
         })
     });
     codec.bench_function("parse_request", |b| {
-        let wire = protocol::query_to_wire(&q);
+        let wire = protocol::query_to_wire(&q).unwrap();
         b.iter(|| protocol::parse_request(std::hint::black_box(&wire)).unwrap())
     });
     codec.finish();

@@ -368,7 +368,41 @@ impl Catalog {
             name: name.to_string(),
         })
     }
+}
 
+/// Resolves a `LOAD path=<path>` request against the server's
+/// `--load-root` allowlist directory.
+///
+/// The admin verb must not become an arbitrary-file read: `requested` has
+/// to be a relative path, and its canonical form (symlinks and `..`
+/// resolved by the OS) must still sit under the canonical root — so
+/// `path=../secret.csv`, absolute paths, and symlink escapes are all
+/// refused with a typed error before any file is opened.
+pub fn resolve_under_root(
+    root: &Path,
+    requested: &str,
+) -> Result<std::path::PathBuf, ServiceError> {
+    if requested.is_empty() || Path::new(requested).is_absolute() {
+        return Err(ServiceError::Protocol(format!(
+            "path: {requested:?} must be relative to the server's --load-root"
+        )));
+    }
+    let root = root
+        .canonicalize()
+        .map_err(|e| ServiceError::Dataset(format!("load root {}: {e}", root.display())))?;
+    let full = root
+        .join(requested)
+        .canonicalize()
+        .map_err(|e| ServiceError::Dataset(format!("{requested}: {e}")))?;
+    if !full.starts_with(&root) {
+        return Err(ServiceError::Protocol(format!(
+            "path: {requested:?} escapes the server's --load-root"
+        )));
+    }
+    Ok(full)
+}
+
+impl Catalog {
     /// Sorted catalog keys.
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
@@ -462,6 +496,37 @@ mod tests {
             );
         }
         assert!(cat.insert_named("ok-name_2", toy()).is_ok());
+    }
+
+    #[test]
+    fn resolve_under_root_confines_load_paths() {
+        let root = std::env::temp_dir().join("fairhms_load_root_test");
+        std::fs::create_dir_all(root.join("sub")).unwrap();
+        std::fs::write(root.join("ok.csv"), "0.1,0.2,a\n").unwrap();
+        std::fs::write(root.join("sub/nested.csv"), "0.1,0.2,a\n").unwrap();
+        let outside = std::env::temp_dir().join("fairhms_load_root_outside.csv");
+        std::fs::write(&outside, "0.1,0.2,a\n").unwrap();
+
+        // In-root files resolve, including nested ones.
+        assert!(resolve_under_root(&root, "ok.csv").is_ok());
+        assert!(resolve_under_root(&root, "sub/nested.csv").is_ok());
+        // `..` inside the root is fine as long as it does not escape.
+        assert!(resolve_under_root(&root, "sub/../ok.csv").is_ok());
+
+        // Absolute paths, traversal escapes, empty and missing paths: no.
+        let abs = outside.to_string_lossy().to_string();
+        for bad in [
+            abs.as_str(),
+            "../fairhms_load_root_outside.csv",
+            "sub/../../fairhms_load_root_outside.csv",
+            "",
+            "missing.csv",
+        ] {
+            assert!(
+                resolve_under_root(&root, bad).is_err(),
+                "{bad:?} should be refused"
+            );
+        }
     }
 
     #[test]

@@ -98,6 +98,22 @@ impl QueryEngine {
         self.cache.stats()
     }
 
+    /// Registers a CSV into the catalog at runtime — the engine seam the
+    /// wire `LOAD` admin verb lands on (path confinement to the server's
+    /// `--load-root` has already happened by the time this runs; see
+    /// [`crate::catalog::resolve_under_root`]).
+    ///
+    /// Replacing an existing name is safe mid-traffic: the fresh
+    /// registration epoch orphans every answer cached against the old
+    /// data (see [`QueryEngine::execute`]).
+    pub fn load_csv(
+        &self,
+        name: &str,
+        path: &std::path::Path,
+    ) -> Result<Arc<crate::catalog::PreparedDataset>, ServiceError> {
+        self.catalog.load_csv(name, path)
+    }
+
     /// Executes one query: canonicalize, consult the cache, otherwise
     /// dispatch through [`registry::by_name`] and cache the answer.
     ///

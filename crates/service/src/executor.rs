@@ -91,6 +91,53 @@ impl BatchExecutor {
             .map(|slot| slot.expect("every index is claimed exactly once"))
             .collect()
     }
+
+    /// Executes every query, delivering each `(index, result)` to
+    /// `deliver` **as it completes** instead of buffering the batch.
+    ///
+    /// This is the engine side of `BATCH n stream=true`: workers report
+    /// over the same per-completion mpsc channel `execute_all` uses, but
+    /// the channel drains straight into `deliver` (called on the
+    /// caller's thread, so an `FnMut` writing to a socket needs no
+    /// locking). Completion *order* depends on scheduling; the payload
+    /// delivered for each index does not — reassembling by index yields
+    /// exactly [`BatchExecutor::execute_all`]'s output (pinned by tests),
+    /// which is why the wire protocol tags streamed frames with `seq`.
+    pub fn execute_streaming<F>(&self, engine: &QueryEngine, queries: &[Query], mut deliver: F)
+    where
+        F: FnMut(usize, Result<QueryResponse, ServiceError>),
+    {
+        if queries.is_empty() {
+            return;
+        }
+        let workers = self.workers.min(queries.len());
+        if workers == 1 {
+            for (i, q) in queries.iter().enumerate() {
+                deliver(i, engine.execute(q));
+            }
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<QueryResponse, ServiceError>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let _ = tx.send((i, engine.execute(&queries[i])));
+                });
+            }
+            drop(tx);
+            for (i, res) in rx {
+                deliver(i, res);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +198,36 @@ mod tests {
             results[qs.len() - 1],
             Err(ServiceError::UnknownDataset { .. })
         ));
+    }
+
+    #[test]
+    fn streaming_delivery_reassembles_to_execute_all_output() {
+        let eng = engine();
+        let qs = batch();
+        let reference = payloads(&BatchExecutor::new(1).execute_all(&eng, &qs));
+        for workers in [1usize, 2, 3, 8] {
+            let ex = BatchExecutor::new(workers);
+            let mut slots: Vec<Option<Option<Vec<usize>>>> = vec![None; qs.len()];
+            let mut arrivals = Vec::new();
+            ex.execute_streaming(&eng, &qs, |i, r| {
+                arrivals.push(i);
+                assert!(slots[i].is_none(), "index {i} delivered twice");
+                slots[i] = Some(r.ok().map(|resp| resp.answer.indices.clone()));
+            });
+            // every index delivered exactly once…
+            let mut sorted = arrivals.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..qs.len()).collect::<Vec<_>>());
+            // …and reassembly by index equals the buffered output.
+            let got: Vec<Option<Vec<usize>>> = slots.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn streaming_empty_batch_delivers_nothing() {
+        BatchExecutor::default()
+            .execute_streaming(&engine(), &[], |_, _| panic!("no deliveries expected"));
     }
 
     #[test]

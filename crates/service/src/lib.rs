@@ -18,8 +18,15 @@
 //! * [`executor`] — a [`BatchExecutor`] fan-out over std threads and
 //!   channels (no async runtime) whose output is independent of worker
 //!   count and scheduling;
-//! * [`protocol`] — the line-delimited request/response wire format;
-//! * [`server`] — a std-only TCP front end (`fairhms serve`).
+//! * [`protocol`] — typed [`Request`]/[`Response`] wire model and the v1
+//!   text rendering;
+//! * [`codec`] — the pluggable [`Codec`] seam: v1 text lines and the v2
+//!   length-prefixed binary framing, negotiated per connection by
+//!   `HELLO`;
+//! * [`client`] — [`WireClient`], the typed client the CLI and test
+//!   suites share;
+//! * [`server`] — a std-only TCP front end (`fairhms serve`) with
+//!   streamed batch delivery and the `LOAD` admin verb.
 //!
 //! ```
 //! use fairhms_service::{Catalog, Query, QueryEngine};
@@ -43,6 +50,8 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod client;
+pub mod codec;
 pub mod engine;
 pub mod executor;
 pub mod protocol;
@@ -51,10 +60,13 @@ pub mod server;
 
 pub use cache::{CacheStats, SolutionCache};
 pub use catalog::{Catalog, CatalogConfig, PreparedDataset, ShardPrep, MAX_SHARDS};
+pub use client::WireClient;
+pub use codec::{BinaryCodec, Codec, CodecKind, TextCodec};
 pub use engine::{Answer, QueryEngine, QueryResponse};
 pub use executor::BatchExecutor;
+pub use protocol::{Request, Response, WireAnswer};
 pub use query::Query;
-pub use server::{Server, ServerConfig};
+pub use server::{ServeOptions, Server, ServerConfig};
 
 use fairhms_core::types::CoreError;
 use fairhms_data::DatasetError;
@@ -73,6 +85,15 @@ pub enum ServiceError {
     Core(CoreError),
     /// A wire request could not be parsed.
     Protocol(String),
+    /// The server is shedding load: too many streamed batches in flight
+    /// (the first concrete admission-control backstop; see
+    /// [`server::ServeOptions::max_stream_batches`]).
+    Busy {
+        /// Streamed batches currently in flight server-wide.
+        active: usize,
+        /// Configured cap.
+        limit: usize,
+    },
     /// Socket / filesystem failure (message-only; `io::Error` is not
     /// `Clone`).
     Io(String),
@@ -87,6 +108,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Dataset(m) => write!(f, "dataset error: {m}"),
             ServiceError::Core(e) => write!(f, "solver error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Busy { active, limit } => write!(
+                f,
+                "busy: {active} streamed batches in flight (limit {limit})"
+            ),
             ServiceError::Io(m) => write!(f, "io error: {m}"),
         }
     }

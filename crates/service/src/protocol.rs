@@ -1,13 +1,24 @@
-//! Line-delimited wire protocol for the TCP front end.
+//! Typed wire protocol: requests, the [`Response`] model, and the v1 text
+//! rendering.
 //!
-//! One request per line, one response line per request (plus `n` extra
-//! lines after a `BATCH n` header). Everything is UTF-8 text,
-//! space-separated `key=value` pairs, no quoting — values never contain
-//! spaces. Numeric floats use Rust's shortest round-trip `Display`
-//! formatting, so a parsed `mhr` is bit-identical to the serialized one.
+//! Since protocol **v2** the service speaks a *typed* request/response
+//! model: every server reply is a [`Response`] value, and a
+//! [`crate::codec::Codec`] renders it on the wire. Two codecs exist —
+//! [`crate::codec::TextCodec`] (the v1 lines below, bit-for-bit) and
+//! [`crate::codec::BinaryCodec`] (length-prefixed frames) — negotiated by
+//! the `HELLO` handshake. A connection that never sends `HELLO` is a v1
+//! text session and observes exactly the v1 protocol.
+//!
+//! Requests are *always* newline-delimited UTF-8 text, space-separated
+//! `key=value` pairs, no quoting — values never contain spaces. The
+//! negotiated codec governs the **response** channel only (responses
+//! carry the bulk: index lists). Numeric floats use Rust's shortest
+//! round-trip `Display` formatting, so a parsed `mhr` is bit-identical to
+//! the serialized one.
 //!
 //! ```text
 //! >> PING                                   << OK pong
+//! >> HELLO version=2 codec=binary           << OK version=2 codec=binary
 //! >> LIST                                   << OK datasets=name:n:d:c:sky,...
 //! >> ALGS                                   << OK algorithms=intcov,bigreedy,...
 //! >> STATS                                  << OK hits=… misses=… entries=… evictions=… hit_rate=…
@@ -18,21 +29,38 @@
 //! >> BATCH 2                                << OK batch=2
 //! >> QUERY …                                << (response line for query 1)
 //! >> QUERY …                                << (response line for query 2)
+//! >> BATCH 2 stream=true                    << OK batch=2 stream=true
+//! >> QUERY …                                << OK seq=1 alg=…   (completion order,
+//! >> QUERY …                                << OK seq=0 alg=…    seq = request index)
+//! >> LOAD name=extra path=extra.csv         << OK loaded name=extra n=2000 d=3 groups=3 skyline=940
 //! >> SHUTDOWN                               << OK bye
 //! ```
 //!
-//! Malformed input yields a single `ERR <message>` line; the connection
+//! Malformed input yields a single `ERR <message>` reply; the connection
 //! stays open.
 
 use crate::engine::QueryResponse;
 use crate::query::Query;
 use crate::ServiceError;
 
+/// Protocol version spoken after a successful `HELLO`; v1 is the
+/// implicit version of connections that never send one.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
+    /// `HELLO version=2 codec=<text|binary>`: negotiate the response
+    /// codec for the rest of the connection (v2 handshake).
+    Hello {
+        /// Requested protocol version (only [`PROTOCOL_VERSION`] is
+        /// accepted; v1 clients simply never send `HELLO`).
+        version: u32,
+        /// Requested response codec.
+        codec: crate::codec::CodecKind,
+    },
     /// List cataloged datasets.
     List,
     /// List registered algorithm names.
@@ -46,12 +74,149 @@ pub enum Request {
     /// sets it for future dataset registrations (already-prepared
     /// datasets are untouched — answers are shard-count-independent).
     Shards(Option<usize>),
-    /// `BATCH n`: the next `n` lines are queries executed as one batch.
-    Batch(usize),
+    /// `BATCH n [stream=true]`: the next `n` lines are queries executed
+    /// as one batch. With `stream=true` each answer is delivered as it
+    /// completes, tagged with its request index (`seq=`), instead of
+    /// buffering all `n` in request order.
+    Batch {
+        /// Number of `QUERY` lines that follow the header.
+        n: usize,
+        /// Stream per-completion (`seq`-tagged) instead of buffering.
+        stream: bool,
+    },
     /// A single query.
     Query(Box<Query>),
+    /// `LOAD name=<name> path=<path>`: register a CSV from the server's
+    /// `--load-root` allowlist directory into the catalog.
+    Load {
+        /// Catalog key to register under.
+        name: String,
+        /// Path relative to the server's `--load-root`.
+        path: String,
+    },
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+}
+
+/// One typed server reply — the seam every codec encodes from and every
+/// client decodes into.
+///
+/// One variant per verb (plus [`Response::Error`]); the legacy v1 lines
+/// are exactly [`crate::codec::TextCodec`]'s rendering of these values,
+/// so the typed model is observably identical to the historical ad-hoc
+/// `format!` strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `PING` reply.
+    Pong,
+    /// `HELLO` acknowledgment: the version and codec now in force.
+    Hello {
+        /// Accepted protocol version.
+        version: u32,
+        /// Response codec for every frame after this acknowledgment.
+        codec: crate::codec::CodecKind,
+    },
+    /// `LIST` reply: one `name:n:d:groups:skyline` summary per dataset.
+    Datasets(Vec<String>),
+    /// `ALGS` reply: registered algorithm names.
+    Algorithms(Vec<String>),
+    /// `STATS` reply: solution-cache counters.
+    Stats {
+        /// Lookups answered from the cache.
+        hits: u64,
+        /// Lookups that fell through to a cold solve.
+        misses: u64,
+        /// Entries currently resident.
+        entries: usize,
+        /// Entries evicted to make room.
+        evictions: u64,
+        /// `hits / (hits + misses)` (0 when nothing was looked up).
+        hit_rate: f64,
+    },
+    /// `INFO` reply: server configuration.
+    Info {
+        /// Catalog preparation shard count.
+        shards: usize,
+        /// Partition strategy name.
+        strategy: String,
+        /// Batch worker threads.
+        workers: usize,
+        /// Registered datasets.
+        datasets: usize,
+        /// Resident cache entries.
+        cache_entries: usize,
+    },
+    /// `SHARDS` reply: the (possibly just set) preparation shard count.
+    Shards(usize),
+    /// A query answer — one per `QUERY`, `n` per `BATCH n`.
+    Answer {
+        /// Request index within a streamed batch (`BATCH n stream=true`);
+        /// `None` for single queries and buffered batches, whose wire
+        /// form is then byte-identical to protocol v1.
+        seq: Option<u64>,
+        /// The payload.
+        answer: WireAnswer,
+    },
+    /// `BATCH` acknowledgment, written before the `n` answers.
+    BatchHeader {
+        /// Batch size.
+        n: usize,
+        /// Whether answers follow in completion order with `seq` tags.
+        stream: bool,
+    },
+    /// `LOAD` reply: the freshly registered dataset's shape.
+    Loaded {
+        /// Catalog key.
+        name: String,
+        /// Row count.
+        rows: usize,
+        /// Dimensionality.
+        dim: usize,
+        /// Group count.
+        groups: usize,
+        /// Group-skyline size.
+        skyline: usize,
+    },
+    /// `SHUTDOWN` acknowledgment.
+    Bye,
+    /// Any failure; `seq` is set only for per-query failures inside a
+    /// streamed batch.
+    Error {
+        /// Request index within a streamed batch, if any.
+        seq: Option<u64>,
+        /// Human-readable message (newline-free).
+        message: String,
+    },
+}
+
+impl Response {
+    /// An [`Response::Error`] (no `seq`) carrying `e`'s display form,
+    /// sanitized for the wire (newlines would split text frames, so they
+    /// are replaced by spaces — no current error message contains any).
+    pub fn error(e: &ServiceError) -> Response {
+        Response::error_at(None, e)
+    }
+
+    /// Like [`Response::error`], tagged with a streamed-batch sequence
+    /// number.
+    pub fn error_at(seq: Option<u64>, e: &ServiceError) -> Response {
+        Response::Error {
+            seq,
+            message: e.to_string().replace(['\n', '\r'], " "),
+        }
+    }
+
+    /// Converts a per-query engine result into its response, tagging
+    /// `seq` for streamed delivery.
+    pub fn from_result(seq: Option<u64>, r: &Result<QueryResponse, ServiceError>) -> Response {
+        match r {
+            Ok(resp) => Response::Answer {
+                seq,
+                answer: WireAnswer::from_response(resp),
+            },
+            Err(e) => Response::error_at(seq, e),
+        }
+    }
 }
 
 fn parse_kv(tokens: &[&str]) -> Result<Vec<(String, String)>, ServiceError> {
@@ -78,6 +243,23 @@ fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ServiceError
         .map_err(|_| ServiceError::Protocol(format!("{key}: cannot parse {v:?}")))
 }
 
+/// Rejects a value that would desynchronize the space/newline-delimited
+/// text framing if embedded in a request or response line.
+///
+/// The seam the wire-safety guarantee hangs on: [`query_to_wire`] and
+/// [`encode_response_line`] route every free-form string (dataset and
+/// algorithm names, list entries) through here, so a crafted value (e.g.
+/// `alg="x ERR injected"`) yields a typed error instead of silently
+/// producing two frames.
+fn check_wire_safe(field: &str, v: &str) -> Result<(), ServiceError> {
+    if v.chars().any(char::is_whitespace) {
+        return Err(ServiceError::Protocol(format!(
+            "{field}: value {v:?} is not wire-safe (contains whitespace)"
+        )));
+    }
+    Ok(())
+}
+
 /// Parses a `QUERY`-line body (`key=value` tokens after the verb).
 pub fn parse_query(tokens: &[&str]) -> Result<Query, ServiceError> {
     let mut dataset: Option<String> = None;
@@ -102,6 +284,72 @@ pub fn parse_query(tokens: &[&str]) -> Result<Query, ServiceError> {
     Ok(q)
 }
 
+fn parse_hello(tokens: &[&str]) -> Result<Request, ServiceError> {
+    let mut version: Option<u32> = None;
+    let mut codec = crate::codec::CodecKind::Text;
+    for (key, v) in parse_kv(tokens)? {
+        match key.as_str() {
+            "version" => version = Some(parse_num("version", &v)?),
+            "codec" => {
+                codec = crate::codec::CodecKind::parse(&v).ok_or_else(|| {
+                    ServiceError::Protocol(format!("codec: expected text|binary, got {v:?}"))
+                })?
+            }
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    match version {
+        Some(PROTOCOL_VERSION) => Ok(Request::Hello {
+            version: PROTOCOL_VERSION,
+            codec,
+        }),
+        Some(v) => Err(ServiceError::Protocol(format!(
+            "unsupported protocol version {v} (this server speaks {PROTOCOL_VERSION}; \
+             v1 clients simply omit HELLO)"
+        ))),
+        None => Err(ServiceError::Protocol("missing version=".into())),
+    }
+}
+
+fn parse_batch(rest: &[&str]) -> Result<Request, ServiceError> {
+    let Some((n, tail)) = rest.split_first() else {
+        return Err(ServiceError::Protocol(
+            "usage: BATCH <n> [stream=true]".into(),
+        ));
+    };
+    let n: usize = parse_num("batch size", n)?;
+    let mut stream = false;
+    for (key, v) in parse_kv(tail)? {
+        match key.as_str() {
+            "stream" => stream = parse_bool("stream", &v)?,
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(Request::Batch { n, stream })
+}
+
+fn parse_load(tokens: &[&str]) -> Result<Request, ServiceError> {
+    let mut name: Option<String> = None;
+    let mut path: Option<String> = None;
+    for (key, v) in parse_kv(tokens)? {
+        match key.as_str() {
+            "name" => name = Some(v),
+            "path" => path = Some(v),
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(Request::Load {
+        name: name.ok_or_else(|| ServiceError::Protocol("missing name=".into()))?,
+        path: path.ok_or_else(|| ServiceError::Protocol("missing path=".into()))?,
+    })
+}
+
 /// Parses one request line (verbs are case-insensitive).
 pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -110,6 +358,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     };
     match verb.to_ascii_uppercase().as_str() {
         "PING" => Ok(Request::Ping),
+        "HELLO" => parse_hello(rest),
         "LIST" => Ok(Request::List),
         "ALGS" => Ok(Request::Algorithms),
         "STATS" => Ok(Request::Stats),
@@ -130,22 +379,27 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             }
             _ => Err(ServiceError::Protocol("usage: SHARDS [n]".into())),
         },
-        "BATCH" => match rest {
-            [n] => Ok(Request::Batch(parse_num("batch size", n)?)),
-            _ => Err(ServiceError::Protocol("usage: BATCH <n>".into())),
-        },
+        "BATCH" => parse_batch(rest),
         "QUERY" => Ok(Request::Query(Box::new(parse_query(rest)?))),
+        "LOAD" => parse_load(rest),
         other => Err(ServiceError::Protocol(format!("unknown verb {other:?}"))),
     }
 }
 
 /// Serializes a query as a full `QUERY …` request line (the inverse of
 /// [`parse_request`]).
-pub fn query_to_wire(q: &Query) -> String {
-    format!(
+///
+/// Errors on wire-unsafe field values (whitespace, including newlines, in
+/// `dataset` or `alg`): such a value would tokenize into extra fields or
+/// extra request lines on the server — a silent desync — so the client
+/// seam refuses to produce it.
+pub fn query_to_wire(q: &Query) -> Result<String, ServiceError> {
+    check_wire_safe("dataset", &q.dataset)?;
+    check_wire_safe("alg", &q.alg)?;
+    Ok(format!(
         "QUERY dataset={} k={} alg={} alpha={} balanced={} seed={} skyline={}",
         q.dataset, q.k, q.alg, q.alpha, q.balanced, q.seed, q.skyline
-    )
+    ))
 }
 
 /// An `OK …` query response as decoded by a client.
@@ -165,23 +419,50 @@ pub struct WireAnswer {
     pub indices: Vec<usize>,
 }
 
-/// Formats a successful query response line.
-pub fn format_response(resp: &QueryResponse) -> String {
-    let a = &resp.answer;
+impl WireAnswer {
+    /// The wire form of an engine response.
+    pub fn from_response(resp: &QueryResponse) -> WireAnswer {
+        let a = &resp.answer;
+        WireAnswer {
+            alg: a.alg.clone(),
+            cached: resp.cached,
+            micros: resp.micros,
+            violations: a.violations,
+            mhr: a.mhr,
+            indices: a.indices.clone(),
+        }
+    }
+}
+
+/// Renders the v1 body of an answer (everything after `OK `, without any
+/// `seq` tag).
+fn answer_body(a: &WireAnswer) -> Result<String, ServiceError> {
+    check_wire_safe("alg", &a.alg)?;
     let mhr = match a.mhr {
         Some(v) => format!("{v}"),
         None => "none".to_string(),
     };
     let indices: Vec<String> = a.indices.iter().map(|i| i.to_string()).collect();
-    format!(
-        "OK alg={} cached={} micros={} err={} mhr={} indices={}",
+    Ok(format!(
+        "alg={} cached={} micros={} err={} mhr={} indices={}",
         a.alg,
-        resp.cached,
-        resp.micros,
+        a.cached,
+        a.micros,
         a.violations,
         mhr,
         indices.join(",")
-    )
+    ))
+}
+
+/// Formats a successful query response line (protocol v1: no `seq`).
+///
+/// Errors on a wire-unsafe `alg` value instead of silently emitting a
+/// line that would parse as several fields (see [`query_to_wire`]).
+pub fn format_response(resp: &QueryResponse) -> Result<String, ServiceError> {
+    encode_response_line(&Response::Answer {
+        seq: None,
+        answer: WireAnswer::from_response(resp),
+    })
 }
 
 /// Formats any service error as an `ERR` line.
@@ -189,19 +470,102 @@ pub fn format_error(e: &ServiceError) -> String {
     format!("ERR {e}")
 }
 
-/// Decodes a query response line produced by [`format_response`] (an
-/// `ERR …` line decodes to [`ServiceError::Protocol`] carrying the
-/// message).
-pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
-    if let Some(msg) = line.strip_prefix("ERR ") {
-        return Err(ServiceError::Protocol(msg.to_string()));
-    }
-    let Some(body) = line.strip_prefix("OK ") else {
-        return Err(ServiceError::Protocol(format!(
-            "expected OK/ERR line, got {line:?}"
-        )));
+/// Encodes a typed [`Response`] as one v1-compatible text line (no
+/// trailing newline).
+///
+/// This *is* the v1 wire format: for every response shape that existed in
+/// protocol v1 the output is byte-identical to the historical `format!`
+/// strings (pinned by the codec-equivalence suite). Free-form strings are
+/// wire-safety-checked; a value that would split into extra tokens or
+/// lines yields an `Err` instead of a desynchronized connection.
+pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
+    let line = match resp {
+        Response::Pong => "OK pong".to_string(),
+        Response::Hello { version, codec } => format!("OK version={version} codec={codec}"),
+        Response::Datasets(summaries) => {
+            for s in summaries {
+                check_wire_safe("datasets", s)?;
+                if s.contains(',') || s.is_empty() {
+                    return Err(ServiceError::Protocol(format!(
+                        "datasets: summary {s:?} would corrupt the comma-joined list"
+                    )));
+                }
+            }
+            format!("OK datasets={}", summaries.join(","))
+        }
+        Response::Algorithms(names) => {
+            for s in names {
+                check_wire_safe("algorithms", s)?;
+                if s.contains(',') || s.is_empty() {
+                    return Err(ServiceError::Protocol(format!(
+                        "algorithms: name {s:?} would corrupt the comma-joined list"
+                    )));
+                }
+            }
+            format!("OK algorithms={}", names.join(","))
+        }
+        Response::Stats {
+            hits,
+            misses,
+            entries,
+            evictions,
+            hit_rate,
+        } => format!(
+            "OK hits={hits} misses={misses} entries={entries} evictions={evictions} \
+             hit_rate={hit_rate}"
+        ),
+        Response::Info {
+            shards,
+            strategy,
+            workers,
+            datasets,
+            cache_entries,
+        } => {
+            check_wire_safe("strategy", strategy)?;
+            format!(
+                "OK shards={shards} strategy={strategy} workers={workers} datasets={datasets} \
+                 cache_entries={cache_entries}"
+            )
+        }
+        Response::Shards(n) => format!("OK shards={n}"),
+        Response::Answer { seq, answer } => match seq {
+            None => format!("OK {}", answer_body(answer)?),
+            Some(s) => format!("OK seq={s} {}", answer_body(answer)?),
+        },
+        Response::BatchHeader { n, stream } => {
+            if *stream {
+                format!("OK batch={n} stream=true")
+            } else {
+                format!("OK batch={n}")
+            }
+        }
+        Response::Loaded {
+            name,
+            rows,
+            dim,
+            groups,
+            skyline,
+        } => {
+            check_wire_safe("name", name)?;
+            format!("OK loaded name={name} n={rows} d={dim} groups={groups} skyline={skyline}")
+        }
+        Response::Bye => "OK bye".to_string(),
+        Response::Error { seq, message } => {
+            if message.contains(['\n', '\r']) {
+                return Err(ServiceError::Protocol(
+                    "error message contains a newline (not wire-safe)".into(),
+                ));
+            }
+            match seq {
+                None => format!("ERR {message}"),
+                Some(s) => format!("ERR seq={s} {message}"),
+            }
+        }
     };
-    let tokens: Vec<&str> = body.split_whitespace().collect();
+    Ok(line)
+}
+
+fn decode_answer_tokens(seq: Option<u64>, tokens: &[&str]) -> Result<Response, ServiceError> {
     let mut ans = WireAnswer {
         alg: String::new(),
         cached: false,
@@ -210,7 +574,7 @@ pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
         mhr: None,
         indices: Vec::new(),
     };
-    for (key, v) in parse_kv(&tokens)? {
+    for (key, v) in parse_kv(tokens)? {
         match key.as_str() {
             "alg" => ans.alg = v,
             "cached" => ans.cached = parse_bool("cached", &v)?,
@@ -234,7 +598,154 @@ pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
             }
         }
     }
-    Ok(ans)
+    Ok(Response::Answer { seq, answer: ans })
+}
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn kv_map(tokens: &[&str]) -> Result<std::collections::HashMap<String, String>, ServiceError> {
+    Ok(parse_kv(tokens)?.into_iter().collect())
+}
+
+fn field<T: std::str::FromStr>(
+    m: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<T, ServiceError> {
+    let v = m
+        .get(key)
+        .ok_or_else(|| ServiceError::Protocol(format!("missing field {key}=")))?;
+    parse_num(key, v)
+}
+
+/// Decodes one response line into the typed [`Response`] model — the
+/// exact inverse of [`encode_response_line`] (round-trip pinned by the
+/// codec-equivalence suite, `mhr` to the bit).
+pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
+    if let Some(body) = line.strip_prefix("ERR ") {
+        // An optional leading seq=N token tags streamed per-query errors.
+        if let Some(rest) = body.strip_prefix("seq=") {
+            if let Some((seq, msg)) = rest.split_once(' ') {
+                if let Ok(seq) = seq.parse::<u64>() {
+                    return Ok(Response::Error {
+                        seq: Some(seq),
+                        message: msg.to_string(),
+                    });
+                }
+            }
+        }
+        return Ok(Response::Error {
+            seq: None,
+            message: body.to_string(),
+        });
+    }
+    let Some(body) = line.strip_prefix("OK ") else {
+        return Err(ServiceError::Protocol(format!(
+            "expected OK/ERR line, got {line:?}"
+        )));
+    };
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    let Some(first) = tokens.first() else {
+        return Err(ServiceError::Protocol("empty OK response".into()));
+    };
+    match *first {
+        "pong" => Ok(Response::Pong),
+        "bye" => Ok(Response::Bye),
+        "loaded" => {
+            let m = kv_map(&tokens[1..])?;
+            Ok(Response::Loaded {
+                name: m
+                    .get("name")
+                    .cloned()
+                    .ok_or_else(|| ServiceError::Protocol("missing field name=".into()))?,
+                rows: field(&m, "n")?,
+                dim: field(&m, "d")?,
+                groups: field(&m, "groups")?,
+                skyline: field(&m, "skyline")?,
+            })
+        }
+        t => match t.split_once('=') {
+            Some(("version", _)) => {
+                let m = kv_map(&tokens)?;
+                Ok(Response::Hello {
+                    version: field(&m, "version")?,
+                    codec: {
+                        let v = m
+                            .get("codec")
+                            .cloned()
+                            .ok_or_else(|| ServiceError::Protocol("missing field codec=".into()))?;
+                        crate::codec::CodecKind::parse(&v).ok_or_else(|| {
+                            ServiceError::Protocol(format!("codec: unknown kind {v:?}"))
+                        })?
+                    },
+                })
+            }
+            Some(("datasets", v)) => Ok(Response::Datasets(split_list(v))),
+            Some(("algorithms", v)) => Ok(Response::Algorithms(split_list(v))),
+            Some(("hits", _)) => {
+                let m = kv_map(&tokens)?;
+                Ok(Response::Stats {
+                    hits: field(&m, "hits")?,
+                    misses: field(&m, "misses")?,
+                    entries: field(&m, "entries")?,
+                    evictions: field(&m, "evictions")?,
+                    hit_rate: field(&m, "hit_rate")?,
+                })
+            }
+            Some(("shards", v)) if tokens.len() == 1 => {
+                Ok(Response::Shards(parse_num("shards", v)?))
+            }
+            Some(("shards", _)) => {
+                let m = kv_map(&tokens)?;
+                Ok(Response::Info {
+                    shards: field(&m, "shards")?,
+                    strategy: m
+                        .get("strategy")
+                        .cloned()
+                        .ok_or_else(|| ServiceError::Protocol("missing field strategy=".into()))?,
+                    workers: field(&m, "workers")?,
+                    datasets: field(&m, "datasets")?,
+                    cache_entries: field(&m, "cache_entries")?,
+                })
+            }
+            Some(("batch", v)) => {
+                let n = parse_num("batch", v)?;
+                let mut stream = false;
+                for (key, v) in parse_kv(&tokens[1..])? {
+                    match key.as_str() {
+                        "stream" => stream = parse_bool("stream", &v)?,
+                        other => {
+                            return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+                        }
+                    }
+                }
+                Ok(Response::BatchHeader { n, stream })
+            }
+            Some(("seq", v)) => decode_answer_tokens(Some(parse_num("seq", v)?), &tokens[1..]),
+            Some(("alg", _)) => decode_answer_tokens(None, &tokens),
+            _ => Err(ServiceError::Protocol(format!(
+                "unrecognized response line {line:?}"
+            ))),
+        },
+    }
+}
+
+/// Decodes a query response line produced by [`format_response`] (an
+/// `ERR …` line decodes to [`ServiceError::Protocol`] carrying the
+/// message). The v1 client entry point — streamed (`seq`-tagged) frames
+/// decode too, via [`decode_response_line`].
+pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
+    match decode_response_line(line)? {
+        Response::Answer { answer, .. } => Ok(answer),
+        Response::Error { message, .. } => Err(ServiceError::Protocol(message)),
+        other => Err(ServiceError::Protocol(format!(
+            "expected a query answer, got {other:?}"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +762,7 @@ mod tests {
         q.balanced = true;
         q.seed = 7;
         q.skyline = false;
-        let wire = query_to_wire(&q);
+        let wire = query_to_wire(&q).unwrap();
         match parse_request(&wire).unwrap() {
             Request::Query(parsed) => assert_eq!(*parsed, q),
             other => panic!("{other:?}"),
@@ -267,7 +778,24 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
-        assert_eq!(parse_request("batch 12").unwrap(), Request::Batch(12));
+        assert_eq!(
+            parse_request("batch 12").unwrap(),
+            Request::Batch {
+                n: 12,
+                stream: false
+            }
+        );
+        assert_eq!(
+            parse_request("BATCH 3 stream=true").unwrap(),
+            Request::Batch { n: 3, stream: true }
+        );
+        assert_eq!(
+            parse_request("BATCH 3 stream=0").unwrap(),
+            Request::Batch {
+                n: 3,
+                stream: false
+            }
+        );
         assert_eq!(parse_request("ShUtDoWn").unwrap(), Request::Shutdown);
         assert_eq!(parse_request("INFO").unwrap(), Request::Info);
         assert_eq!(parse_request("shards").unwrap(), Request::Shards(None));
@@ -285,17 +813,51 @@ mod tests {
             "QUERY dataset=d k=3 zz=1",
             "BATCH",
             "BATCH x y",
+            "BATCH 3 stream=maybe",
+            "BATCH 3 zz=1",
             "SHARDS 0",
             "SHARDS -2",
             "SHARDS x",
             "SHARDS 65",
             "SHARDS 4 8",
+            "HELLO",
+            "HELLO version=3",
+            "HELLO version=2 codec=carrier-pigeon",
+            "LOAD",
+            "LOAD name=x",
+            "LOAD path=y",
+            "LOAD name=x path=a b",
         ] {
             assert!(
                 matches!(parse_request(bad), Err(ServiceError::Protocol(_))),
                 "{bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn hello_and_load_parse() {
+        assert_eq!(
+            parse_request("HELLO version=2 codec=binary").unwrap(),
+            Request::Hello {
+                version: 2,
+                codec: crate::codec::CodecKind::Binary
+            }
+        );
+        assert_eq!(
+            parse_request("hello version=2").unwrap(),
+            Request::Hello {
+                version: 2,
+                codec: crate::codec::CodecKind::Text
+            }
+        );
+        assert_eq!(
+            parse_request("LOAD name=extra path=sub/extra.csv").unwrap(),
+            Request::Load {
+                name: "extra".into(),
+                path: "sub/extra.csv".into()
+            }
+        );
     }
 
     #[test]
@@ -311,7 +873,7 @@ mod tests {
             cached: false,
             micros: 812,
         };
-        let line = format_response(&resp);
+        let line = format_response(&resp).unwrap();
         let parsed = parse_response(&line).unwrap();
         assert_eq!(parsed.indices, vec![3, 17, 40]);
         assert_eq!(parsed.mhr.map(f64::to_bits), Some((0.1f64 + 0.2).to_bits()));
@@ -330,7 +892,7 @@ mod tests {
             cached: true,
             micros: 3,
         };
-        let parsed2 = parse_response(&format_response(&resp2)).unwrap();
+        let parsed2 = parse_response(&format_response(&resp2).unwrap()).unwrap();
         assert!(parsed2.indices.is_empty());
         assert_eq!(parsed2.mhr, None);
         assert_eq!(parsed2.violations, 2);
@@ -346,5 +908,149 @@ mod tests {
             parse_response(&line),
             Err(ServiceError::Protocol(m)) if m.contains("unknown dataset")
         ));
+    }
+
+    #[test]
+    fn wire_unsafe_query_fields_error_instead_of_desync() {
+        let mut q = Query::new("toy", 2);
+        q.alg = "bigreedy cached=true".into(); // crafted: would inject a field
+        assert!(matches!(
+            query_to_wire(&q),
+            Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
+        ));
+        let mut q = Query::new("toy\nPING", 2); // crafted: would inject a request
+        q.alg = "bigreedy".into();
+        assert!(query_to_wire(&q).is_err());
+
+        let resp = QueryResponse {
+            answer: Arc::new(Answer {
+                indices: vec![1],
+                mhr: None,
+                violations: 0,
+                alg: "Bi Greedy".into(), // crafted display name
+                solve_micros: 1,
+            }),
+            cached: false,
+            micros: 1,
+        };
+        assert!(matches!(
+            format_response(&resp),
+            Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
+        ));
+    }
+
+    #[test]
+    fn streamed_answer_lines_carry_seq() {
+        let ans = WireAnswer {
+            alg: "IntCov".into(),
+            cached: false,
+            micros: 12,
+            violations: 0,
+            mhr: Some(0.75),
+            indices: vec![4, 9],
+        };
+        let line = encode_response_line(&Response::Answer {
+            seq: Some(3),
+            answer: ans.clone(),
+        })
+        .unwrap();
+        assert_eq!(
+            line,
+            "OK seq=3 alg=IntCov cached=false micros=12 err=0 mhr=0.75 indices=4,9"
+        );
+        match decode_response_line(&line).unwrap() {
+            Response::Answer { seq, answer } => {
+                assert_eq!(seq, Some(3));
+                assert_eq!(answer, ans);
+            }
+            other => panic!("{other:?}"),
+        }
+        // and the v1 client decoder still accepts the payload
+        assert_eq!(parse_response(&line).unwrap(), ans);
+    }
+
+    #[test]
+    fn typed_decode_covers_every_v1_line_shape() {
+        for (line, expect) in [
+            ("OK pong", Response::Pong),
+            ("OK bye", Response::Bye),
+            (
+                "OK datasets=a:1:2:3:4,b:5:6:7:8",
+                Response::Datasets(vec!["a:1:2:3:4".into(), "b:5:6:7:8".into()]),
+            ),
+            ("OK datasets=", Response::Datasets(vec![])),
+            (
+                "OK algorithms=intcov,bigreedy",
+                Response::Algorithms(vec!["intcov".into(), "bigreedy".into()]),
+            ),
+            (
+                "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666",
+                Response::Stats {
+                    hits: 2,
+                    misses: 1,
+                    entries: 1,
+                    evictions: 0,
+                    hit_rate: 2.0 / 3.0,
+                },
+            ),
+            (
+                "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0",
+                Response::Info {
+                    shards: 4,
+                    strategy: "stratified".into(),
+                    workers: 2,
+                    datasets: 1,
+                    cache_entries: 0,
+                },
+            ),
+            ("OK shards=4", Response::Shards(4)),
+            (
+                "OK batch=7",
+                Response::BatchHeader {
+                    n: 7,
+                    stream: false,
+                },
+            ),
+            (
+                "OK batch=7 stream=true",
+                Response::BatchHeader { n: 7, stream: true },
+            ),
+            (
+                "OK loaded name=extra n=2000 d=3 groups=3 skyline=940",
+                Response::Loaded {
+                    name: "extra".into(),
+                    rows: 2000,
+                    dim: 3,
+                    groups: 3,
+                    skyline: 940,
+                },
+            ),
+            (
+                "OK version=2 codec=binary",
+                Response::Hello {
+                    version: 2,
+                    codec: crate::codec::CodecKind::Binary,
+                },
+            ),
+            (
+                "ERR unknown dataset \"x\" (not in catalog)",
+                Response::Error {
+                    seq: None,
+                    message: "unknown dataset \"x\" (not in catalog)".into(),
+                },
+            ),
+            (
+                "ERR seq=2 solver error: k must be positive",
+                Response::Error {
+                    seq: Some(2),
+                    message: "solver error: k must be positive".into(),
+                },
+            ),
+        ] {
+            let decoded = decode_response_line(line).unwrap();
+            assert_eq!(decoded, expect, "decode of {line:?}");
+            // and every decoded value re-encodes to the identical line
+            assert_eq!(encode_response_line(&decoded).unwrap(), line);
+        }
     }
 }

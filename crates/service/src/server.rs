@@ -2,22 +2,29 @@
 //!
 //! One thread per connection (client counts are small; the expensive work
 //! is the solves, which the engine already coalesces and caches), reading
-//! newline-delimited requests and writing one response line per request.
-//! `BATCH n` requests fan out over the server's [`BatchExecutor`]. No
-//! async runtime, no external protocol dependencies.
+//! newline-delimited requests and answering with typed
+//! [`Response`] frames through the connection's negotiated
+//! [`Codec`] — v1 text until a `HELLO version=2 codec=binary` handshake
+//! swaps in binary framing. `BATCH n` requests fan out over the server's
+//! [`BatchExecutor`]; `BATCH n stream=true` delivers each answer as it
+//! completes (`seq`-tagged), bounded by a [`ServeOptions::max_stream_batches`]
+//! admission gate that sheds excess load with `ERR busy`. No async
+//! runtime, no external protocol dependencies.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fairhms_core::registry::ALGORITHM_NAMES;
 
+use crate::codec::{Codec, CodecKind};
 use crate::engine::QueryEngine;
 use crate::executor::BatchExecutor;
-use crate::protocol::{self, Request};
+use crate::protocol::{self, Request, Response};
 use crate::query::Query;
 use crate::ServiceError;
 
@@ -39,6 +46,83 @@ impl Default for ServerConfig {
     }
 }
 
+/// Protocol-v2 serving options, separate from [`ServerConfig`] so v1
+/// callers (and the pinned v1 regression tests) construct servers
+/// unchanged; [`Server::spawn`] applies the defaults.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Allowlist directory for the `LOAD` admin verb. `None` (the
+    /// default) disables `LOAD` entirely; when set, requested paths must
+    /// resolve (symlinks and `..` included) to files under this
+    /// directory — see [`crate::catalog::resolve_under_root`].
+    pub load_root: Option<PathBuf>,
+    /// Server-wide cap on concurrently *streaming* batches
+    /// (`BATCH n stream=true`). The connection loop is sequential, so
+    /// each connection holds at most one stream; this gate bounds the
+    /// total across connections and answers `ERR busy: …` beyond it —
+    /// the first concrete admission-control/backpressure knob. `0`
+    /// disables streaming outright.
+    pub max_stream_batches: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            load_root: None,
+            max_stream_batches: 8,
+        }
+    }
+}
+
+/// Counts in-flight streamed batches server-wide; acquisition beyond the
+/// cap is refused with a typed [`ServiceError::Busy`].
+#[derive(Debug, Clone)]
+struct StreamGate {
+    active: Arc<AtomicUsize>,
+    max: usize,
+}
+
+/// Releases its [`StreamGate`] slot on drop — including when a streaming
+/// write fails mid-batch, so a dying client can never leak a permit.
+#[derive(Debug)]
+struct StreamPermit<'a> {
+    gate: &'a StreamGate,
+}
+
+impl StreamGate {
+    fn new(max: usize) -> Self {
+        Self {
+            active: Arc::new(AtomicUsize::new(0)),
+            max,
+        }
+    }
+
+    fn try_acquire(&self) -> Result<StreamPermit<'_>, ServiceError> {
+        let mut cur = self.active.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.max {
+                return Err(ServiceError::Busy {
+                    active: cur,
+                    limit: self.max,
+                });
+            }
+            match self
+                .active
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return Ok(StreamPermit { gate: self }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl Drop for StreamPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// A running server: background accept loop + shutdown handle.
 pub struct Server {
     addr: SocketAddr,
@@ -48,9 +132,19 @@ pub struct Server {
 
 impl Server {
     /// Binds `cfg.addr` and starts the accept loop on a background
-    /// thread. The returned handle reports the bound address (useful with
-    /// port 0) and can stop the server.
+    /// thread with default [`ServeOptions`] (`LOAD` disabled). The
+    /// returned handle reports the bound address (useful with port 0)
+    /// and can stop the server.
     pub fn spawn(engine: Arc<QueryEngine>, cfg: ServerConfig) -> Result<Server, ServiceError> {
+        Server::spawn_with(engine, cfg, ServeOptions::default())
+    }
+
+    /// [`Server::spawn`] with explicit protocol-v2 [`ServeOptions`].
+    pub fn spawn_with(
+        engine: Arc<QueryEngine>,
+        cfg: ServerConfig,
+        opts: ServeOptions,
+    ) -> Result<Server, ServiceError> {
         let listener = bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         // Poll accept with a short sleep so the loop notices `stop`
@@ -59,8 +153,9 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let loop_stop = Arc::clone(&stop);
         let executor = BatchExecutor::new(cfg.workers);
+        let opts = Arc::new(opts);
         let handle = std::thread::spawn(move || {
-            accept_loop(listener, engine, executor, loop_stop);
+            accept_loop(listener, engine, executor, loop_stop, opts);
         });
         Ok(Server { addr, stop, handle })
     }
@@ -106,15 +201,19 @@ fn accept_loop(
     engine: Arc<QueryEngine>,
     executor: BatchExecutor,
     stop: Arc<AtomicBool>,
+    opts: Arc<ServeOptions>,
 ) {
+    let gate = StreamGate::new(opts.max_stream_batches);
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
+                let opts = Arc::clone(&opts);
+                let gate = gate.clone();
                 conns.push(std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &engine, executor, &stop);
+                    let _ = serve_connection(stream, &engine, executor, &stop, &opts, &gate);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -202,11 +301,39 @@ fn read_line_or_stop(
     }
 }
 
+/// Encodes `resp` through the connection's codec and writes the frame.
+///
+/// If encoding fails (a wire-unsafe value reached the response path), the
+/// connection answers a typed `ERR` frame instead of either silently
+/// emitting a desynchronizing byte sequence or dropping the write — the
+/// response-side half of the wire-safety contract.
+fn send(
+    writer: &mut impl Write,
+    codec: &dyn Codec,
+    frame: &mut Vec<u8>,
+    resp: &Response,
+) -> std::io::Result<()> {
+    frame.clear();
+    if let Err(e) = codec.encode_frame(resp, frame) {
+        frame.clear();
+        let fallback = Response::Error {
+            seq: None,
+            message: format!("response not encodable: {e}").replace(['\n', '\r'], " "),
+        };
+        codec
+            .encode_frame(&fallback, frame)
+            .map_err(|e2| std::io::Error::new(std::io::ErrorKind::InvalidData, e2.to_string()))?;
+    }
+    writer.write_all(frame)
+}
+
 fn serve_connection(
     stream: TcpStream,
     engine: &QueryEngine,
     executor: BatchExecutor,
     stop: &AtomicBool,
+    opts: &ServeOptions,
+    gate: &StreamGate,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     // On BSD/macOS/Windows accepted sockets inherit the listener's
@@ -219,6 +346,9 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = Vec::new();
+    // Connection codec state: v1 text until a HELLO handshake swaps it.
+    let mut codec: Box<dyn Codec> = CodecKind::Text.new_codec();
+    let mut frame = Vec::new();
     loop {
         line.clear();
         if read_line_or_stop(&mut reader, &mut line, stop)? == 0 {
@@ -231,8 +361,26 @@ fn serve_connection(
             continue;
         }
         match protocol::parse_request(trimmed) {
-            Err(e) => writeln!(writer, "{}", protocol::format_error(&e))?,
-            Ok(Request::Ping) => writeln!(writer, "OK pong")?,
+            Err(e) => send(
+                &mut writer,
+                codec.as_ref(),
+                &mut frame,
+                &Response::error(&e),
+            )?,
+            Ok(Request::Ping) => send(&mut writer, codec.as_ref(), &mut frame, &Response::Pong)?,
+            Ok(Request::Hello {
+                version,
+                codec: kind,
+            }) => {
+                // Acknowledge through the *previous* codec (the client
+                // reads the ack before switching), then swap.
+                let ack = Response::Hello {
+                    version,
+                    codec: kind,
+                };
+                send(&mut writer, codec.as_ref(), &mut frame, &ack)?;
+                codec = kind.new_codec();
+            }
             Ok(Request::List) => {
                 let summaries: Vec<String> = engine
                     .catalog()
@@ -241,71 +389,189 @@ fn serve_connection(
                     .filter_map(|n| engine.catalog().get(n))
                     .map(|p| p.summary())
                     .collect();
-                writeln!(writer, "OK datasets={}", summaries.join(","))?;
+                send(
+                    &mut writer,
+                    codec.as_ref(),
+                    &mut frame,
+                    &Response::Datasets(summaries),
+                )?;
             }
             Ok(Request::Algorithms) => {
-                writeln!(writer, "OK algorithms={}", ALGORITHM_NAMES.join(","))?;
+                let names = ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect();
+                send(
+                    &mut writer,
+                    codec.as_ref(),
+                    &mut frame,
+                    &Response::Algorithms(names),
+                )?;
             }
             Ok(Request::Stats) => {
                 let st = engine.cache_stats();
-                writeln!(
-                    writer,
-                    "OK hits={} misses={} entries={} evictions={} hit_rate={}",
-                    st.hits,
-                    st.misses,
-                    st.entries,
-                    st.evictions,
-                    st.hit_rate()
-                )?;
+                let resp = Response::Stats {
+                    hits: st.hits,
+                    misses: st.misses,
+                    entries: st.entries,
+                    evictions: st.evictions,
+                    hit_rate: st.hit_rate(),
+                };
+                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
             }
             Ok(Request::Info) => {
                 let cfg = engine.catalog().config();
-                writeln!(
-                    writer,
-                    "OK shards={} strategy={} workers={} datasets={} cache_entries={}",
-                    cfg.shards,
-                    cfg.strategy,
-                    executor.workers(),
-                    engine.catalog().len(),
-                    engine.cache_stats().entries
-                )?;
+                let resp = Response::Info {
+                    shards: cfg.shards,
+                    strategy: cfg.strategy.to_string(),
+                    workers: executor.workers(),
+                    datasets: engine.catalog().len(),
+                    cache_entries: engine.cache_stats().entries,
+                };
+                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
             }
             Ok(Request::Shards(set)) => {
                 let shards = match set {
                     Some(n) => engine.catalog().set_shards(n),
                     None => engine.catalog().config().shards,
                 };
-                writeln!(writer, "OK shards={shards}")?;
+                send(
+                    &mut writer,
+                    codec.as_ref(),
+                    &mut frame,
+                    &Response::Shards(shards),
+                )?;
+            }
+            Ok(Request::Load { name, path }) => {
+                let resp = handle_load(engine, opts, &name, &path);
+                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
             }
             Ok(Request::Shutdown) => {
-                writeln!(writer, "OK bye")?;
+                send(&mut writer, codec.as_ref(), &mut frame, &Response::Bye)?;
                 writer.flush()?;
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
             Ok(Request::Query(q)) => {
-                let out = match engine.execute(&q) {
-                    Ok(resp) => protocol::format_response(&resp),
-                    Err(e) => protocol::format_error(&e),
-                };
-                writeln!(writer, "{out}")?;
+                let res = engine.execute(&q);
+                send(
+                    &mut writer,
+                    codec.as_ref(),
+                    &mut frame,
+                    &Response::from_result(None, &res),
+                )?;
             }
-            Ok(Request::Batch(n)) => match read_batch(&mut reader, n, stop)? {
-                Err(e) => writeln!(writer, "{}", protocol::format_error(&e))?,
+            Ok(Request::Batch { n, stream }) => match read_batch(&mut reader, n, stop)? {
+                Err(e) => send(
+                    &mut writer,
+                    codec.as_ref(),
+                    &mut frame,
+                    &Response::error(&e),
+                )?,
                 Ok(queries) => {
-                    let results = executor.execute_all(engine, &queries);
-                    writeln!(writer, "OK batch={n}")?;
-                    for r in results {
-                        let out = match r {
-                            Ok(resp) => protocol::format_response(&resp),
-                            Err(e) => protocol::format_error(&e),
-                        };
-                        writeln!(writer, "{out}")?;
+                    if stream {
+                        serve_streamed_batch(
+                            &mut writer,
+                            codec.as_ref(),
+                            &mut frame,
+                            engine,
+                            executor,
+                            gate,
+                            &queries,
+                        )?;
+                    } else {
+                        let results = executor.execute_all(engine, &queries);
+                        send(
+                            &mut writer,
+                            codec.as_ref(),
+                            &mut frame,
+                            &Response::BatchHeader { n, stream: false },
+                        )?;
+                        for r in &results {
+                            send(
+                                &mut writer,
+                                codec.as_ref(),
+                                &mut frame,
+                                &Response::from_result(None, r),
+                            )?;
+                        }
                     }
                 }
             },
         }
         writer.flush()?;
+    }
+}
+
+/// Runs one `BATCH n stream=true`: acquires a [`StreamGate`] slot (or
+/// answers `ERR busy` — the batch lines are already consumed, so load
+/// shedding never desynchronizes the connection), writes the header, then
+/// flushes one `seq`-tagged frame per query **as the executor completes
+/// it** — first answers reach the client while later queries are still
+/// solving.
+fn serve_streamed_batch(
+    writer: &mut impl Write,
+    codec: &dyn Codec,
+    frame: &mut Vec<u8>,
+    engine: &QueryEngine,
+    executor: BatchExecutor,
+    gate: &StreamGate,
+    queries: &[Query],
+) -> std::io::Result<()> {
+    let _permit = match gate.try_acquire() {
+        Err(busy) => {
+            return send(writer, codec, frame, &Response::error(&busy));
+        }
+        Ok(p) => p,
+    };
+    send(
+        writer,
+        codec,
+        frame,
+        &Response::BatchHeader {
+            n: queries.len(),
+            stream: true,
+        },
+    )?;
+    writer.flush()?;
+    // The executor keeps delivering after a write failure (workers are
+    // mid-solve); remember the first error, skip the remaining writes,
+    // and surface it after the batch so the connection closes.
+    let mut write_err: Option<std::io::Error> = None;
+    executor.execute_streaming(engine, queries, |i, r| {
+        if write_err.is_some() {
+            return;
+        }
+        let resp = Response::from_result(Some(i as u64), &r);
+        let attempt = send(&mut *writer, codec, frame, &resp).and_then(|()| writer.flush());
+        if let Err(e) = attempt {
+            write_err = Some(e);
+        }
+    });
+    match write_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Handles the `LOAD` admin verb: allowlist gate, path confinement,
+/// catalog registration.
+fn handle_load(engine: &QueryEngine, opts: &ServeOptions, name: &str, path: &str) -> Response {
+    let Some(root) = &opts.load_root else {
+        return Response::error(&ServiceError::Protocol(
+            "LOAD disabled: server started without --load-root".into(),
+        ));
+    };
+    let full = match crate::catalog::resolve_under_root(root, path) {
+        Ok(p) => p,
+        Err(e) => return Response::error(&e),
+    };
+    match engine.load_csv(name, &full) {
+        Ok(prep) => Response::Loaded {
+            name: prep.name.clone(),
+            rows: prep.dataset.len(),
+            dim: prep.dataset.dim(),
+            groups: prep.dataset.num_groups(),
+            skyline: prep.skyline_rows.len(),
+        },
+        Err(e) => Response::error(&e),
     }
 }
 
@@ -413,6 +679,33 @@ mod tests {
         let mut rest = String::new();
         cur.read_line(&mut rest).unwrap();
         assert_eq!(rest.trim(), "STATS");
+    }
+
+    #[test]
+    fn stream_gate_sheds_load_beyond_the_cap_and_releases_on_drop() {
+        let gate = StreamGate::new(2);
+        let a = gate.try_acquire().unwrap();
+        let b = gate.try_acquire().unwrap();
+        // Third stream: shed with the typed busy error.
+        match gate.try_acquire() {
+            Err(ServiceError::Busy { active, limit }) => {
+                assert_eq!((active, limit), (2, 2));
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        drop(a);
+        // A released slot is immediately reusable.
+        let c = gate.try_acquire().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.active.load(Ordering::SeqCst), 0);
+
+        // max_stream_batches = 0 disables streaming outright.
+        let closed = StreamGate::new(0);
+        assert!(matches!(
+            closed.try_acquire(),
+            Err(ServiceError::Busy { limit: 0, .. })
+        ));
     }
 
     #[test]

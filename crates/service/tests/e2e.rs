@@ -1,17 +1,21 @@
 //! End-to-end serving tests: a generated dataset behind a real TCP server,
 //! a mixed batch of 100+ queries, and the cache-identity guarantees the
 //! engine promises.
+//!
+//! The client side runs through [`WireClient::connect_env`], so setting
+//! `FAIRHMS_TEST_CODEC=binary` (as `scripts/ci.sh` does on its second
+//! codec pass) replays this whole suite over the v2 binary framing — the
+//! assertions are codec-independent because answers are contractually
+//! bit-identical under both codecs.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fairhms_data::{gen, Dataset};
-use fairhms_service::protocol::{self, WireAnswer};
-use fairhms_service::{Catalog, Query, QueryEngine, Server, ServerConfig};
+use fairhms_service::protocol::{self, Response, WireAnswer};
+use fairhms_service::{Catalog, Query, QueryEngine, Server, ServerConfig, WireClient};
 
 /// An anti-correlated dataset in the paper's evaluation style: n points,
 /// d attributes, c groups assigned by attribute-sum quantiles.
@@ -94,25 +98,15 @@ fn tcp_end_to_end_mixed_batch_with_cache_hits() {
         .collect();
 
     {
-        let stream = TcpStream::connect(addr).unwrap();
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        let mut writer = BufWriter::new(stream);
-
-        writeln!(writer, "BATCH {}", queries.len()).unwrap();
-        for q in &queries {
-            writeln!(writer, "{}", protocol::query_to_wire(q)).unwrap();
-        }
-        writer.flush().unwrap();
-
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        assert_eq!(line.trim(), format!("OK batch={}", queries.len()));
+        // FAIRHMS_TEST_CODEC selects text (v1, no handshake) or binary
+        // (v2 HELLO handshake) — the assertions below hold under both.
+        let mut client = WireClient::connect_env(addr).unwrap();
+        let results = client.batch(&queries, false).unwrap();
 
         let mut hits = 0usize;
-        for (i, exp) in expected.iter().enumerate() {
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            let got = protocol::parse_response(line.trim())
+        for (i, (got, exp)) in results.iter().zip(&expected).enumerate() {
+            let got = got
+                .as_ref()
                 .unwrap_or_else(|e| panic!("query {i} failed: {e}"));
             if got.cached {
                 hits += 1;
@@ -137,19 +131,13 @@ fn tcp_end_to_end_mixed_batch_with_cache_hits() {
         );
 
         // STATS agrees there were hits.
-        writeln!(writer, "STATS").unwrap();
-        writer.flush().unwrap();
-        line.clear();
-        reader.read_line(&mut line).unwrap();
-        let stats_line = line.trim().to_string();
-        assert!(stats_line.starts_with("OK hits="), "{stats_line}");
-        let hit_rate: f64 = stats_line
-            .split_whitespace()
-            .find_map(|t| t.strip_prefix("hit_rate="))
-            .unwrap()
-            .parse()
-            .unwrap();
-        assert!(hit_rate > 0.0, "{stats_line}");
+        client.send_line("STATS").unwrap();
+        match client.recv().unwrap() {
+            Response::Stats { hit_rate, hits, .. } => {
+                assert!(hit_rate > 0.0 && hits > 0, "hit_rate={hit_rate}");
+            }
+            other => panic!("expected STATS reply, got {other:?}"),
+        }
     } // drop the client connection before shutting down
 
     server.shutdown();
@@ -164,7 +152,7 @@ fn protocol_round_trip_then_solve_matches_direct_execution() {
     q.alpha = 0.3;
     q.balanced = true;
     q.seed = 5;
-    let wire = protocol::query_to_wire(&q);
+    let wire = protocol::query_to_wire(&q).unwrap();
     let parsed = match protocol::parse_request(&wire).unwrap() {
         protocol::Request::Query(b) => *b,
         other => panic!("{other:?}"),

@@ -136,6 +136,58 @@ fn oversized_batch_count_errs_without_desync() {
     server.shutdown();
 }
 
+/// Satellite regression (ISSUE 4): the client-side serializers must
+/// *error* on wire-unsafe field values — a value containing spaces or
+/// newlines would tokenize into extra fields or extra request lines and
+/// silently desynchronize every later response on the connection.
+#[test]
+fn wire_unsafe_query_values_error_instead_of_desyncing() {
+    use fairhms_service::protocol::{format_response, query_to_wire};
+    use fairhms_service::{Answer, QueryResponse, ServiceError};
+
+    // Crafted alg: would inject a `cached=true` field into the line.
+    let mut q = Query::new("toy", 2);
+    q.alg = "bigreedy cached=true".into();
+    assert!(matches!(
+        query_to_wire(&q),
+        Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
+    ));
+
+    // Crafted dataset: a newline would smuggle a whole second request.
+    let mut q = Query::new("toy\nSHUTDOWN", 2);
+    q.alg = "bigreedy".into();
+    assert!(matches!(
+        query_to_wire(&q),
+        Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
+    ));
+
+    // Same seam on the response side: a crafted display name must not
+    // produce a line that parses as several fields.
+    let resp = QueryResponse {
+        answer: Arc::new(Answer {
+            indices: vec![0],
+            mhr: None,
+            violations: 0,
+            alg: "Bi Greedy\nERR injected".into(),
+            solve_micros: 1,
+        }),
+        cached: false,
+        micros: 1,
+    };
+    assert!(matches!(
+        format_response(&resp),
+        Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
+    ));
+
+    // Ordinary values still serialize byte-identically to v1.
+    let mut ok = Query::new("toy", 2);
+    ok.alg = "bigreedy+".into();
+    assert_eq!(
+        query_to_wire(&ok).unwrap(),
+        "QUERY dataset=toy k=2 alg=bigreedy+ alpha=0.1 balanced=false seed=42 skyline=true"
+    );
+}
+
 #[test]
 fn oversized_request_line_drops_the_connection() {
     let server = spawn_server();
@@ -164,9 +216,9 @@ fn oversized_request_line_drops_the_connection() {
     // The server itself is unaffected: a fresh connection works.
     let mut fresh = Client::connect(server.addr());
     fresh.assert_in_sync();
-    fresh.send(&fairhms_service::protocol::query_to_wire(&Query::new(
-        "toy", 2,
-    )));
+    fresh.send(
+        &fairhms_service::protocol::query_to_wire(&Query::new("toy", 2)).expect("wire-safe query"),
+    );
     let resp = fresh.recv();
     assert!(resp.starts_with("OK alg="), "got {resp:?}");
     server.shutdown();

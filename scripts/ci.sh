@@ -26,14 +26,24 @@ cargo test -q
 # single-shard catalog AND the sharded (4-way) one — answers are
 # contractually bit-identical (see docs/ARCHITECTURE.md, "Sharded
 # preparation & merge").
-echo "==> service tests, unsharded catalog (FAIRHMS_TEST_SHARDS=1)"
-FAIRHMS_TEST_SHARDS=1 cargo test -p fairhms-service -q
+# The service suite runs once per wire codec too: FAIRHMS_TEST_CODEC
+# routes every TCP test's client through the v1 text lines or the v2
+# binary framing (WireClient::connect_env) — answers are contractually
+# bit-identical (see docs/PROTOCOL.md, "Protocol v2"). The text pass is
+# folded into the unsharded run (explicit text == the default), so no
+# configuration is executed twice.
+echo "==> service tests, unsharded catalog + text codec (FAIRHMS_TEST_SHARDS=1 FAIRHMS_TEST_CODEC=text)"
+FAIRHMS_TEST_SHARDS=1 FAIRHMS_TEST_CODEC=text cargo test -p fairhms-service -q
 
 echo "==> service tests, sharded catalog (FAIRHMS_TEST_SHARDS=4)"
 FAIRHMS_TEST_SHARDS=4 cargo test -p fairhms-service -q
 
-echo "==> bench smoke (service engine + shard prep, tiny sizes)"
+echo "==> service tests, binary codec (FAIRHMS_TEST_CODEC=binary)"
+FAIRHMS_TEST_CODEC=binary cargo test -p fairhms-service -q
+
+echo "==> bench smoke (service engine + shard prep + wire codecs, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
+FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench protocol
 
 echo "CI OK"

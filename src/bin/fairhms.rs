@@ -70,8 +70,10 @@ USAGE:
                 [--no-skyline] [--seed S]
   fairhms serve --data NAME=FILE[,NAME=FILE...] [--addr HOST:PORT] [--workers N]
                 [--cache N] [--shards N] [--strategy roundrobin|stratified]
+                [--load-root DIR] [--max-streams N]
   fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
-                [--balanced] [--no-skyline] [--seed S] | --file FILE) [--show-stats]
+                [--balanced] [--no-skyline] [--seed S] | --file FILE [--stream])
+                [--codec text|binary] [--show-stats]
 
 ALGORITHMS (for --alg):
   intcov bigreedy bigreedy+ f-greedy g-greedy g-dmm g-hs g-sphere streaming
@@ -80,9 +82,14 @@ ALGORITHMS (for --alg):
 `serve` loads each CSV once (dimensionality sniffed from the first row),
 precomputes group skylines — partitioned across --shards parallel prep
 threads; answers are bit-identical for every shard count — and answers the
-line protocol documented in docs/PROTOCOL.md; `query` is the matching
-client (`--file` sends a BATCH of QUERY lines through the server's thread
-pool).
+protocol documented in docs/PROTOCOL.md. --load-root DIR allows the LOAD
+admin verb to register CSVs under DIR at runtime; --max-streams caps
+concurrent streamed batches (excess answered ERR busy). `query` is the
+matching client: --codec binary negotiates the v2 length-prefixed framing
+(answers are bit-identical to text), and --file sends a BATCH of QUERY
+lines through the server's thread pool — with --stream the answers are
+printed as the server completes them (seq-tagged) instead of in request
+order.
 
 INPUT FORMAT: CSV rows `attr_1,...,attr_D,group_label` (no header).";
 
@@ -95,7 +102,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         match key {
             // boolean flags
-            "balanced" | "no-skyline" | "show-stats" => {
+            "balanced" | "no-skyline" | "show-stats" | "stream" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -239,7 +246,9 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
 /// killed).
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     use fairhms::data::shard::PartitionStrategy;
-    use fairhms::service::{Catalog, CatalogConfig, QueryEngine, Server, ServerConfig, MAX_SHARDS};
+    use fairhms::service::{
+        Catalog, CatalogConfig, QueryEngine, ServeOptions, Server, ServerConfig, MAX_SHARDS,
+    };
     use std::sync::Arc;
 
     let specs = req(opts, "data")?;
@@ -287,19 +296,41 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err("no datasets loaded (use --data NAME=FILE)".into());
     }
 
+    let mut serve_opts = ServeOptions::default();
+    if let Some(root) = opts.get("load-root") {
+        let root = PathBuf::from(root);
+        if !root.is_dir() {
+            return Err(format!(
+                "--load-root: {} is not a directory",
+                root.display()
+            ));
+        }
+        serve_opts.load_root = Some(root);
+    }
+    if let Some(n) = num::<usize>(opts, "max-streams")? {
+        serve_opts.max_stream_batches = n;
+    }
+
     let shards = cfg.shards;
     let strategy = cfg.strategy;
+    let load_root = serve_opts.load_root.clone();
+    let max_streams = serve_opts.max_stream_batches;
     let engine = Arc::new(QueryEngine::new(catalog, cache));
-    let server =
-        Server::spawn(engine, ServerConfig { addr, workers }).map_err(|e| e.to_string())?;
+    let server = Server::spawn_with(engine, ServerConfig { addr, workers }, serve_opts)
+        .map_err(|e| e.to_string())?;
     println!(
         "fairhms-service listening on {} ({} batch workers, cache {} answers, \
-         {} prep shards [{}])",
+         {} prep shards [{}], {} max streams{})",
         server.addr(),
         workers,
         cache,
         shards,
-        strategy
+        strategy,
+        max_streams,
+        match &load_root {
+            Some(r) => format!(", LOAD root {}", r.display()),
+            None => ", LOAD disabled".to_string(),
+        }
     );
     server.join();
     println!("server stopped");
@@ -307,30 +338,26 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// `fairhms query`: one-shot client for a running `fairhms serve`.
+///
+/// Built on the service crate's typed [`fairhms::service::WireClient`]:
+/// `--codec binary` negotiates the v2 length-prefixed framing via
+/// `HELLO`; without the flag the client is a plain v1 text client.
+/// Output is identical under both codecs (responses are re-rendered
+/// through the v1 text encoding for display).
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    use fairhms::service::protocol;
-    use fairhms::service::Query;
-    use std::io::{BufRead, BufReader, BufWriter, Write};
-    use std::net::TcpStream;
+    use fairhms::service::protocol::{encode_response_line, Response};
+    use fairhms::service::{CodecKind, Query, WireClient};
 
     let addr = req(opts, "addr")?;
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    let read_line = |reader: &mut BufReader<TcpStream>, line: &mut String| {
-        line.clear();
-        reader
-            .read_line(line)
-            .map_err(|e| format!("read: {e}"))
-            .and_then(|n| {
-                if n == 0 {
-                    Err("server closed the connection".to_string())
-                } else {
-                    Ok(())
-                }
-            })
-    };
+    let mut client = match opts.get("codec") {
+        None => WireClient::connect(addr),
+        Some(c) => {
+            let kind = CodecKind::parse(c)
+                .ok_or_else(|| format!("--codec: expected text|binary, got {c:?}"))?;
+            WireClient::negotiate(addr, kind)
+        }
+    }
+    .map_err(|e| format!("connect {addr}: {e}"))?;
 
     if let Some(file) = opts.get("file") {
         // Batch mode: every non-empty, non-comment line is a query.
@@ -347,31 +374,48 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
                 }
             })
             .collect();
-        writeln!(writer, "BATCH {}", lines.len()).map_err(|e| e.to_string())?;
+        let stream = opts.contains_key("stream");
+        let header = if stream {
+            format!("BATCH {} stream=true", lines.len())
+        } else {
+            format!("BATCH {}", lines.len())
+        };
+        let mut block = header;
         for l in &lines {
-            writeln!(writer, "{l}").map_err(|e| e.to_string())?;
+            block.push('\n');
+            block.push_str(l);
         }
-        writer.flush().map_err(|e| e.to_string())?;
-        read_line(&mut reader, &mut line)?;
-        if !line.trim().starts_with("OK batch=") {
-            return Err(format!("batch rejected: {}", line.trim()));
+        client.send_line(&block).map_err(|e| e.to_string())?;
+        match client.recv().map_err(|e| e.to_string())? {
+            Response::BatchHeader { n, .. } if n == lines.len() => {}
+            Response::Error { message, .. } => return Err(format!("batch rejected: {message}")),
+            other => return Err(format!("unexpected batch header: {other:?}")),
         }
         let (mut hits, mut errs) = (0usize, 0usize);
-        for l in &lines {
-            read_line(&mut reader, &mut line)?;
-            let resp = line.trim();
-            match protocol::parse_response(resp) {
-                Ok(ans) if ans.cached => hits += 1,
-                Ok(_) => {}
-                Err(_) => errs += 1,
+        for i in 0..lines.len() {
+            let resp = client.recv().map_err(|e| e.to_string())?;
+            // `seq` maps a streamed (completion-order) answer back to its
+            // request line; buffered answers arrive in request order.
+            let (seq, is_err, cached) = match &resp {
+                Response::Answer { seq, answer } => (*seq, false, answer.cached),
+                Response::Error { seq, .. } => (*seq, true, false),
+                other => return Err(format!("unexpected batch frame: {other:?}")),
+            };
+            if is_err {
+                errs += 1;
+            } else if cached {
+                hits += 1;
             }
-            println!("{l}\n  -> {resp}");
+            let slot = seq.map_or(i, |s| s as usize);
+            let line = encode_response_line(&resp).map_err(|e| e.to_string())?;
+            println!("{}\n  -> {line}", lines.get(slot).map_or("?", |l| l));
         }
         println!(
-            "batch: {} queries, {} served from cache, {} errors",
+            "batch: {} queries, {} served from cache, {} errors{}",
             lines.len(),
             hits,
-            errs
+            errs,
+            if stream { " (streamed)" } else { "" }
         );
         // Scripted callers rely on the exit status; a batch with failed
         // queries must not report success.
@@ -392,10 +436,7 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         q.balanced = opts.contains_key("balanced");
         q.skyline = !opts.contains_key("no-skyline");
-        writeln!(writer, "{}", protocol::query_to_wire(&q)).map_err(|e| e.to_string())?;
-        writer.flush().map_err(|e| e.to_string())?;
-        read_line(&mut reader, &mut line)?;
-        let ans = protocol::parse_response(line.trim()).map_err(|e| e.to_string())?;
+        let ans = client.query(&q).map_err(|e| e.to_string())?;
         println!("algorithm : {}", ans.alg);
         println!("rows      : {:?}", ans.indices);
         match ans.mhr {
@@ -408,10 +449,14 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 
     if opts.contains_key("show-stats") {
-        writeln!(writer, "STATS").map_err(|e| e.to_string())?;
-        writer.flush().map_err(|e| e.to_string())?;
-        read_line(&mut reader, &mut line)?;
-        println!("server {}", line.trim());
+        client.send_line("STATS").map_err(|e| e.to_string())?;
+        let stats = client.recv().map_err(|e| e.to_string())?;
+        // Re-render through the v1 text encoding so the output line is
+        // identical whichever codec carried it.
+        println!(
+            "server {}",
+            encode_response_line(&stats).map_err(|e| e.to_string())?
+        );
     }
     Ok(())
 }
