@@ -87,6 +87,9 @@ fn bench_codecs(c: &mut Criterion) {
             entries: 4096,
             evictions: 17,
             hit_rate: 0.8,
+            warm_hits: 300_000,
+            warm_misses: 9_000,
+            warm_entries: 128,
         },
         answer_frame(5, None),
     ];

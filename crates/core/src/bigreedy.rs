@@ -103,7 +103,32 @@ impl BiGreedyConfig {
         }
     }
 
-    fn resolve_m(&self, d: usize) -> usize {
+    /// Validates the numeric parameters: `epsilon` must be finite and in
+    /// `(0, 1)`, and — when `sample_size` is `None`, so it actually drives
+    /// the covering bound — `delta` must be too. A NaN here would
+    /// otherwise survive `clamp` (which propagates NaN) and poison every
+    /// threshold comparison downstream, silently returning garbage
+    /// instead of an error.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let check = |param: &'static str, v: f64| -> Result<(), CoreError> {
+            if !v.is_finite() || v <= 0.0 || v >= 1.0 {
+                return Err(CoreError::InvalidParameter {
+                    param,
+                    value: format!("{v}"),
+                    expected: "a finite value in (0, 1)",
+                });
+            }
+            Ok(())
+        };
+        check("epsilon", self.epsilon)?;
+        if self.sample_size.is_none() {
+            check("delta", self.delta)?;
+        }
+        Ok(())
+    }
+
+    /// The net size `m` this configuration samples at for dimension `d`.
+    pub fn resolve_m(&self, d: usize) -> usize {
         match self.sample_size {
             Some(m) => m.max(2),
             None => net_size(bigreedy_net_delta(self.delta, d.max(2)), d.max(2)),
@@ -111,13 +136,53 @@ impl BiGreedyConfig {
     }
 }
 
+/// A sampled δ-net together with the exact preimage (`dim`, `m`, `seed`)
+/// that generated it — the warm-start currency for `BiGreedy`.
+///
+/// Sampling is deterministic given the preimage, so a cached `SampledNet`
+/// whose preimage matches a query is **bit-identical** to regenerating:
+/// reuse can never change an answer. Callers verify the match with
+/// [`SampledNet::matches`] before reusing (a stale or mismatched net must
+/// be regenerated, not silently reused).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledNet {
+    /// Utility-space dimensionality the net was sampled in.
+    pub dim: usize,
+    /// Number of net vectors.
+    pub m: usize,
+    /// RNG seed the sample was drawn with.
+    pub seed: u64,
+    /// The net vectors (first `min(d, m)` are the basis directions).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl SampledNet {
+    /// Samples the net exactly as [`bigreedy`] does internally: a fresh
+    /// `StdRng` from `seed`, then [`random_net_with_basis`].
+    pub fn generate(dim: usize, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors = random_net_with_basis(dim, m, &mut rng);
+        Self {
+            dim,
+            m,
+            seed,
+            vectors,
+        }
+    }
+
+    /// Whether this net was generated from exactly `(dim, m, seed)` — the
+    /// precondition for reuse being bit-identical to regeneration.
+    pub fn matches(&self, dim: usize, m: usize, seed: u64) -> bool {
+        self.dim == dim && self.m == m && self.seed == seed
+    }
+}
+
 /// Runs `BiGreedy` on `inst`. The returned [`Solution::mhr`] is the δ-net
 /// estimate `mhr(S|N)` (an upper bound on the true MHR within `δ`).
 pub fn bigreedy(inst: &FairHmsInstance, config: &BiGreedyConfig) -> Result<Solution, CoreError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let m = config.resolve_m(inst.dim());
-    let net = random_net_with_basis(inst.dim(), m, &mut rng);
-    let (sol, _tau) = bigreedy_on_net(inst, &net, config)?;
+    config.validate()?;
+    let net = SampledNet::generate(inst.dim(), config.resolve_m(inst.dim()), config.seed);
+    let (sol, _tau) = bigreedy_on_net(inst, &net.vectors, config)?;
     Ok(sol)
 }
 
@@ -135,6 +200,7 @@ pub fn bigreedy_on_net(
     net: &[Vec<f64>],
     config: &BiGreedyConfig,
 ) -> Result<(Solution, f64), CoreError> {
+    config.validate()?;
     let data = inst.data();
     let m = net.len().max(1);
     let epsilon = config.epsilon.clamp(1e-6, 0.999);
@@ -388,6 +454,93 @@ mod tests {
         let a = bigreedy(&inst, &cfg).unwrap();
         let b = bigreedy(&inst, &cfg).unwrap();
         assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn non_finite_or_out_of_range_params_yield_typed_errors() {
+        // Regression: `epsilon.clamp(1e-6, 0.999)` propagates NaN, so a
+        // NaN ε used to run the whole solve with NaN thresholds. Now the
+        // config is validated up front with a typed error.
+        let inst = lsac_instance(2, true);
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.5,
+            1.0,
+            1.5,
+        ] {
+            let cfg = BiGreedyConfig {
+                epsilon: bad,
+                ..BiGreedyConfig::paper_default(2, 2)
+            };
+            match bigreedy(&inst, &cfg) {
+                Err(CoreError::InvalidParameter {
+                    param: "epsilon", ..
+                }) => {}
+                other => panic!("epsilon = {bad}: expected typed error, got {other:?}"),
+            }
+            // The explicit-net entry point validates identically.
+            let net = SampledNet::generate(2, 10, 42);
+            assert!(matches!(
+                bigreedy_on_net(&inst, &net.vectors, &cfg),
+                Err(CoreError::InvalidParameter {
+                    param: "epsilon",
+                    ..
+                })
+            ));
+        }
+        // δ is validated only when it drives the net size.
+        for bad in [f64::NAN, 0.0, 1.0] {
+            let cfg = BiGreedyConfig {
+                delta: bad,
+                sample_size: None,
+                ..BiGreedyConfig::default()
+            };
+            assert!(matches!(
+                bigreedy(&inst, &cfg),
+                Err(CoreError::InvalidParameter { param: "delta", .. })
+            ));
+            // …and ignored when an explicit sample size overrides it.
+            let cfg = BiGreedyConfig {
+                delta: bad,
+                sample_size: Some(20),
+                ..BiGreedyConfig::default()
+            };
+            assert!(
+                bigreedy(&inst, &cfg).is_ok(),
+                "delta = {bad} with explicit m"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_net_reuse_is_bit_identical_to_regeneration() {
+        let a = SampledNet::generate(3, 90, 42);
+        let b = SampledNet::generate(3, 90, 42);
+        assert_eq!(a.vectors.len(), 90);
+        for (va, vb) in a.vectors.iter().zip(&b.vectors) {
+            let (ba, bb): (Vec<u64>, Vec<u64>) = (
+                va.iter().map(|x| x.to_bits()).collect(),
+                vb.iter().map(|x| x.to_bits()).collect(),
+            );
+            assert_eq!(ba, bb);
+        }
+        assert!(a.matches(3, 90, 42));
+        assert!(!a.matches(3, 90, 43));
+        assert!(!a.matches(2, 90, 42));
+        assert!(!a.matches(3, 91, 42));
+
+        // And the solver consuming a pre-sampled net equals the all-in-one
+        // entry point to the bit.
+        let inst = lsac_instance(3, true);
+        let cfg = BiGreedyConfig::paper_default(3, 2);
+        let net = SampledNet::generate(inst.dim(), cfg.resolve_m(inst.dim()), cfg.seed);
+        let (on_net, _) = bigreedy_on_net(&inst, &net.vectors, &cfg).unwrap();
+        let direct = bigreedy(&inst, &cfg).unwrap();
+        assert_eq!(on_net.indices, direct.indices);
+        assert_eq!(on_net.mhr.map(f64::to_bits), direct.mhr.map(f64::to_bits));
     }
 
     #[test]

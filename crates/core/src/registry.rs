@@ -6,12 +6,79 @@
 //! original baselines ignoring the bounds (used by Figure 3 to measure
 //! their violations).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
 use crate::adapt::{f_greedy, g_adapt, g_greedy};
 use crate::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
 use crate::baselines::{dmm, hitting_set, rdp_greedy, sphere, DmmConfig, HsConfig};
-use crate::bigreedy::{bigreedy, BiGreedyConfig};
+use crate::bigreedy::{bigreedy, bigreedy_on_net, BiGreedyConfig, SampledNet};
 use crate::intcov::intcov;
 use crate::types::{CoreError, FairHmsInstance, Solution};
+
+/// Reusable intermediate solver state threaded through
+/// [`Algorithm::solve_with`] — the warm-start seam.
+///
+/// A serving layer seeds the context with whatever it has cached for the
+/// `(dataset, k, algorithm family)` at hand; the algorithm *verifies the
+/// preimage* before reusing anything (a mismatched net is regenerated,
+/// never reused), and deposits freshly computed state back into the
+/// context so the caller can cache it. Reuse is therefore **provably
+/// inert**: every artifact is deterministic in its preimage, so a warm
+/// solve is bit-identical to a cold one.
+///
+/// Algorithms that have no reusable state simply ignore the context
+/// (the default [`Algorithm::solve_with`] does).
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    /// Sampled δ-net, tagged with its `(dim, m, seed)` preimage.
+    net: Mutex<Option<Arc<SampledNet>>>,
+    /// Whether the last solve actually reused the seeded net.
+    net_reused: AtomicBool,
+}
+
+impl WarmStart {
+    /// An empty context (everything will be computed fresh and deposited).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context seeded with a previously deposited net (if any).
+    pub fn with_net(net: Option<Arc<SampledNet>>) -> Self {
+        Self {
+            net: Mutex::new(net),
+            net_reused: AtomicBool::new(false),
+        }
+    }
+
+    /// The δ-net for exactly `(dim, m, seed)`: the seeded net when its
+    /// preimage matches (bit-identical to regeneration, so reuse cannot
+    /// change answers), otherwise freshly sampled and deposited for the
+    /// caller to cache.
+    pub fn net_for(&self, dim: usize, m: usize, seed: u64) -> Arc<SampledNet> {
+        let mut slot = self.net.lock().unwrap();
+        if let Some(net) = slot.as_ref() {
+            if net.matches(dim, m, seed) {
+                self.net_reused.store(true, Ordering::Relaxed);
+                return Arc::clone(net);
+            }
+        }
+        let fresh = Arc::new(SampledNet::generate(dim, m, seed));
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The currently deposited net (seeded or freshly generated).
+    pub fn net(&self) -> Option<Arc<SampledNet>> {
+        self.net.lock().unwrap().clone()
+    }
+
+    /// Whether the last [`WarmStart::net_for`] call reused the seeded net
+    /// (for the caller's warm-hit accounting).
+    pub fn net_was_reused(&self) -> bool {
+        self.net_reused.load(Ordering::Relaxed)
+    }
+}
 
 /// An algorithm the harness can run on a [`FairHmsInstance`].
 pub trait Algorithm: Send + Sync {
@@ -23,6 +90,16 @@ pub trait Algorithm: Send + Sync {
 
     /// Solves the instance.
     fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError>;
+
+    /// Solves the instance, optionally reusing (and depositing)
+    /// intermediate state through `warm` — **contractually
+    /// bit-identical** to [`Algorithm::solve`] for every input; the
+    /// context only changes *how fast* the answer is computed. The
+    /// default implementation ignores the context.
+    fn solve_with(&self, inst: &FairHmsInstance, warm: &WarmStart) -> Result<Solution, CoreError> {
+        let _ = warm;
+        self.solve(inst)
+    }
 }
 
 /// `IntCov` — exact, 2D only.
@@ -60,6 +137,17 @@ impl Default for BiGreedyAlg {
     }
 }
 
+impl BiGreedyAlg {
+    fn config(&self, inst: &FairHmsInstance) -> BiGreedyConfig {
+        BiGreedyConfig {
+            epsilon: self.epsilon,
+            sample_size: Some(self.m_multiplier * inst.k() * inst.dim()),
+            seed: self.seed,
+            ..BiGreedyConfig::default()
+        }
+    }
+}
+
 impl Algorithm for BiGreedyAlg {
     fn name(&self) -> &'static str {
         "BiGreedy"
@@ -68,13 +156,18 @@ impl Algorithm for BiGreedyAlg {
         true
     }
     fn solve(&self, inst: &FairHmsInstance) -> Result<Solution, CoreError> {
-        let cfg = BiGreedyConfig {
-            epsilon: self.epsilon,
-            sample_size: Some(self.m_multiplier * inst.k() * inst.dim()),
-            seed: self.seed,
-            ..BiGreedyConfig::default()
-        };
-        bigreedy(inst, &cfg)
+        bigreedy(inst, &self.config(inst))
+    }
+    /// Reuses the context's δ-net when its `(dim, m, seed)` preimage
+    /// matches this solve — the expensive sampling (`m = mult·k·d`
+    /// vectors plus the `m × n` extreme-value pass seeding) is the
+    /// dominant per-query setup cost. Bit-identical to [`Self::solve`]
+    /// because net generation is deterministic in the preimage.
+    fn solve_with(&self, inst: &FairHmsInstance, warm: &WarmStart) -> Result<Solution, CoreError> {
+        let cfg = self.config(inst);
+        cfg.validate()?;
+        let net = warm.net_for(inst.dim(), cfg.resolve_m(inst.dim()), cfg.seed);
+        bigreedy_on_net(inst, &net.vectors, &cfg).map(|(sol, _tau)| sol)
     }
 }
 
@@ -534,6 +627,58 @@ mod tests {
         let b = by_name("BiGreedy", &params).unwrap().solve(&inst).unwrap();
         assert_eq!(a.indices, b.indices);
         assert_eq!(a.mhr.map(f64::to_bits), b.mhr.map(f64::to_bits));
+    }
+
+    #[test]
+    fn solve_with_matches_solve_for_every_algorithm() {
+        // The warm-start contract: an empty context, a populated context,
+        // and the plain `solve` path are all bit-identical.
+        let inst = lsac_instance(4);
+        let params = AlgorithmParams::default();
+        for name in ALGORITHM_NAMES {
+            let alg = by_name(name, &params).unwrap();
+            let cold = alg.solve(&inst);
+            let warm_ctx = WarmStart::new();
+            let first = alg.solve_with(&inst, &warm_ctx);
+            // Second solve reuses whatever the first deposited.
+            let second = alg.solve_with(&inst, &warm_ctx);
+            for (label, got) in [("fresh ctx", &first), ("reused ctx", &second)] {
+                match (&cold, got) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.indices, b.indices, "{name} ({label})");
+                        assert_eq!(
+                            a.mhr.map(f64::to_bits),
+                            b.mhr.map(f64::to_bits),
+                            "{name} ({label})"
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{name} ({label})"),
+                    (a, b) => panic!("{name} ({label}): diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_net_reuse_and_preimage_verification() {
+        let ctx = WarmStart::new();
+        assert!(ctx.net().is_none());
+        let a = ctx.net_for(3, 60, 42);
+        assert!(!ctx.net_was_reused(), "fresh generation counted as reuse");
+        // Matching preimage: the same allocation comes back.
+        let b = ctx.net_for(3, 60, 42);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(ctx.net_was_reused());
+        // Mismatched preimage (different seed): regenerated, deposited.
+        let c = ctx.net_for(3, 60, 7);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(ctx.net().unwrap().seed, 7);
+
+        // Seeding a context from a cached net short-circuits generation.
+        let seeded = WarmStart::with_net(Some(std::sync::Arc::clone(&a)));
+        let d = seeded.net_for(3, 60, 42);
+        assert!(std::sync::Arc::ptr_eq(&a, &d));
+        assert!(seeded.net_was_reused());
     }
 
     #[test]

@@ -44,6 +44,122 @@ impl std::fmt::Display for FairnessError {
 
 impl std::error::Error for FairnessError {}
 
+/// The `O(n)` part of [`FairnessMatroid`] construction, done once and
+/// reused: the shared group labels, validated (`groups[i] < num_groups`),
+/// together with the per-group member counts.
+///
+/// Building a matroid from scratch scans every label twice (bounds check +
+/// size count); a serving layer that constructs one matroid per query over
+/// the *same* dataset pays that scan per query. `PreparedBounds` hoists it
+/// out: prepare once per dataset (or fetch from a warm-start cache), then
+/// [`PreparedBounds::matroid`] validates any `(lower, upper, k)` bounds in
+/// `O(C)` and shares the label allocation.
+///
+/// ```
+/// use fairhms_matroid::{FairnessMatroid, PreparedBounds};
+///
+/// let prepared = PreparedBounds::new(vec![0, 0, 1, 1], 2).unwrap();
+/// assert_eq!(prepared.group_sizes(), &[2, 2]);
+/// // O(C) per query instead of O(n):
+/// let m = prepared.matroid(vec![1, 1], vec![2, 2], 3).unwrap();
+/// // …and identical to the from-scratch construction.
+/// assert_eq!(m, FairnessMatroid::new(vec![0, 0, 1, 1], vec![1, 1], vec![2, 2], 3).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedBounds {
+    /// Validated shared group labels.
+    groups: Arc<[usize]>,
+    /// `group_sizes[c]` = number of elements labeled `c`.
+    group_sizes: Vec<usize>,
+}
+
+impl PreparedBounds {
+    /// Validates `groups` against `num_groups` and counts per-group sizes —
+    /// the one `O(n)` scan. Pass either an owned `Vec<usize>` or a shared
+    /// `Arc<[usize]>` handle (no copy).
+    pub fn new(groups: impl Into<Arc<[usize]>>, num_groups: usize) -> Result<Self, FairnessError> {
+        let groups = groups.into();
+        let mut group_sizes = vec![0usize; num_groups];
+        for &g in groups.iter() {
+            if g >= num_groups {
+                return Err(FairnessError::ShapeMismatch);
+            }
+            group_sizes[g] += 1;
+        }
+        Ok(Self {
+            groups,
+            group_sizes,
+        })
+    }
+
+    /// Number of ground-set elements.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the ground set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of groups the labels were validated against.
+    pub fn num_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// Per-group member counts.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// A shared handle to the validated labels (refcount bump, no copy).
+    pub fn shared_groups(&self) -> Arc<[usize]> {
+        Arc::clone(&self.groups)
+    }
+
+    /// Builds the fairness matroid for `(lower, upper, k)` in `O(C)`,
+    /// sharing this prepared scan — output (and every validation error,
+    /// in the same precedence order) identical to
+    /// [`FairnessMatroid::new`] over the same labels.
+    pub fn matroid(
+        &self,
+        lower: Vec<usize>,
+        upper: Vec<usize>,
+        k: usize,
+    ) -> Result<FairnessMatroid, FairnessError> {
+        if lower.len() != upper.len() || lower.len() != self.num_groups() {
+            return Err(FairnessError::ShapeMismatch);
+        }
+        for (g, (&l, &h)) in lower.iter().zip(&upper).enumerate() {
+            if l > h {
+                return Err(FairnessError::CrossedBounds { group: g });
+            }
+        }
+        if lower.iter().sum::<usize>() > k {
+            return Err(FairnessError::LowerExceedsK);
+        }
+        // lower bounds must be attainable within each group as well
+        if lower.iter().zip(&self.group_sizes).any(|(&l, &sz)| l > sz) {
+            return Err(FairnessError::UpperBelowK);
+        }
+        let attainable: usize = self
+            .group_sizes
+            .iter()
+            .zip(&upper)
+            .map(|(s, h)| s.min(h))
+            .sum();
+        if attainable < k {
+            return Err(FairnessError::UpperBelowK);
+        }
+        Ok(FairnessMatroid {
+            groups: Arc::clone(&self.groups),
+            lower,
+            upper,
+            k,
+        })
+    }
+}
+
 /// The fairness matroid `M = (D, I)` for group bounds `l, h` and budget `k`.
 ///
 /// ```
@@ -56,7 +172,7 @@ impl std::error::Error for FairnessError {}
 /// assert!(m.is_feasible(&[0, 1, 2]));      // counts (2, 1) within bounds
 /// assert_eq!(m.violations(&[0, 1]), 1);    // group 1 below its lower bound
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FairnessMatroid {
     /// Shared group labels: instances built over an `Arc`-held dataset
     /// hand the matroid the same allocation (see
@@ -78,42 +194,13 @@ impl FairnessMatroid {
         upper: Vec<usize>,
         k: usize,
     ) -> Result<Self, FairnessError> {
-        let groups = groups.into();
         if lower.len() != upper.len() {
             return Err(FairnessError::ShapeMismatch);
         }
-        let c = lower.len();
-        if groups.iter().any(|&g| g >= c) {
-            return Err(FairnessError::ShapeMismatch);
-        }
-        for g in 0..c {
-            if lower[g] > upper[g] {
-                return Err(FairnessError::CrossedBounds { group: g });
-            }
-        }
-        if lower.iter().sum::<usize>() > k {
-            return Err(FairnessError::LowerExceedsK);
-        }
-        let mut sizes = vec![0usize; c];
-        for &g in groups.iter() {
-            sizes[g] += 1;
-        }
-        // lower bounds must be attainable within each group as well
-        for g in 0..c {
-            if lower[g] > sizes[g] {
-                return Err(FairnessError::UpperBelowK);
-            }
-        }
-        let attainable: usize = sizes.iter().zip(&upper).map(|(s, h)| s.min(h)).sum();
-        if attainable < k {
-            return Err(FairnessError::UpperBelowK);
-        }
-        Ok(Self {
-            groups,
-            lower,
-            upper,
-            k,
-        })
+        // One-shot path: the prepared scan and the O(C) validation are the
+        // same code the warm-start reuse path runs, so the two can never
+        // drift apart.
+        PreparedBounds::new(groups, lower.len())?.matroid(lower, upper, k)
     }
 
     /// Group label of element `i`.
@@ -262,7 +349,11 @@ pub fn balanced_bounds(group_sizes: &[usize], k: usize, alpha: f64) -> (Vec<usiz
     let mut upper = Vec::with_capacity(c);
     for &sz in group_sizes {
         let l = (((1.0 - alpha) * frac).floor() as usize).max(1).min(sz);
-        let h = (((1.0 + alpha) * frac).ceil() as usize).min(sz).max(1);
+        // No trailing `.max(1)`: a group with zero members must get
+        // `h = 0` (an upper bound of 1 on an empty group is vacuous at
+        // best and used to survive the `.min(sz)` cap). For non-empty
+        // groups `⌈(1+α)k/C⌉ ≥ 1` whenever `k ≥ 1`, so nothing changes.
+        let h = (((1.0 + alpha) * frac).ceil() as usize).min(sz);
         lower.push(l.min(h));
         upper.push(h);
     }
@@ -408,6 +499,102 @@ mod tests {
         let attainable: usize = h.iter().zip(&sizes).map(|(&h, &s)| h.min(s)).sum();
         assert!(attainable >= 10, "l={l:?} h={h:?}");
         assert!(l.iter().sum::<usize>() <= 10);
+    }
+
+    #[test]
+    fn empty_groups_never_get_positive_lower_bounds() {
+        // Regression: a group with 0 members must end up with l = 0 (a
+        // lower bound ≥ 1 would make every matroid over it vacuously
+        // infeasible) — under both bound policies, at several (k, α).
+        for sizes in [
+            vec![50usize, 0, 30],
+            vec![0, 0, 7],
+            vec![9, 0, 0, 4],
+            vec![0, 12],
+        ] {
+            for k in [1usize, 3, 5] {
+                for alpha in [0.0, 0.1, 0.5] {
+                    for (policy, (l, h)) in [
+                        ("proportional", proportional_bounds(&sizes, k, alpha)),
+                        ("balanced", balanced_bounds(&sizes, k, alpha)),
+                    ] {
+                        for (g, &sz) in sizes.iter().enumerate() {
+                            if sz == 0 {
+                                assert_eq!(
+                                    l[g], 0,
+                                    "{policy}: empty group {g} got lower {} \
+                                     (sizes {sizes:?}, k={k}, α={alpha})",
+                                    l[g]
+                                );
+                                assert_eq!(
+                                    h[g], 0,
+                                    "{policy}: empty group {g} got upper {} \
+                                     (sizes {sizes:?}, k={k}, α={alpha})",
+                                    h[g]
+                                );
+                            }
+                            assert!(l[g] <= h[g], "{policy}: crossed bounds at {g}");
+                        }
+                        // The derived bounds must admit a feasible size-k
+                        // set whenever one exists at all (k ≤ n).
+                        let n: usize = sizes.iter().sum();
+                        if k <= n {
+                            let groups: Vec<usize> = sizes
+                                .iter()
+                                .enumerate()
+                                .flat_map(|(g, &sz)| std::iter::repeat_n(g, sz))
+                                .collect();
+                            FairnessMatroid::new(groups, l.clone(), h.clone(), k).unwrap_or_else(
+                                |e| {
+                                    panic!(
+                                        "{policy}: infeasible bounds l={l:?} h={h:?} \
+                                         for sizes {sizes:?}, k={k}, α={alpha}: {e}"
+                                    )
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_bounds_matches_from_scratch_construction() {
+        let g = vec![0usize, 0, 0, 1, 1, 2];
+        let prepared = PreparedBounds::new(g.clone(), 3).unwrap();
+        assert_eq!(prepared.group_sizes(), &[3, 2, 1]);
+        assert_eq!(prepared.len(), 6);
+        assert_eq!(prepared.num_groups(), 3);
+        // Valid bounds: identical matroid, labels shared (not re-copied).
+        for (l, h, k) in [
+            (vec![1, 1, 1], vec![2, 2, 1], 4),
+            (vec![0, 0, 0], vec![3, 2, 1], 3),
+            (vec![2, 2, 1], vec![3, 2, 1], 5),
+        ] {
+            let fast = prepared.matroid(l.clone(), h.clone(), k).unwrap();
+            let slow = FairnessMatroid::new(g.clone(), l, h, k).unwrap();
+            assert_eq!(fast, slow);
+            assert!(Arc::ptr_eq(&fast.groups, &prepared.groups));
+        }
+        // Invalid bounds: identical typed errors, same precedence.
+        for (l, h, k) in [
+            (vec![2, 1, 1], vec![1, 1, 1], 4), // crossed
+            (vec![2, 2, 1], vec![2, 2, 1], 3), // Σl > k
+            (vec![0, 0, 0], vec![1, 1, 1], 4), // attainable < k
+            (vec![1, 1], vec![1, 1], 2),       // shape
+            (vec![0, 3, 0], vec![3, 3, 1], 3), // lower exceeds group size
+        ] {
+            assert_eq!(
+                prepared.matroid(l.clone(), h.clone(), k).unwrap_err(),
+                FairnessMatroid::new(g.clone(), l, h, k).unwrap_err()
+            );
+        }
+        // Out-of-range labels are caught by the prepared scan itself.
+        assert_eq!(
+            PreparedBounds::new(vec![0usize, 5], 2).unwrap_err(),
+            FairnessError::ShapeMismatch
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod fairness;
 pub mod partition;
 pub mod uniform;
 
-pub use fairness::{balanced_bounds, proportional_bounds, FairnessError, FairnessMatroid};
+pub use fairness::{
+    balanced_bounds, proportional_bounds, FairnessError, FairnessMatroid, PreparedBounds,
+};
 pub use partition::PartitionMatroid;
 pub use uniform::UniformMatroid;
 

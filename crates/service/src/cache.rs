@@ -311,6 +311,71 @@ mod tests {
         );
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Satellite pin: the `Ordering::Relaxed` hit/miss/eviction
+        /// counters stay mutually consistent under concurrent
+        /// get/insert/refresh from many threads — every lookup is counted
+        /// exactly once, entries never exceed capacity, and the eviction
+        /// count accounts exactly for the entries that went missing.
+        #[test]
+        fn concurrent_stats_stay_consistent(
+            threads in 2usize..6,
+            ops in 20usize..120,
+            key_space in 1u64..40,
+            capacity in 1usize..48,
+        ) {
+            let cache = SolutionCache::new(capacity);
+            let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
+                let cache = &cache;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let (mut hits, mut misses) = (0u64, 0u64);
+                            // Deterministic per-thread mix of lookups and
+                            // inserts over a shared key space: plenty of
+                            // contention on both shard locks and counters.
+                            for i in 0..ops {
+                                let key = ((t * 31 + i * 7) as u64) % key_space;
+                                let q = query(key);
+                                if i % 3 == 0 {
+                                    cache.insert(key, 0, q, answer(key as usize));
+                                } else if cache.get(key, 0, &q).is_some() {
+                                    hits += 1;
+                                } else {
+                                    misses += 1;
+                                }
+                            }
+                            (hits, misses)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let st = cache.stats();
+            let (local_hits, local_misses) = per_thread
+                .iter()
+                .fold((0u64, 0u64), |(h, m), &(th, tm)| (h + th, m + tm));
+            // Counted-exactly-once: the global counters equal the sum of
+            // what each thread observed — no lost or double increments.
+            proptest::prop_assert_eq!(st.hits, local_hits);
+            proptest::prop_assert_eq!(st.misses, local_misses);
+            // Structural consistency after all threads quiesce.
+            proptest::prop_assert_eq!(st.entries, cache.len());
+            let max_entries = SolutionCache::SHARDS
+                * capacity.div_ceil(SolutionCache::SHARDS).max(1);
+            proptest::prop_assert!(st.entries <= max_entries);
+            // Every resident or evicted entry came from some insert; an
+            // insert that overwrote in place produced neither.
+            let inserts = threads * ops.div_ceil(3);
+            proptest::prop_assert!(st.entries + st.evictions as usize <= inserts);
+            let rate = st.hit_rate();
+            proptest::prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
     #[test]
     fn clear_keeps_counters() {
         let cache = SolutionCache::new(8);

@@ -297,6 +297,13 @@ impl<'a> PayloadReader<'a> {
         }
     }
 
+    /// True when the payload is fully consumed — used to default fields
+    /// appended to a frame after v2 shipped (a pre-extension peer's
+    /// frame simply ends earlier).
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
     fn finish(&self) -> Result<(), ServiceError> {
         if self.pos != self.buf.len() {
             return Err(ServiceError::Protocol(format!(
@@ -330,6 +337,9 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             entries,
             evictions,
             hit_rate,
+            warm_hits,
+            warm_misses,
+            warm_entries,
         } => {
             out.push(tag::STATS);
             put_varint(out, *hits);
@@ -337,6 +347,9 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *entries as u64);
             put_varint(out, *evictions);
             out.extend_from_slice(&hit_rate.to_bits().to_le_bytes());
+            put_varint(out, *warm_hits);
+            put_varint(out, *warm_misses);
+            put_varint(out, *warm_entries as u64);
         }
         Response::Info {
             shards,
@@ -344,6 +357,7 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             workers,
             datasets,
             cache_entries,
+            warmstart,
         } => {
             out.push(tag::INFO);
             put_varint(out, *shards as u64);
@@ -351,6 +365,7 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *workers as u64);
             put_varint(out, *datasets as u64);
             put_varint(out, *cache_entries as u64);
+            out.push(u8::from(*warmstart));
         }
         Response::Shards(n) => {
             out.push(tag::SHARDS);
@@ -421,19 +436,48 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
         },
         tag::DATASETS => Response::Datasets(r.list("datasets")?),
         tag::ALGORITHMS => Response::Algorithms(r.list("algorithms")?),
-        tag::STATS => Response::Stats {
-            hits: r.varint("hits")?,
-            misses: r.varint("misses")?,
-            entries: r.usize("entries")?,
-            evictions: r.varint("evictions")?,
-            hit_rate: r.f64_bits("hit_rate")?,
-        },
+        tag::STATS => {
+            let hits = r.varint("hits")?;
+            let misses = r.varint("misses")?;
+            let entries = r.usize("entries")?;
+            let evictions = r.varint("evictions")?;
+            let hit_rate = r.f64_bits("hit_rate")?;
+            // The warm_* fields were appended after v2 shipped: a frame
+            // from a pre-warm-start peer ends here, and the counters
+            // default to 0 — mirroring the text decoder's tolerance.
+            let (warm_hits, warm_misses, warm_entries) = if r.at_end() {
+                (0, 0, 0)
+            } else {
+                (
+                    r.varint("warm_hits")?,
+                    r.varint("warm_misses")?,
+                    r.usize("warm_entries")?,
+                )
+            };
+            Response::Stats {
+                hits,
+                misses,
+                entries,
+                evictions,
+                hit_rate,
+                warm_hits,
+                warm_misses,
+                warm_entries,
+            }
+        }
         tag::INFO => Response::Info {
             shards: r.usize("shards")?,
             strategy: r.str("strategy")?,
             workers: r.usize("workers")?,
             datasets: r.usize("datasets")?,
             cache_entries: r.usize("cache_entries")?,
+            // Appended after v2 shipped (see STATS above): absent means a
+            // pre-warm-start peer, whose tier default was "on".
+            warmstart: if r.at_end() {
+                true
+            } else {
+                r.u8("warmstart")? != 0
+            },
         },
         tag::SHARDS => Response::Shards(r.usize("shards")?),
         tag::ANSWER => {
@@ -570,6 +614,9 @@ mod tests {
                 entries: 1,
                 evictions: 0,
                 hit_rate: 2.0 / 3.0,
+                warm_hits: 5,
+                warm_misses: 3,
+                warm_entries: 2,
             },
             Response::Info {
                 shards: 4,
@@ -577,6 +624,7 @@ mod tests {
                 workers: 8,
                 datasets: 2,
                 cache_entries: 17,
+                warmstart: false,
             },
             Response::Shards(64),
             Response::Answer {
@@ -752,6 +800,86 @@ mod tests {
             BinaryCodec.read_frame(&mut reader),
             Err(ServiceError::Protocol(m)) if m.contains("payload")
         ));
+    }
+
+    #[test]
+    fn pre_warmstart_binary_frames_still_decode() {
+        // Frames from a peer built before the warm-start fields were
+        // appended end right after the original payload; the decoder
+        // must default the new fields (0 counters / tier-on), mirroring
+        // the text decoder — not error on a truncated read.
+        let mut payload = vec![tag::STATS];
+        put_varint(&mut payload, 2); // hits
+        put_varint(&mut payload, 1); // misses
+        put_varint(&mut payload, 1); // entries
+        put_varint(&mut payload, 0); // evictions
+        payload.extend_from_slice(&(2.0f64 / 3.0).to_bits().to_le_bytes());
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Stats {
+                hits,
+                warm_hits,
+                warm_misses,
+                warm_entries,
+                ..
+            } => assert_eq!((hits, warm_hits, warm_misses, warm_entries), (2, 0, 0, 0)),
+            other => panic!("{other:?}"),
+        }
+
+        let mut payload = vec![tag::INFO];
+        put_varint(&mut payload, 4); // shards
+        put_str(&mut payload, "stratified");
+        put_varint(&mut payload, 2); // workers
+        put_varint(&mut payload, 1); // datasets
+        put_varint(&mut payload, 0); // cache_entries
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Info { warmstart, .. } => assert!(warmstart),
+            other => panic!("{other:?}"),
+        }
+
+        // A *partially* appended tail is still corruption, not tolerance.
+        let mut bad = vec![tag::STATS];
+        for _ in 0..4 {
+            put_varint(&mut bad, 1);
+        }
+        bad.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        put_varint(&mut bad, 7); // warm_hits present but the rest missing
+        assert!(decode_binary_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_encode_is_a_typed_error_not_a_truncated_header() {
+        // Regression (encode-side cap): the frame length is written as
+        // `len as u32` after the payload; without the MAX_FRAME_BYTES
+        // check an oversized payload would silently truncate the length
+        // header and desynchronize every later frame. The encoder must
+        // return a typed error and roll the buffer back instead.
+        let huge = Response::Error {
+            seq: None,
+            message: "x".repeat(MAX_FRAME_BYTES + 16),
+        };
+        let mut out = Vec::new();
+        BinaryCodec.encode_frame(&Response::Pong, &mut out).unwrap();
+        let after_pong = out.len();
+        match BinaryCodec.encode_frame(&huge, &mut out) {
+            Err(ServiceError::Protocol(m)) => {
+                assert!(m.contains("exceeds"), "unexpected message: {m}")
+            }
+            other => panic!("expected typed encode error, got {other:?}"),
+        }
+        // Buffer rolled back to the frame boundary: nothing of the failed
+        // frame leaks, and the stream stays decodable.
+        assert_eq!(out.len(), after_pong);
+        BinaryCodec.encode_frame(&Response::Bye, &mut out).unwrap();
+        let mut reader = std::io::Cursor::new(out);
+        assert_eq!(
+            BinaryCodec.read_frame(&mut reader).unwrap(),
+            Some(Response::Pong)
+        );
+        assert_eq!(
+            BinaryCodec.read_frame(&mut reader).unwrap(),
+            Some(Response::Bye)
+        );
+        assert!(BinaryCodec.read_frame(&mut reader).unwrap().is_none());
     }
 
     #[test]

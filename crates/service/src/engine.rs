@@ -3,13 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use fairhms_core::registry::{self, AlgorithmParams};
-use fairhms_core::types::{CandidateSet, FairHmsInstance};
-use fairhms_matroid::{balanced_bounds, proportional_bounds};
+use fairhms_core::registry::{self, AlgorithmParams, WarmStart};
+use fairhms_core::types::{CandidateSet, CoreError, FairHmsInstance};
+use fairhms_matroid::{balanced_bounds, proportional_bounds, PreparedBounds};
 
 use crate::cache::{CacheStats, SolutionCache};
 use crate::catalog::Catalog;
 use crate::query::Query;
+use crate::warmstart::{WarmConfig, WarmKey, WarmStartCache, WarmStats};
 use crate::ServiceError;
 
 /// The immutable result of solving one canonical query.
@@ -55,6 +56,11 @@ pub struct QueryResponse {
 pub struct QueryEngine {
     catalog: Arc<Catalog>,
     cache: SolutionCache,
+    /// Second cache tier: reusable *intermediate* solver state (δ-nets,
+    /// prepared bounds scans) shared by near-miss queries — `None` when
+    /// the tier is disabled (see [`WarmConfig`]); answers are
+    /// contractually identical either way.
+    warm: Option<WarmStartCache>,
     /// Fingerprints currently being solved, for single-flight coalescing:
     /// concurrent identical queries wait for the first solver instead of
     /// stampeding the same cold solve on every worker.
@@ -78,11 +84,23 @@ impl Drop for FlightGuard<'_> {
 
 impl QueryEngine {
     /// An engine over `catalog` with a solution cache of `cache_capacity`
-    /// answers.
+    /// answers and the warm-start tier configured from the environment
+    /// (enabled unless `FAIRHMS_TEST_WARMSTART=0` — see
+    /// [`WarmConfig::from_env`]).
     pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> Self {
+        Self::with_warm_config(catalog, cache_capacity, WarmConfig::from_env())
+    }
+
+    /// [`QueryEngine::new`] with an explicit warm-start configuration.
+    pub fn with_warm_config(
+        catalog: Arc<Catalog>,
+        cache_capacity: usize,
+        warm: WarmConfig,
+    ) -> Self {
         Self {
             catalog,
             cache: SolutionCache::new(cache_capacity),
+            warm: warm.enabled.then(|| WarmStartCache::new(warm.capacity)),
             in_flight: std::sync::Mutex::new(std::collections::HashSet::new()),
             in_flight_done: std::sync::Condvar::new(),
         }
@@ -96,6 +114,19 @@ impl QueryEngine {
     /// Cache effectiveness counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Warm-start tier counters (all zero when the tier is disabled).
+    pub fn warm_stats(&self) -> WarmStats {
+        self.warm
+            .as_ref()
+            .map(WarmStartCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether the warm-start tier is enabled.
+    pub fn warmstart_enabled(&self) -> bool {
+        self.warm.is_some()
     }
 
     /// Registers a CSV into the catalog at runtime — the engine seam the
@@ -175,12 +206,17 @@ impl QueryEngine {
         })
     }
 
-    /// Solves `q` from scratch against the prepared dataset.
+    /// Solves `q` from scratch against the prepared dataset, consulting
+    /// the warm-start tier for reusable intermediate state.
     ///
     /// Mirrors the CLI `solve` pipeline: optional skyline restriction,
     /// bounds derivation, instance validation, then the shared name→
     /// algorithm factory — so the CLI and every service front end return
-    /// identical answers for identical parameters.
+    /// identical answers for identical parameters. The warm-start tier is
+    /// purely advisory: every reused component's preimage is verified
+    /// (the δ-net inside [`WarmStart::net_for`], the bounds scan against
+    /// the candidate shape below), so a warm solve is bit-identical to a
+    /// cold one — pinned by `tests/warmstart_equivalence.rs`.
     fn solve_cold(
         &self,
         q: &Query,
@@ -208,17 +244,85 @@ impl QueryEngine {
         } else {
             proportional_bounds(group_sizes, q.k, q.alpha)
         };
+
+        // Warm-start lookup. `q` is canonicalized by `execute`, so
+        // `q.alg` is the canonical family name; the key folds the
+        // dataset epoch, making state for replaced datasets unreachable.
+        let warm_key = WarmKey {
+            epoch: prep.epoch,
+            k: q.k,
+            family: q.alg.clone(),
+        };
+        let warm_entry = self.warm.as_ref().and_then(|w| w.get(&warm_key));
+
+        // Prepared bounds: reuse the cached O(n) label scan when it
+        // matches this candidate form's shape, else scan fresh.
+        let data = cand.data();
+        let mut fresh_bounds = false;
+        let bounds: Arc<PreparedBounds> = match warm_entry
+            .as_ref()
+            .and_then(|e| e.bounds(q.skyline))
+            .filter(|pb| pb.len() == data.len() && pb.num_groups() == data.num_groups())
+        {
+            Some(pb) => {
+                if let Some(w) = &self.warm {
+                    w.note_hit();
+                }
+                Arc::clone(pb)
+            }
+            None => {
+                if let Some(w) = &self.warm {
+                    w.note_miss();
+                }
+                fresh_bounds = true;
+                Arc::new(
+                    PreparedBounds::new(data.shared_groups(), data.num_groups())
+                        .map_err(CoreError::Bounds)?,
+                )
+            }
+        };
+
         // Zero-copy hand-off: the instance shares the catalog's prepared
         // allocation; concurrent solves against one dataset all read it.
-        let inst = FairHmsInstance::new(Arc::clone(cand.data()), q.k, lower, upper)?;
+        let inst = FairHmsInstance::with_bounds(Arc::clone(data), q.k, lower, upper, &bounds)?;
         let params = AlgorithmParams {
             seed: q.seed,
             ..AlgorithmParams::default()
         };
         let alg = registry::by_name(&q.alg, &params)?;
+
+        // Thread the cached δ-net (if any) through the solver; the
+        // context verifies the (dim, m, seed) preimage before reuse and
+        // deposits a freshly sampled net otherwise.
+        let seeded_net = warm_entry.as_ref().and_then(|e| e.net.clone());
+        let warm_ctx = WarmStart::with_net(seeded_net.clone());
         let t = Instant::now();
-        let sol = alg.solve(&inst)?;
+        let sol = alg.solve_with(&inst, &warm_ctx)?;
         let solve_micros = t.elapsed().as_micros() as u64;
+
+        // Per-component accounting + deposit of freshly computed state.
+        if let Some(w) = &self.warm {
+            let deposited_net = warm_ctx.net();
+            let net_generated = match (&seeded_net, &deposited_net) {
+                (_, None) => false, // algorithm never consulted the net
+                (Some(old), Some(new)) => !Arc::ptr_eq(old, new),
+                (None, Some(_)) => true,
+            };
+            if warm_ctx.net_was_reused() {
+                w.note_hit();
+            } else if net_generated {
+                w.note_miss();
+            }
+            if fresh_bounds || net_generated {
+                let mut entry = warm_entry.as_deref().cloned().unwrap_or_default();
+                entry.set_bounds(q.skyline, Arc::clone(&bounds));
+                if let Some(net) = deposited_net {
+                    entry.net = Some(net);
+                }
+                w.insert(warm_key, entry);
+            }
+        }
+
         let violations = inst.matroid().violations(&sol.indices);
         let indices = cand.to_original(&sol.indices);
         Ok(Answer {

@@ -13,6 +13,11 @@
 //! * [`cache`] — a sharded LRU [`SolutionCache`] keyed by query
 //!   fingerprint, so repeated queries return bit-identical answers without
 //!   re-solving;
+//! * [`warmstart`] — the second cache tier: a [`WarmStartCache`] of
+//!   *intermediate* solver state (BiGreedy δ-nets, prepared bounds
+//!   scans) keyed by `(dataset epoch, k, algorithm family)`, so
+//!   near-miss queries reuse per-query setup work without affecting
+//!   answers;
 //! * [`engine`] — the [`QueryEngine`] tying catalog + cache + the
 //!   [`fairhms_core::registry::by_name`] algorithm factory together;
 //! * [`executor`] — a [`BatchExecutor`] fan-out over std threads and
@@ -57,6 +62,7 @@ pub mod executor;
 pub mod protocol;
 pub mod query;
 pub mod server;
+pub mod warmstart;
 
 pub use cache::{CacheStats, SolutionCache};
 pub use catalog::{Catalog, CatalogConfig, PreparedDataset, ShardPrep, MAX_SHARDS};
@@ -67,6 +73,7 @@ pub use executor::BatchExecutor;
 pub use protocol::{Request, Response, WireAnswer};
 pub use query::Query;
 pub use server::{ServeOptions, Server, ServerConfig};
+pub use warmstart::{WarmConfig, WarmEntry, WarmKey, WarmStartCache, WarmStats};
 
 use fairhms_core::types::CoreError;
 use fairhms_data::DatasetError;

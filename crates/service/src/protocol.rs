@@ -21,8 +21,8 @@
 //! >> HELLO version=2 codec=binary           << OK version=2 codec=binary
 //! >> LIST                                   << OK datasets=name:n:d:c:sky,...
 //! >> ALGS                                   << OK algorithms=intcov,bigreedy,...
-//! >> STATS                                  << OK hits=… misses=… entries=… evictions=… hit_rate=…
-//! >> INFO                                   << OK shards=… strategy=… workers=… datasets=… cache_entries=…
+//! >> STATS                                  << OK hits=… misses=… entries=… evictions=… hit_rate=… warm_hits=… warm_misses=… warm_entries=…
+//! >> INFO                                   << OK shards=… strategy=… workers=… datasets=… cache_entries=… warmstart=…
 //! >> SHARDS                                 << OK shards=1
 //! >> SHARDS 4                               << OK shards=4   (future registrations prep with 4 shards)
 //! >> QUERY dataset=adult k=8 alg=bigreedy   << OK alg=BiGreedy cached=false micros=812 err=0 mhr=0.97 indices=3,17,40
@@ -120,7 +120,10 @@ pub enum Response {
     Datasets(Vec<String>),
     /// `ALGS` reply: registered algorithm names.
     Algorithms(Vec<String>),
-    /// `STATS` reply: solution-cache counters.
+    /// `STATS` reply: solution-cache counters plus warm-start tier
+    /// counters (the `warm_*` fields; all zero when the tier is
+    /// disabled). Decoding tolerates their absence — pre-warm-start v1
+    /// transcripts still parse, with the warm counters defaulting to 0.
     Stats {
         /// Lookups answered from the cache.
         hits: u64,
@@ -132,6 +135,12 @@ pub enum Response {
         evictions: u64,
         /// `hits / (hits + misses)` (0 when nothing was looked up).
         hit_rate: f64,
+        /// Warm-start components (δ-nets, bounds scans) reused.
+        warm_hits: u64,
+        /// Warm-start components computed fresh.
+        warm_misses: u64,
+        /// Resident warm-start entries.
+        warm_entries: usize,
     },
     /// `INFO` reply: server configuration.
     Info {
@@ -145,6 +154,10 @@ pub enum Response {
         datasets: usize,
         /// Resident cache entries.
         cache_entries: usize,
+        /// Whether the warm-start tier is enabled (decoding tolerates the
+        /// field's absence in pre-warm-start transcripts, defaulting to
+        /// `true` — the tier's default state).
+        warmstart: bool,
     },
     /// `SHARDS` reply: the (possibly just set) preparation shard count.
     Shards(usize),
@@ -510,9 +523,13 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             entries,
             evictions,
             hit_rate,
+            warm_hits,
+            warm_misses,
+            warm_entries,
         } => format!(
             "OK hits={hits} misses={misses} entries={entries} evictions={evictions} \
-             hit_rate={hit_rate}"
+             hit_rate={hit_rate} warm_hits={warm_hits} warm_misses={warm_misses} \
+             warm_entries={warm_entries}"
         ),
         Response::Info {
             shards,
@@ -520,11 +537,12 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             workers,
             datasets,
             cache_entries,
+            warmstart,
         } => {
             check_wire_safe("strategy", strategy)?;
             format!(
                 "OK shards={shards} strategy={strategy} workers={workers} datasets={datasets} \
-                 cache_entries={cache_entries}"
+                 cache_entries={cache_entries} warmstart={warmstart}"
             )
         }
         Response::Shards(n) => format!("OK shards={n}"),
@@ -622,6 +640,32 @@ fn field<T: std::str::FromStr>(
     parse_num(key, v)
 }
 
+/// Like [`field`] but tolerating absence — for fields added to a response
+/// after v1 shipped, so pre-extension transcripts still decode.
+fn field_or<T: std::str::FromStr>(
+    m: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ServiceError> {
+    match m.get(key) {
+        None => Ok(default),
+        Some(v) => parse_num(key, v),
+    }
+}
+
+/// [`field_or`] for booleans (which parse via [`parse_bool`], not
+/// `FromStr`).
+fn flag_or(
+    m: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: bool,
+) -> Result<bool, ServiceError> {
+    match m.get(key) {
+        None => Ok(default),
+        Some(v) => parse_bool(key, v),
+    }
+}
+
 /// Decodes one response line into the typed [`Response`] model — the
 /// exact inverse of [`encode_response_line`] (round-trip pinned by the
 /// codec-equivalence suite, `mhr` to the bit).
@@ -694,6 +738,9 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     entries: field(&m, "entries")?,
                     evictions: field(&m, "evictions")?,
                     hit_rate: field(&m, "hit_rate")?,
+                    warm_hits: field_or(&m, "warm_hits", 0)?,
+                    warm_misses: field_or(&m, "warm_misses", 0)?,
+                    warm_entries: field_or(&m, "warm_entries", 0)?,
                 })
             }
             Some(("shards", v)) if tokens.len() == 1 => {
@@ -710,6 +757,7 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     workers: field(&m, "workers")?,
                     datasets: field(&m, "datasets")?,
                     cache_entries: field(&m, "cache_entries")?,
+                    warmstart: flag_or(&m, "warmstart", true)?,
                 })
             }
             Some(("batch", v)) => {
@@ -911,6 +959,39 @@ mod tests {
     }
 
     #[test]
+    fn pre_warmstart_stats_and_info_lines_still_decode() {
+        // Transcripts captured before the warm-start tier existed lack
+        // the warm_* / warmstart fields; they must decode with defaults
+        // (0 counters, tier assumed on), not error.
+        match decode_response_line("OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.5").unwrap()
+        {
+            Response::Stats {
+                hits,
+                warm_hits,
+                warm_misses,
+                warm_entries,
+                ..
+            } => {
+                assert_eq!((hits, warm_hits, warm_misses, warm_entries), (2, 0, 0, 0));
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode_response_line(
+            "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0",
+        )
+        .unwrap()
+        {
+            Response::Info { warmstart, .. } => assert!(warmstart),
+            other => panic!("{other:?}"),
+        }
+        // Malformed values in the new fields are still typed errors.
+        assert!(decode_response_line(
+            "OK hits=1 misses=0 entries=0 evictions=0 hit_rate=1 warm_hits=x"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn wire_unsafe_query_fields_error_instead_of_desync() {
         let mut q = Query::new("toy", 2);
         q.alg = "bigreedy cached=true".into(); // crafted: would inject a field
@@ -984,23 +1065,29 @@ mod tests {
                 Response::Algorithms(vec!["intcov".into(), "bigreedy".into()]),
             ),
             (
-                "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666",
+                "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666 \
+                 warm_hits=3 warm_misses=2 warm_entries=1",
                 Response::Stats {
                     hits: 2,
                     misses: 1,
                     entries: 1,
                     evictions: 0,
                     hit_rate: 2.0 / 3.0,
+                    warm_hits: 3,
+                    warm_misses: 2,
+                    warm_entries: 1,
                 },
             ),
             (
-                "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0",
+                "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0 \
+                 warmstart=false",
                 Response::Info {
                     shards: 4,
                     strategy: "stratified".into(),
                     workers: 2,
                     datasets: 1,
                     cache_entries: 0,
+                    warmstart: false,
                 },
             ),
             ("OK shards=4", Response::Shards(4)),

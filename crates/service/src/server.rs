@@ -407,12 +407,16 @@ fn serve_connection(
             }
             Ok(Request::Stats) => {
                 let st = engine.cache_stats();
+                let warm = engine.warm_stats();
                 let resp = Response::Stats {
                     hits: st.hits,
                     misses: st.misses,
                     entries: st.entries,
                     evictions: st.evictions,
                     hit_rate: st.hit_rate(),
+                    warm_hits: warm.hits,
+                    warm_misses: warm.misses,
+                    warm_entries: warm.entries,
                 };
                 send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
             }
@@ -424,6 +428,7 @@ fn serve_connection(
                     workers: executor.workers(),
                     datasets: engine.catalog().len(),
                     cache_entries: engine.cache_stats().entries,
+                    warmstart: engine.warmstart_enabled(),
                 };
                 send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
             }

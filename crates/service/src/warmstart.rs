@@ -1,0 +1,340 @@
+//! The warm-start tier: an LRU cache of *intermediate* solver state,
+//! separate from the full-answer [`SolutionCache`](crate::SolutionCache).
+//!
+//! The solution cache only helps when a query repeats **exactly**. A
+//! near-miss query — same dataset and `k`, different `alpha`, bounds
+//! policy, or skyline flag — misses it and used to redo all per-query
+//! setup from scratch: sampling the BiGreedy δ-net (`m = 10·k·d` utility
+//! vectors) and the matroid's `O(n)` group-label validation scan. Both
+//! artifacts are *deterministic in a preimage that near-miss queries
+//! share*, so this tier caches them keyed by
+//! `(dataset epoch, k, algorithm family)`:
+//!
+//! * the [`SampledNet`] δ-net basis — deterministic in `(dim, m, seed)`,
+//!   so reuse is bit-identical to regeneration (verified via
+//!   [`SampledNet::matches`] before every reuse);
+//! * one [`PreparedBounds`] label scan per candidate form (full matrix /
+//!   skyline restriction) — reduces per-query matroid construction from
+//!   `O(n)` to `O(C)`.
+//!
+//! **Invalidation contract:** the key folds in the dataset's registration
+//! epoch (like the solution cache), so replacing a dataset under the same
+//! name makes every stale entry unreachable; unreachable entries age out
+//! through the per-cache LRU. Entries hold `Arc` handles into the
+//! prepared dataset, never copies, so a resident entry costs `O(C)` plus
+//! the shared net.
+//!
+//! Correctness does not depend on this tier at all: the engine treats
+//! every lookup as advisory, verifies preimages before reuse, and the
+//! equivalence suite (`tests/warmstart_equivalence.rs`) pins every
+//! registry algorithm bit-identical with the tier enabled vs. disabled.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fairhms_core::SampledNet;
+use fairhms_matroid::PreparedBounds;
+
+/// Configuration of the warm-start tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmConfig {
+    /// Whether the tier is consulted at all (`false` = every solve is
+    /// fully cold; answers are contractually identical either way).
+    pub enabled: bool,
+    /// Maximum resident `(epoch, k, family)` entries.
+    pub capacity: usize,
+}
+
+impl Default for WarmConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity: 512,
+        }
+    }
+}
+
+impl WarmConfig {
+    /// The default config, overridden by the `FAIRHMS_TEST_WARMSTART`
+    /// environment variable (`0`/`false`/`off` disables the tier).
+    ///
+    /// This is the CI hook mirroring `FAIRHMS_TEST_SHARDS` /
+    /// `FAIRHMS_TEST_CODEC`: `scripts/ci.sh` re-runs the whole service
+    /// test suite once with the tier disabled, so every test exercises
+    /// both the warm and the fully cold solve path.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("FAIRHMS_TEST_WARMSTART") {
+            if matches!(v.to_ascii_lowercase().as_str(), "0" | "false" | "off") {
+                cfg.enabled = false;
+            }
+        }
+        cfg
+    }
+}
+
+/// Key of one warm-start entry.
+///
+/// `family` is the *canonical* algorithm name (see
+/// [`fairhms_core::registry::canonical_name`]) — spellings of one
+/// algorithm share an entry. The epoch makes entries for replaced
+/// datasets unreachable (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WarmKey {
+    /// Dataset registration epoch.
+    pub epoch: u64,
+    /// Solution size.
+    pub k: usize,
+    /// Canonical algorithm name.
+    pub family: String,
+}
+
+/// The cached intermediate state of one `(epoch, k, family)`.
+///
+/// All fields are optional: an entry is created by whichever solve
+/// computed *something* reusable first and enriched by later solves
+/// (e.g. the skyline-form bounds by a default query, the full-form
+/// bounds by a `skyline=false` one).
+#[derive(Debug, Default, Clone)]
+pub struct WarmEntry {
+    /// BiGreedy δ-net, tagged with its generation preimage.
+    pub net: Option<Arc<SampledNet>>,
+    /// Prepared label scan of the full dataset.
+    pub bounds_full: Option<Arc<PreparedBounds>>,
+    /// Prepared label scan of the skyline restriction.
+    pub bounds_skyline: Option<Arc<PreparedBounds>>,
+}
+
+impl WarmEntry {
+    /// The prepared bounds for the requested candidate form.
+    pub fn bounds(&self, skyline: bool) -> Option<&Arc<PreparedBounds>> {
+        if skyline {
+            self.bounds_skyline.as_ref()
+        } else {
+            self.bounds_full.as_ref()
+        }
+    }
+
+    /// Sets the prepared bounds for the requested candidate form.
+    pub fn set_bounds(&mut self, skyline: bool, bounds: Arc<PreparedBounds>) {
+        if skyline {
+            self.bounds_skyline = Some(bounds);
+        } else {
+            self.bounds_full = Some(bounds);
+        }
+    }
+}
+
+/// Effectiveness counters of the warm-start tier (reported by the wire
+/// `STATS` verb as `warm_hits=… warm_misses=… warm_entries=…`).
+///
+/// Counting is per *component* consulted on a cold solve — one hit or
+/// miss for the δ-net (BiGreedy-family queries only) and one for the
+/// prepared bounds — so the ratio reflects setup work actually saved,
+/// not just entry presence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Components reused from the tier.
+    pub hits: u64,
+    /// Components computed fresh (and deposited).
+    pub misses: u64,
+    /// Resident `(epoch, k, family)` entries.
+    pub entries: usize,
+}
+
+struct Inner {
+    /// key → (entry, recency tick). Entries are immutable snapshots
+    /// behind `Arc`; updates replace the whole entry (last writer wins —
+    /// racing writers deposit interchangeable state, see module docs).
+    map: HashMap<WarmKey, (Arc<WarmEntry>, u64)>,
+    /// recency tick → key, oldest first.
+    lru: BTreeMap<u64, WarmKey>,
+    tick: u64,
+}
+
+/// The warm-start cache: a bounded LRU of [`WarmEntry`] snapshots.
+///
+/// A single mutex suffices (unlike the sharded solution cache): the lock
+/// is held only to clone/insert an `Arc`, never while any state is
+/// computed.
+pub struct WarmStartCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WarmStartCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry under `key`, refreshing its recency. Does not touch the
+    /// hit/miss counters: presence of an entry is not a hit — the engine
+    /// records per-component accounting via [`WarmStartCache::note_hit`]
+    /// / [`WarmStartCache::note_miss`] after verifying each component's
+    /// preimage.
+    pub fn get(&self, key: &WarmKey) -> Option<Arc<WarmEntry>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Inner { map, lru, .. } = &mut *inner;
+        let (entry, old) = map.get_mut(key)?;
+        lru.remove(old);
+        *old = tick;
+        lru.insert(tick, key.clone());
+        Some(Arc::clone(entry))
+    }
+
+    /// Inserts (or replaces) the entry under `key`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&self, key: WarmKey, entry: WarmEntry) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Inner { map, lru, .. } = &mut *inner;
+        if let Some((e, old)) = map.get_mut(&key) {
+            *e = Arc::new(entry);
+            lru.remove(old);
+            *old = tick;
+            lru.insert(tick, key);
+            return;
+        }
+        if map.len() >= self.capacity {
+            if let Some((&oldest_tick, _)) = lru.iter().next() {
+                let oldest_key = lru.remove(&oldest_tick).expect("tick present");
+                map.remove(&oldest_key);
+            }
+        }
+        map.insert(key.clone(), (Arc::new(entry), tick));
+        lru.insert(tick, key);
+    }
+
+    /// Records one component reused from the tier.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one component computed fresh.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch: u64, k: usize) -> WarmKey {
+        WarmKey {
+            epoch,
+            k,
+            family: "bigreedy".into(),
+        }
+    }
+
+    fn entry_with_net(seed: u64) -> WarmEntry {
+        WarmEntry {
+            net: Some(Arc::new(SampledNet::generate(2, 4, seed))),
+            ..WarmEntry::default()
+        }
+    }
+
+    #[test]
+    fn get_after_insert_and_replacement() {
+        let cache = WarmStartCache::new(8);
+        assert!(cache.get(&key(1, 3)).is_none());
+        cache.insert(key(1, 3), entry_with_net(42));
+        let got = cache.get(&key(1, 3)).expect("entry");
+        assert_eq!(got.net.as_ref().unwrap().seed, 42);
+        // Same key, richer entry: replaced in place, no growth.
+        cache.insert(key(1, 3), entry_with_net(7));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1, 3)).unwrap().net.as_ref().unwrap().seed, 7);
+        // A bumped epoch is a distinct key: stale state is unreachable.
+        assert!(cache.get(&key(2, 3)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_and_recency_refresh() {
+        let cache = WarmStartCache::new(2);
+        cache.insert(key(1, 1), WarmEntry::default());
+        cache.insert(key(1, 2), WarmEntry::default());
+        // Touch the older entry, then insert a third: the untouched one
+        // is the eviction victim.
+        assert!(cache.get(&key(1, 1)).is_some());
+        cache.insert(key(1, 3), WarmEntry::default());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1)).is_some(), "recently used evicted");
+        assert!(cache.get(&key(1, 2)).is_none(), "LRU entry survived");
+    }
+
+    #[test]
+    fn stats_count_components_not_entries() {
+        let cache = WarmStartCache::new(4);
+        cache.note_miss();
+        cache.note_miss();
+        cache.note_hit();
+        cache.insert(key(1, 1), WarmEntry::default());
+        assert_eq!(
+            cache.stats(),
+            WarmStats {
+                hits: 1,
+                misses: 2,
+                entries: 1
+            }
+        );
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn entry_bounds_form_selector() {
+        let mut e = WarmEntry::default();
+        assert!(e.bounds(true).is_none() && e.bounds(false).is_none());
+        let pb = Arc::new(fairhms_matroid::PreparedBounds::new(vec![0usize, 1], 2).unwrap());
+        e.set_bounds(true, Arc::clone(&pb));
+        assert!(e.bounds(true).is_some());
+        assert!(e.bounds(false).is_none());
+        e.set_bounds(false, pb);
+        assert!(e.bounds(false).is_some());
+    }
+
+    #[test]
+    fn env_hook_parses_disable_values() {
+        // from_env reads the live environment; only the default (unset)
+        // case is asserted here — ci.sh exercises the disabled pass.
+        let def = WarmConfig::default();
+        assert!(def.enabled);
+        assert!(def.capacity > 0);
+    }
+}

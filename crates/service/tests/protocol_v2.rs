@@ -344,6 +344,9 @@ fn all_response_variants_agree_across_codecs() {
             entries: 1,
             evictions: 0,
             hit_rate: 2.0 / 3.0,
+            warm_hits: 4,
+            warm_misses: 2,
+            warm_entries: 1,
         },
         Response::Info {
             shards: 4,
@@ -351,6 +354,7 @@ fn all_response_variants_agree_across_codecs() {
             workers: 4,
             datasets: 1,
             cache_entries: 0,
+            warmstart: true,
         },
         Response::Shards(8),
         Response::BatchHeader {

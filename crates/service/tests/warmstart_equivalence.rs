@@ -1,0 +1,243 @@
+//! Warm-start equivalence suite: the warm-start tier must be **provably
+//! inert** — every registry algorithm returns bit-identical answers
+//! (`mhr` compared by bits) with the tier enabled vs. disabled, across
+//! near-miss query sequences, dataset replacement (epoch bumps), and
+//! cache eviction. If any of these fail, warm-starting is changing
+//! answers and must not ship.
+//!
+//! Engines are built with *explicit* [`WarmConfig`]s, so the suite pins
+//! the contract under any `FAIRHMS_TEST_WARMSTART` / shard / codec
+//! environment the CI matrix selects.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::registry::ALGORITHM_NAMES;
+use fairhms_data::{gen, Dataset};
+use fairhms_service::{Catalog, Query, QueryEngine, WarmConfig};
+
+fn generated(name: &str, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, c);
+    Dataset::new(
+        name,
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap()
+}
+
+fn engine(data: Dataset, warm: WarmConfig) -> QueryEngine {
+    let cat = Arc::new(Catalog::new());
+    cat.insert_dataset(data).unwrap();
+    QueryEngine::with_warm_config(cat, 1024, warm)
+}
+
+fn warm_on() -> WarmConfig {
+    WarmConfig {
+        enabled: true,
+        capacity: 512,
+    }
+}
+
+fn warm_off() -> WarmConfig {
+    WarmConfig {
+        enabled: false,
+        capacity: 0,
+    }
+}
+
+fn assert_same_outcome(
+    a: &Result<fairhms_service::QueryResponse, fairhms_service::ServiceError>,
+    b: &Result<fairhms_service::QueryResponse, fairhms_service::ServiceError>,
+    ctx: &str,
+) {
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(
+                a.answer.indices, b.answer.indices,
+                "{ctx}: indices diverged"
+            );
+            assert_eq!(
+                a.answer.mhr.map(f64::to_bits),
+                b.answer.mhr.map(f64::to_bits),
+                "{ctx}: mhr bits diverged"
+            );
+            assert_eq!(
+                a.answer.violations, b.answer.violations,
+                "{ctx}: violations diverged"
+            );
+            assert_eq!(a.answer.alg, b.answer.alg, "{ctx}: alg name diverged");
+        }
+        // An algorithm that rejects the instance (e.g. a k < d gate)
+        // must reject it with the identical typed error.
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{ctx}: errors diverged"),
+        (a, b) => panic!("{ctx}: one path failed, the other did not: {a:?} vs {b:?}"),
+    }
+}
+
+/// The headline contract: every registry algorithm, both bounds
+/// policies, skyline on/off, over a *near-miss* α sweep (same `(dataset,
+/// k, family)` warm key, distinct fingerprints — each solve is cold for
+/// the solution cache, so the warm tier actually gets exercised), is
+/// bit-identical between a warm-start engine and a disabled one.
+#[test]
+fn served_answers_are_warmstart_invariant() {
+    let data = || generated("eq", 240, 2, 3, 21);
+    let warm = engine(data(), warm_on());
+    let cold = engine(data(), warm_off());
+
+    for alg in ALGORITHM_NAMES {
+        for (k, balanced, skyline) in [(3usize, false, true), (5, true, true), (4, false, false)] {
+            // Near-miss sweep: the first α populates the warm entry, the
+            // rest reuse its δ-net and prepared-bounds scan.
+            for alpha in [0.05f64, 0.1, 0.2, 0.3] {
+                let mut q = Query::new("eq", k);
+                q.alg = alg.to_string();
+                q.balanced = balanced;
+                q.skyline = skyline;
+                q.alpha = alpha;
+                let a = warm.execute(&q);
+                let b = cold.execute(&q);
+                assert_same_outcome(
+                    &a,
+                    &b,
+                    &format!("alg={alg} k={k} balanced={balanced} skyline={skyline} α={alpha}"),
+                );
+            }
+        }
+    }
+
+    // The tier was actually used: components were reused, and the
+    // disabled engine never touched it.
+    let ws = warm.warm_stats();
+    assert!(
+        ws.hits > 0,
+        "warm tier never reused anything across the near-miss sweep: {ws:?}"
+    );
+    assert!(ws.misses > 0 && ws.entries > 0);
+    assert!(warm.warmstart_enabled());
+    assert!(!cold.warmstart_enabled());
+    assert_eq!(cold.warm_stats(), fairhms_service::WarmStats::default());
+}
+
+/// Repeating one exact query must still hit the *solution* cache — the
+/// warm tier sits below it, not instead of it — and near-miss queries
+/// must miss the solution cache while reusing warm state.
+#[test]
+fn warm_tier_composes_with_the_solution_cache() {
+    let eng = engine(generated("eq", 200, 3, 3, 5), warm_on());
+    let q = Query::new("eq", 6);
+    assert!(!eng.execute(&q).unwrap().cached);
+    assert!(eng.execute(&q).unwrap().cached, "exact repeat not cached");
+    let before = eng.warm_stats();
+
+    let mut near = q.clone();
+    near.alpha = 0.17;
+    let resp = eng.execute(&near).unwrap();
+    assert!(!resp.cached, "near-miss wrongly served from answer cache");
+    let after = eng.warm_stats();
+    assert!(
+        after.hits >= before.hits + 2,
+        "near-miss did not reuse both warm components: {before:?} -> {after:?}"
+    );
+}
+
+/// Dataset replacement bumps the epoch: warm state computed against the
+/// old data must be unreachable, and post-replacement answers must equal
+/// a fresh engine's over the new data.
+#[test]
+fn epoch_bump_invalidates_warm_state() {
+    let old = || generated("swap", 180, 2, 3, 11);
+    let new = || generated("swap", 180, 2, 3, 99);
+    let eng = engine(old(), warm_on());
+
+    let mut q = Query::new("swap", 4);
+    q.alg = "bigreedy".into();
+    eng.execute(&q).unwrap();
+    let mut near = q.clone();
+    near.alpha = 0.2;
+    eng.execute(&near).unwrap();
+    assert!(eng.warm_stats().hits > 0);
+
+    // Replace the dataset under the same name.
+    eng.catalog().insert_dataset(new()).unwrap();
+    let fresh = engine(new(), warm_off());
+    for alpha in [0.1f64, 0.2] {
+        let mut qr = q.clone();
+        qr.alpha = alpha;
+        let a = eng.execute(&qr);
+        let b = fresh.execute(&qr);
+        assert_same_outcome(&a, &b, &format!("post-replacement α={alpha}"));
+    }
+}
+
+/// A tiny warm cache (capacity 1) thrashes constantly — answers must
+/// still be identical to the disabled engine (eviction can only cost
+/// speed, never correctness).
+#[test]
+fn eviction_thrash_never_changes_answers() {
+    let data = || generated("thrash", 160, 2, 3, 3);
+    let tiny = engine(
+        data(),
+        WarmConfig {
+            enabled: true,
+            capacity: 1,
+        },
+    );
+    let cold = engine(data(), warm_off());
+    // Alternating (k, family) keys so every solve evicts the previous
+    // entry.
+    for round in 0..3 {
+        for (k, alg) in [(3usize, "bigreedy"), (4, "bigreedy+"), (3, "f-greedy")] {
+            let mut q = Query::new("thrash", k);
+            q.alg = alg.to_string();
+            q.alpha = 0.05 + 0.05 * round as f64;
+            assert_same_outcome(
+                &tiny.execute(&q),
+                &cold.execute(&q),
+                &format!("round={round} alg={alg} k={k}"),
+            );
+        }
+    }
+}
+
+/// The satellite edge case end-to-end: a dataset with a vacant (zero-
+/// member) group must derive feasible bounds (lower bound 0 for the
+/// empty group) and answer identically warm vs. cold.
+#[test]
+fn vacant_group_bounds_stay_feasible_warm_and_cold() {
+    let mk = || {
+        Dataset::new(
+            "vacant",
+            2,
+            vec![1.0, 0.1, 0.2, 0.9, 0.7, 0.7, 0.9, 0.3, 0.5, 0.6, 0.3, 0.8],
+            vec![0, 1, 0, 1, 0, 1],
+            // Group 2 exists in the schema but owns no rows.
+            vec!["a".into(), "b".into(), "ghost".into()],
+        )
+        .unwrap()
+    };
+    let warm = engine(mk(), warm_on());
+    let cold = engine(mk(), warm_off());
+    for balanced in [false, true] {
+        for alg in ["intcov", "bigreedy", "f-greedy"] {
+            let mut q = Query::new("vacant", 3);
+            q.alg = alg.into();
+            q.balanced = balanced;
+            let a = warm.execute(&q);
+            let b = cold.execute(&q);
+            assert_same_outcome(&a, &b, &format!("vacant group alg={alg} bal={balanced}"));
+            let resp = a.unwrap();
+            assert_eq!(
+                resp.answer.violations, 0,
+                "vacant group made feasible bounds unattainable (alg={alg} bal={balanced})"
+            );
+        }
+    }
+}

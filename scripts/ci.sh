@@ -41,9 +41,17 @@ FAIRHMS_TEST_SHARDS=4 cargo test -p fairhms-service -q
 echo "==> service tests, binary codec (FAIRHMS_TEST_CODEC=binary)"
 FAIRHMS_TEST_CODEC=binary cargo test -p fairhms-service -q
 
-echo "==> bench smoke (service engine + shard prep + wire codecs, tiny sizes)"
+# …and once with the warm-start tier disabled: every engine test must
+# pass over the fully cold solve path too — answers are contractually
+# bit-identical with the tier on or off (see
+# crates/service/tests/warmstart_equivalence.rs).
+echo "==> service tests, warm-start disabled (FAIRHMS_TEST_WARMSTART=0)"
+FAIRHMS_TEST_WARMSTART=0 cargo test -p fairhms-service -q
+
+echo "==> bench smoke (service engine + shard prep + wire codecs + warm-start, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench protocol
+FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench warmstart
 
 echo "CI OK"

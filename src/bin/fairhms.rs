@@ -70,7 +70,8 @@ USAGE:
                 [--no-skyline] [--seed S]
   fairhms serve --data NAME=FILE[,NAME=FILE...] [--addr HOST:PORT] [--workers N]
                 [--cache N] [--shards N] [--strategy roundrobin|stratified]
-                [--load-root DIR] [--max-streams N]
+                [--load-root DIR] [--max-streams N] [--no-warmstart]
+                [--warm-capacity N]
   fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
                 [--balanced] [--no-skyline] [--seed S] | --file FILE [--stream])
                 [--codec text|binary] [--show-stats]
@@ -84,7 +85,11 @@ precomputes group skylines — partitioned across --shards parallel prep
 threads; answers are bit-identical for every shard count — and answers the
 protocol documented in docs/PROTOCOL.md. --load-root DIR allows the LOAD
 admin verb to register CSVs under DIR at runtime; --max-streams caps
-concurrent streamed batches (excess answered ERR busy). `query` is the
+concurrent streamed batches (excess answered ERR busy). Near-miss queries
+(same dataset, k and algorithm; different bounds) reuse warm-start state
+(BiGreedy δ-nets, prepared bounds scans) — answers are bit-identical
+either way; --no-warmstart disables the tier and --warm-capacity bounds
+its resident entries. `query` is the
 matching client: --codec binary negotiates the v2 length-prefixed framing
 (answers are bit-identical to text), and --file sends a BATCH of QUERY
 lines through the server's thread pool — with --stream the answers are
@@ -102,7 +107,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         match key {
             // boolean flags
-            "balanced" | "no-skyline" | "show-stats" | "stream" => {
+            "balanced" | "no-skyline" | "show-stats" | "stream" | "no-warmstart" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -311,22 +316,36 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         serve_opts.max_stream_batches = n;
     }
 
+    let mut warm = fairhms::service::WarmConfig::from_env();
+    if opts.contains_key("no-warmstart") {
+        warm.enabled = false;
+    }
+    if let Some(n) = num::<usize>(opts, "warm-capacity")? {
+        warm.capacity = n;
+    }
+
     let shards = cfg.shards;
     let strategy = cfg.strategy;
     let load_root = serve_opts.load_root.clone();
     let max_streams = serve_opts.max_stream_batches;
-    let engine = Arc::new(QueryEngine::new(catalog, cache));
+    let warm_banner = if warm.enabled {
+        format!("warm-start {} entries", warm.capacity)
+    } else {
+        "warm-start off".to_string()
+    };
+    let engine = Arc::new(QueryEngine::with_warm_config(catalog, cache, warm));
     let server = Server::spawn_with(engine, ServerConfig { addr, workers }, serve_opts)
         .map_err(|e| e.to_string())?;
     println!(
         "fairhms-service listening on {} ({} batch workers, cache {} answers, \
-         {} prep shards [{}], {} max streams{})",
+         {} prep shards [{}], {} max streams, {}{})",
         server.addr(),
         workers,
         cache,
         shards,
         strategy,
         max_streams,
+        warm_banner,
         match &load_root {
             Some(r) => format!(", LOAD root {}", r.display()),
             None => ", LOAD disabled".to_string(),
