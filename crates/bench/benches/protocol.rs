@@ -90,6 +90,8 @@ fn bench_codecs(c: &mut Criterion) {
             warm_hits: 300_000,
             warm_misses: 9_000,
             warm_entries: 128,
+            uptime_secs: 86_400,
+            total_queries: 1_250_000,
         },
         answer_frame(5, None),
     ];

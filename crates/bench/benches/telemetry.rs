@@ -1,0 +1,140 @@
+//! Telemetry overhead measurement + service throughput snapshot.
+//!
+//! Not a criterion bench: a plain harness that
+//!
+//! 1. measures the **warm-hit** path (the hottest request path — a
+//!    solution-cache hit) with telemetry enabled vs. disabled and
+//!    asserts the per-query overhead stays under 1 µs (the budget
+//!    docs/ARCHITECTURE.md promises);
+//! 2. runs a mixed workload on a telemetry-on engine and writes
+//!    `BENCH_service.json` — queries/sec, points/sec, and the per-stage
+//!    latency quantiles from the engine's own [`MetricsSnapshot`] — so
+//!    CI archives a machine-readable service profile per commit.
+//!
+//! Output path: `BENCH_service.json` in the working directory, or
+//! `$FAIRHMS_BENCH_JSON` when set. `cargo bench -p fairhms-bench
+//! --bench telemetry` runs it; CI treats a failed overhead assertion as
+//! a regression.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::{gen, Dataset};
+use fairhms_obs::json;
+use fairhms_service::{Catalog, Query, QueryEngine, TelemetryConfig, WarmConfig};
+
+const DATASET_N: usize = 2_000;
+
+fn bench_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(41);
+    let d = 3;
+    let points = gen::anti_correlated(DATASET_N, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, 3);
+    Dataset::new("telbench", d, points, groups, vec![]).unwrap()
+}
+
+fn engine(telemetry: bool) -> Arc<QueryEngine> {
+    let catalog = Arc::new(Catalog::new());
+    let eng = Arc::new(QueryEngine::with_config(
+        Arc::clone(&catalog),
+        4096,
+        WarmConfig {
+            enabled: true,
+            capacity: 256,
+        },
+        TelemetryConfig { enabled: telemetry },
+    ));
+    catalog.insert_dataset(bench_dataset()).unwrap();
+    eng
+}
+
+/// Mean nanoseconds per warm-hit execute over `iters` iterations.
+fn warm_hit_ns(eng: &QueryEngine, iters: u64) -> f64 {
+    let q = Query::new("telbench", 5);
+    eng.execute(&q).unwrap(); // populate the cache
+    let t = Instant::now();
+    for _ in 0..iters {
+        let r = eng.execute(std::hint::black_box(&q)).unwrap();
+        assert!(r.cached);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Warm-hit telemetry overhead: median-of-5 interleaved (on, off)
+/// rounds, so slow-machine noise and frequency scaling hit both sides.
+fn measure_overhead() -> (f64, f64, f64) {
+    const ITERS: u64 = 50_000;
+    let on = engine(true);
+    let off = engine(false);
+    // Warm-up round for both engines (page in code, settle the cache).
+    warm_hit_ns(&on, 5_000);
+    warm_hit_ns(&off, 5_000);
+    let mut on_ns = Vec::new();
+    let mut off_ns = Vec::new();
+    for _ in 0..5 {
+        on_ns.push(warm_hit_ns(&on, ITERS));
+        off_ns.push(warm_hit_ns(&off, ITERS));
+    }
+    on_ns.sort_by(f64::total_cmp);
+    off_ns.sort_by(f64::total_cmp);
+    let (on_med, off_med) = (on_ns[2], off_ns[2]);
+    (on_med, off_med, (on_med - off_med).max(0.0))
+}
+
+/// Mixed workload (cold solves, cache hits, two algorithm families) on a
+/// telemetry-on engine; returns (queries, elapsed_secs, engine).
+fn run_workload() -> (u64, f64, Arc<QueryEngine>) {
+    let eng = engine(true);
+    let mut queries = 0u64;
+    let t = Instant::now();
+    for round in 0..3u64 {
+        for k in [3usize, 4, 5, 6] {
+            for alg in ["bigreedy", "f-greedy"] {
+                let mut q = Query::new("telbench", k);
+                q.alg = alg.to_string();
+                q.seed = round; // rounds repeat a seed → cache hits
+                eng.execute(&q).unwrap();
+                queries += 1;
+            }
+        }
+    }
+    (queries, t.elapsed().as_secs_f64(), eng)
+}
+
+fn main() {
+    let (on_ns, off_ns, overhead_ns) = measure_overhead();
+    println!(
+        "warm-hit: telemetry on {on_ns:.0} ns/op, off {off_ns:.0} ns/op, \
+         overhead {overhead_ns:.0} ns/op"
+    );
+    assert!(
+        overhead_ns < 1_000.0,
+        "warm-hit telemetry overhead {overhead_ns:.0} ns exceeds the 1 µs budget"
+    );
+
+    let (queries, secs, eng) = run_workload();
+    let qps = queries as f64 / secs;
+    let pps = qps * DATASET_N as f64;
+    println!("workload: {queries} queries in {secs:.3}s ({qps:.0} q/s)");
+
+    let snapshot = eng.metrics().snapshot();
+    let out = json::Obj::new()
+        .str("bench", "service")
+        .u64("dataset_points", DATASET_N as u64)
+        .u64("queries", queries)
+        .f64("elapsed_secs", secs)
+        .f64("queries_per_sec", qps)
+        .f64("points_per_sec", pps)
+        .f64("warm_hit_ns_telemetry_on", on_ns)
+        .f64("warm_hit_ns_telemetry_off", off_ns)
+        .f64("warm_hit_overhead_ns", overhead_ns)
+        .raw("metrics", &snapshot.to_json())
+        .build();
+
+    let path = std::env::var("FAIRHMS_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".into());
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -406,6 +406,18 @@ pub const ALGORITHM_NAMES: [&str; 13] = [
     "sphere",
 ];
 
+/// Index of `name` (any accepted spelling) within [`ALGORITHM_NAMES`],
+/// or `None` if unknown.
+///
+/// This gives telemetry and cost-model layers a stable, dense label
+/// space: per-algorithm-family histograms are arrays of length
+/// `ALGORITHM_NAMES.len()` indexed by this function, so labels never
+/// drift from the registry.
+pub fn family_index(name: &str) -> Option<usize> {
+    let canon = canonical_name(name)?;
+    ALGORITHM_NAMES.iter().position(|n| *n == canon)
+}
+
 /// Tunables threaded through [`by_name`] into the constructed algorithm.
 ///
 /// Every field has the default the paper's evaluation uses; callers
@@ -597,6 +609,16 @@ mod tests {
         assert_eq!(canonical_name("RDP-Greedy"), Some("greedy"));
         assert_eq!(canonical_name("GSphere"), Some("g-sphere"));
         assert_eq!(canonical_name("quantum"), None);
+    }
+
+    #[test]
+    fn family_index_is_dense_and_alias_stable() {
+        for (i, name) in ALGORITHM_NAMES.iter().enumerate() {
+            assert_eq!(family_index(name), Some(i));
+        }
+        assert_eq!(family_index("BiGreedyPlus"), family_index("bigreedy+"));
+        assert_eq!(family_index("RDP-Greedy"), family_index("greedy"));
+        assert_eq!(family_index("nope"), None);
     }
 
     #[test]

@@ -144,6 +144,10 @@ pub struct PreparedDataset {
     pub epoch: u64,
     /// Wall-clock cost of normalization + skyline preprocessing.
     pub prep_micros: u64,
+    /// Wall-clock of the final shard-skyline merge pass alone,
+    /// microseconds (a component of `prep_micros`) — the catalog's
+    /// `catalog.merge` telemetry observation.
+    pub merge_micros: u64,
     /// Partition strategy the preparation ran under.
     pub strategy: PartitionStrategy,
     /// Per-shard preparation views (length 1 for the unsharded pipeline).
@@ -182,7 +186,9 @@ impl PreparedDataset {
         data.normalize_parallel(plan.num_shards());
         let shards = prepare_shards(&data, plan);
         let per_shard: Vec<&[usize]> = shards.iter().map(|s| s.skyline_rows.as_slice()).collect();
+        let tm = Instant::now();
         let skyline_rows: Arc<[usize]> = merge_shard_skylines_parallel(&data, &per_shard).into();
+        let merge_micros = tm.elapsed().as_micros() as u64;
         let skyline_data = Arc::new(data.subset(&skyline_rows));
         let group_sizes = data.group_sizes();
         let skyline_group_sizes = skyline_data.group_sizes();
@@ -195,6 +201,7 @@ impl PreparedDataset {
             skyline_group_sizes,
             epoch: 0,
             prep_micros: t.elapsed().as_micros() as u64,
+            merge_micros,
             strategy,
             shards,
         })
@@ -263,6 +270,11 @@ pub struct Catalog {
     /// Preparation tunables applied to future registrations (the wire
     /// `SHARDS` verb mutates it at runtime, hence the lock).
     config: RwLock<CatalogConfig>,
+    /// Telemetry sink for preparation spans, linked by the engine that
+    /// owns this catalog (see [`crate::QueryEngine::with_config`]).
+    /// `None` for catalogs used outside an engine — preparation then
+    /// simply records nothing.
+    metrics: RwLock<Option<Arc<crate::metrics::ServiceMetrics>>>,
 }
 
 impl Default for Catalog {
@@ -286,7 +298,14 @@ impl Catalog {
             inner: RwLock::new(HashMap::new()),
             next_epoch: std::sync::atomic::AtomicU64::new(0),
             config: RwLock::new(config),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Links the telemetry surface preparation spans record into.
+    /// Called by the engine that owns this catalog; idempotent.
+    pub fn set_metrics(&self, metrics: Arc<crate::metrics::ServiceMetrics>) {
+        *self.metrics.write().unwrap() = Some(metrics);
     }
 
     /// The current preparation config.
@@ -336,6 +355,18 @@ impl Catalog {
         prepared.epoch = 1 + self
             .next_epoch
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Preparation telemetry: one `catalog.shard_prep` observation per
+        // shard plus one `catalog.merge` — derived from the wall-clock
+        // numbers the prepare pipeline already measures, so this costs no
+        // extra clock reads on any path.
+        if let Some(m) = self.metrics.read().unwrap().as_ref() {
+            if m.enabled() {
+                for s in &prepared.shards {
+                    m.shard_prep.record(s.prep_micros.saturating_mul(1000));
+                }
+                m.merge.record(prepared.merge_micros.saturating_mul(1000));
+            }
+        }
         let prepared = Arc::new(prepared);
         self.inner
             .write()

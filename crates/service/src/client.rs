@@ -113,6 +113,33 @@ impl WireClient {
         self.recv_answer()
     }
 
+    /// Sends `METRICS` and returns the decoded telemetry snapshot as
+    /// `(enabled, counters, histograms)`.
+    #[allow(clippy::type_complexity)]
+    pub fn metrics(
+        &mut self,
+    ) -> Result<
+        (
+            bool,
+            Vec<(String, u64)>,
+            Vec<crate::protocol::WireHistogram>,
+        ),
+        ServiceError,
+    > {
+        self.send_line("METRICS")?;
+        match self.recv()? {
+            Response::Metrics {
+                enabled,
+                counters,
+                histograms,
+            } => Ok((enabled, counters, histograms)),
+            Response::Error { message, .. } => Err(ServiceError::Protocol(message)),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a METRICS response, got {other:?}"
+            ))),
+        }
+    }
+
     /// Sends `BATCH n [stream=true]` plus the query lines and returns the
     /// decoded header; the caller then reads `n` frames via
     /// [`WireClient::recv`].

@@ -155,6 +155,7 @@ mod tag {
     pub const LOADED: u8 = 10;
     pub const BYE: u8 = 11;
     pub const ERROR: u8 = 12;
+    pub const METRICS: u8 = 13;
 }
 
 /// Protocol v2: length-prefixed binary frames (see the module docs for
@@ -340,6 +341,8 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             warm_hits,
             warm_misses,
             warm_entries,
+            uptime_secs,
+            total_queries,
         } => {
             out.push(tag::STATS);
             put_varint(out, *hits);
@@ -350,6 +353,8 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *warm_hits);
             put_varint(out, *warm_misses);
             put_varint(out, *warm_entries as u64);
+            put_varint(out, *uptime_secs);
+            put_varint(out, *total_queries);
         }
         Response::Info {
             shards,
@@ -358,6 +363,8 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             datasets,
             cache_entries,
             warmstart,
+            uptime_secs,
+            total_queries,
         } => {
             out.push(tag::INFO);
             put_varint(out, *shards as u64);
@@ -366,6 +373,31 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *datasets as u64);
             put_varint(out, *cache_entries as u64);
             out.push(u8::from(*warmstart));
+            put_varint(out, *uptime_secs);
+            put_varint(out, *total_queries);
+        }
+        Response::Metrics {
+            enabled,
+            counters,
+            histograms,
+        } => {
+            out.push(tag::METRICS);
+            out.push(u8::from(*enabled));
+            put_varint(out, counters.len() as u64);
+            for (name, v) in counters {
+                put_str(out, name);
+                put_varint(out, *v);
+            }
+            put_varint(out, histograms.len() as u64);
+            for h in histograms {
+                put_str(out, &h.name);
+                put_varint(out, h.count);
+                put_varint(out, h.sum);
+                put_varint(out, h.p50);
+                put_varint(out, h.p90);
+                put_varint(out, h.p99);
+                put_varint(out, h.max);
+            }
         }
         Response::Shards(n) => {
             out.push(tag::SHARDS);
@@ -454,6 +486,13 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
                     r.usize("warm_entries")?,
                 )
             };
+            // A second appended tier (telemetry PR): uptime/total default
+            // to 0 when the peer predates them.
+            let (uptime_secs, total_queries) = if r.at_end() {
+                (0, 0)
+            } else {
+                (r.varint("uptime_secs")?, r.varint("total_queries")?)
+            };
             Response::Stats {
                 hits,
                 misses,
@@ -463,22 +502,40 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
                 warm_hits,
                 warm_misses,
                 warm_entries,
+                uptime_secs,
+                total_queries,
             }
         }
-        tag::INFO => Response::Info {
-            shards: r.usize("shards")?,
-            strategy: r.str("strategy")?,
-            workers: r.usize("workers")?,
-            datasets: r.usize("datasets")?,
-            cache_entries: r.usize("cache_entries")?,
+        tag::INFO => {
+            let shards = r.usize("shards")?;
+            let strategy = r.str("strategy")?;
+            let workers = r.usize("workers")?;
+            let datasets = r.usize("datasets")?;
+            let cache_entries = r.usize("cache_entries")?;
             // Appended after v2 shipped (see STATS above): absent means a
             // pre-warm-start peer, whose tier default was "on".
-            warmstart: if r.at_end() {
+            let warmstart = if r.at_end() {
                 true
             } else {
                 r.u8("warmstart")? != 0
-            },
-        },
+            };
+            // Telemetry-PR tier; defaults to 0 for older peers.
+            let (uptime_secs, total_queries) = if r.at_end() {
+                (0, 0)
+            } else {
+                (r.varint("uptime_secs")?, r.varint("total_queries")?)
+            };
+            Response::Info {
+                shards,
+                strategy,
+                workers,
+                datasets,
+                cache_entries,
+                warmstart,
+                uptime_secs,
+                total_queries,
+            }
+        }
         tag::SHARDS => Response::Shards(r.usize("shards")?),
         tag::ANSWER => {
             let seq = r.opt_varint("seq")?;
@@ -531,6 +588,38 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
             seq: r.opt_varint("seq")?,
             message: r.str("message")?,
         },
+        tag::METRICS => {
+            let enabled = r.u8("metrics enabled")? != 0;
+            let nc = r.usize("counter count")?;
+            if nc > payload.len() {
+                return Err(r.truncated("counter count"));
+            }
+            let counters = (0..nc)
+                .map(|_| Ok((r.str("counter name")?, r.varint("counter value")?)))
+                .collect::<Result<Vec<_>, ServiceError>>()?;
+            let nh = r.usize("histogram count")?;
+            if nh > payload.len() {
+                return Err(r.truncated("histogram count"));
+            }
+            let histograms = (0..nh)
+                .map(|_| {
+                    Ok(crate::protocol::WireHistogram {
+                        name: r.str("histogram name")?,
+                        count: r.varint("histogram count field")?,
+                        sum: r.varint("histogram sum")?,
+                        p50: r.varint("histogram p50")?,
+                        p90: r.varint("histogram p90")?,
+                        p99: r.varint("histogram p99")?,
+                        max: r.varint("histogram max")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ServiceError>>()?;
+            Response::Metrics {
+                enabled,
+                counters,
+                histograms,
+            }
+        }
         t => {
             return Err(ServiceError::Protocol(format!(
                 "malformed binary frame: unknown tag {t}"
@@ -617,6 +706,8 @@ mod tests {
                 warm_hits: 5,
                 warm_misses: 3,
                 warm_entries: 2,
+                uptime_secs: 3600,
+                total_queries: 42,
             },
             Response::Info {
                 shards: 4,
@@ -625,6 +716,37 @@ mod tests {
                 datasets: 2,
                 cache_entries: 17,
                 warmstart: false,
+                uptime_secs: 12,
+                total_queries: 9,
+            },
+            Response::Metrics {
+                enabled: true,
+                counters: vec![("conn.active".into(), 3), ("queries.total".into(), 128)],
+                histograms: vec![
+                    crate::protocol::WireHistogram {
+                        name: "engine.cache_lookup".into(),
+                        count: 128,
+                        sum: 51_200,
+                        p50: 300,
+                        p90: 700,
+                        p99: 1_500,
+                        max: 2_000,
+                    },
+                    crate::protocol::WireHistogram {
+                        name: "server.read".into(),
+                        count: 1,
+                        sum: 9,
+                        p50: 9,
+                        p90: 9,
+                        p99: 9,
+                        max: 9,
+                    },
+                ],
+            },
+            Response::Metrics {
+                enabled: false,
+                counters: vec![],
+                histograms: vec![],
             },
             Response::Shards(64),
             Response::Answer {
@@ -843,6 +965,58 @@ mod tests {
         }
         bad.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
         put_varint(&mut bad, 7); // warm_hits present but the rest missing
+        assert!(decode_binary_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn pre_telemetry_binary_frames_still_decode() {
+        // Peers from the warm-start era emit the warm_* tier but end
+        // before uptime/total_queries; both default to 0.
+        let mut payload = vec![tag::STATS];
+        put_varint(&mut payload, 2); // hits
+        put_varint(&mut payload, 1); // misses
+        put_varint(&mut payload, 1); // entries
+        put_varint(&mut payload, 0); // evictions
+        payload.extend_from_slice(&(2.0f64 / 3.0).to_bits().to_le_bytes());
+        put_varint(&mut payload, 7); // warm_hits
+        put_varint(&mut payload, 3); // warm_misses
+        put_varint(&mut payload, 2); // warm_entries
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Stats {
+                warm_hits,
+                uptime_secs,
+                total_queries,
+                ..
+            } => assert_eq!((warm_hits, uptime_secs, total_queries), (7, 0, 0)),
+            other => panic!("{other:?}"),
+        }
+
+        let mut payload = vec![tag::INFO];
+        put_varint(&mut payload, 4); // shards
+        put_str(&mut payload, "stratified");
+        put_varint(&mut payload, 2); // workers
+        put_varint(&mut payload, 1); // datasets
+        put_varint(&mut payload, 0); // cache_entries
+        payload.push(0); // warmstart off
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Info {
+                warmstart,
+                uptime_secs,
+                total_queries,
+                ..
+            } => assert_eq!((warmstart, uptime_secs, total_queries), (false, 0, 0)),
+            other => panic!("{other:?}"),
+        }
+
+        // Half the telemetry tier is corruption, same as the warm tier.
+        let mut bad = vec![tag::INFO];
+        put_varint(&mut bad, 4);
+        put_str(&mut bad, "stratified");
+        put_varint(&mut bad, 2);
+        put_varint(&mut bad, 1);
+        put_varint(&mut bad, 0);
+        bad.push(1);
+        put_varint(&mut bad, 100); // uptime_secs present, total_queries missing
         assert!(decode_binary_payload(&bad).is_err());
     }
 

@@ -9,6 +9,7 @@ use fairhms_matroid::{balanced_bounds, proportional_bounds, PreparedBounds};
 
 use crate::cache::{CacheStats, SolutionCache};
 use crate::catalog::Catalog;
+use crate::metrics::{ServiceMetrics, TelemetryConfig};
 use crate::query::Query;
 use crate::warmstart::{WarmConfig, WarmKey, WarmStartCache, WarmStats};
 use crate::ServiceError;
@@ -35,6 +36,23 @@ pub struct Answer {
     pub solve_micros: u64,
 }
 
+/// Per-stage wall-clock breakdown of one execution, nanoseconds.
+///
+/// Filled only when telemetry is enabled (the engine never reads the
+/// clock for it otherwise); consumed by the server's slow-query log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Solution-cache consultations (summed across single-flight
+    /// re-checks).
+    pub cache_lookup_ns: u64,
+    /// Blocked on another worker's identical in-flight solve.
+    pub flight_wait_ns: u64,
+    /// Warm-start tier lookup.
+    pub warm_probe_ns: u64,
+    /// The cold solve itself (0 for cache hits).
+    pub solve_ns: u64,
+}
+
 /// One engine response: the (possibly shared) answer plus how this
 /// particular execution obtained it.
 #[derive(Debug, Clone)]
@@ -46,6 +64,10 @@ pub struct QueryResponse {
     /// Wall-clock of *this* execution, microseconds (cache hits are
     /// typically ~0; cold solves ≈ `answer.solve_micros`).
     pub micros: u64,
+    /// Stage breakdown of this execution; `None` when telemetry is
+    /// disabled. Purely informational — answers are bit-identical
+    /// either way.
+    pub stages: Option<StageTimings>,
 }
 
 /// Catalog + cache + algorithm registry, shared by all workers.
@@ -66,6 +88,10 @@ pub struct QueryEngine {
     /// stampeding the same cold solve on every worker.
     in_flight: std::sync::Mutex<std::collections::HashSet<u64>>,
     in_flight_done: std::sync::Condvar,
+    /// The process-wide telemetry surface, shared with the catalog (for
+    /// prep spans), the executor, and the server (see
+    /// [`crate::metrics::ServiceMetrics`]).
+    metrics: Arc<ServiceMetrics>,
 }
 
 /// Removes an in-flight claim even if the solve panics, so waiting
@@ -91,24 +117,47 @@ impl QueryEngine {
         Self::with_warm_config(catalog, cache_capacity, WarmConfig::from_env())
     }
 
-    /// [`QueryEngine::new`] with an explicit warm-start configuration.
+    /// [`QueryEngine::new`] with an explicit warm-start configuration
+    /// (telemetry still from the environment).
     pub fn with_warm_config(
         catalog: Arc<Catalog>,
         cache_capacity: usize,
         warm: WarmConfig,
     ) -> Self {
+        Self::with_config(catalog, cache_capacity, warm, TelemetryConfig::from_env())
+    }
+
+    /// [`QueryEngine::new`] with everything explicit.
+    ///
+    /// The engine owns the process's [`ServiceMetrics`] and shares it
+    /// with the catalog, so dataset-preparation spans land in the same
+    /// snapshot as query spans.
+    pub fn with_config(
+        catalog: Arc<Catalog>,
+        cache_capacity: usize,
+        warm: WarmConfig,
+        telemetry: TelemetryConfig,
+    ) -> Self {
+        let metrics = Arc::new(ServiceMetrics::new(telemetry.enabled));
+        catalog.set_metrics(Arc::clone(&metrics));
         Self {
             catalog,
             cache: SolutionCache::new(cache_capacity),
             warm: warm.enabled.then(|| WarmStartCache::new(warm.capacity)),
             in_flight: std::sync::Mutex::new(std::collections::HashSet::new()),
             in_flight_done: std::sync::Condvar::new(),
+            metrics,
         }
     }
 
     /// The dataset catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The process-wide telemetry surface.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     /// Cache effectiveness counters.
@@ -160,32 +209,43 @@ impl QueryEngine {
     /// though the single-flight path may consult the cache several times.
     pub fn execute(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
         let t = Instant::now();
+        self.metrics.total_queries.inc();
+        let rec = self.metrics.recorder();
+        let mut stages = StageTimings::default();
         let q = query.canonicalized();
         // Resolve the dataset first: the cache key folds in its
         // registration epoch, so answers cached against a replaced
         // dataset of the same name can never be served.
         let prep = self.catalog.get_required(&q.dataset)?;
         let key = q.fingerprint_for_epoch(prep.epoch);
-        let hit = |answer| {
+        let hit = |answer, stages: StageTimings| {
             self.cache.note_hit();
             Ok(QueryResponse {
                 answer,
                 cached: true,
                 micros: t.elapsed().as_micros() as u64,
+                stages: rec.is_enabled().then_some(stages),
             })
         };
+        // Each cache consultation and each single-flight wait records a
+        // span; re-check iterations accumulate into the same stages.
         loop {
-            if let Some(answer) = self.cache.peek(key, prep.epoch, &q) {
-                return hit(answer);
+            let lookup = rec.span(&self.metrics.cache_lookup);
+            let peeked = self.cache.peek(key, prep.epoch, &q);
+            stages.cache_lookup_ns += lookup.stop().unwrap_or(0);
+            if let Some(answer) = peeked {
+                return hit(answer, stages);
             }
             // Claim the solve or wait for whoever holds the claim.
             let mut in_flight = self.in_flight.lock().unwrap();
             if in_flight.insert(key) {
                 break;
             }
+            let waited = rec.span(&self.metrics.flight_wait);
             while in_flight.contains(&key) {
                 in_flight = self.in_flight_done.wait(in_flight).unwrap();
             }
+            stages.flight_wait_ns += waited.stop().unwrap_or(0);
             // Re-check the cache: the claim holder either published an
             // answer or failed (in which case we claim and retry).
         }
@@ -193,16 +253,20 @@ impl QueryEngine {
         // The previous claim holder may have published between our cache
         // miss and our claim; without this re-check we would re-solve an
         // already-cached query cold.
-        if let Some(answer) = self.cache.peek(key, prep.epoch, &q) {
-            return hit(answer);
+        let lookup = rec.span(&self.metrics.cache_lookup);
+        let peeked = self.cache.peek(key, prep.epoch, &q);
+        stages.cache_lookup_ns += lookup.stop().unwrap_or(0);
+        if let Some(answer) = peeked {
+            return hit(answer, stages);
         }
         self.cache.note_miss();
-        let answer = Arc::new(self.solve_cold(&q, &prep)?);
+        let answer = Arc::new(self.solve_cold(&q, &prep, &mut stages)?);
         self.cache.insert(key, prep.epoch, q, Arc::clone(&answer));
         Ok(QueryResponse {
             answer,
             cached: false,
             micros: t.elapsed().as_micros() as u64,
+            stages: rec.is_enabled().then_some(stages),
         })
     }
 
@@ -221,7 +285,9 @@ impl QueryEngine {
         &self,
         q: &Query,
         prep: &crate::catalog::PreparedDataset,
+        stages: &mut StageTimings,
     ) -> Result<Answer, ServiceError> {
+        let rec = self.metrics.recorder();
         // The candidate-set seam: the prepared (merged, shard-count-
         // independent) reduction plus the map back to original row ids —
         // both shared by refcount, never copied per query.
@@ -253,7 +319,9 @@ impl QueryEngine {
             k: q.k,
             family: q.alg.clone(),
         };
+        let probe = rec.span(&self.metrics.warm_probe);
         let warm_entry = self.warm.as_ref().and_then(|w| w.get(&warm_key));
+        stages.warm_probe_ns = probe.stop().unwrap_or(0);
 
         // Prepared bounds: reuse the cached O(n) label scan when it
         // matches this candidate form's shape, else scan fresh.
@@ -298,7 +366,19 @@ impl QueryEngine {
         let warm_ctx = WarmStart::with_net(seeded_net.clone());
         let t = Instant::now();
         let sol = alg.solve_with(&inst, &warm_ctx)?;
-        let solve_micros = t.elapsed().as_micros() as u64;
+        // One clock read serves the (pre-existing) micros field, the
+        // per-family histogram, and the slow-query stage breakdown.
+        let solve_dur = t.elapsed();
+        let solve_micros = solve_dur.as_micros() as u64;
+        if rec.is_enabled() {
+            let ns = solve_dur.as_nanos().min(u64::MAX as u128) as u64;
+            stages.solve_ns = ns;
+            // `q.alg` is canonical (execute canonicalizes), so this
+            // always resolves to a registry family.
+            if let Some(h) = self.metrics.solve_hist(&q.alg) {
+                h.record(ns);
+            }
+        }
 
         // Per-component accounting + deposit of freshly computed state.
         if let Some(w) = &self.warm {

@@ -10,10 +10,30 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use crate::engine::{QueryEngine, QueryResponse};
 use crate::query::Query;
 use crate::ServiceError;
+
+/// Executes `queries[i]`, recording `executor.queue_wait` (submission →
+/// worker claim) and `executor.run` (the execution itself) when
+/// telemetry is on. `batch_start` is `None` exactly when telemetry is
+/// off, so the disabled path never reads the clock here.
+fn execute_one(
+    engine: &QueryEngine,
+    batch_start: Option<Instant>,
+    q: &Query,
+) -> Result<QueryResponse, ServiceError> {
+    let Some(start) = batch_start else {
+        return engine.execute(q);
+    };
+    let m = engine.metrics();
+    let waited = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    m.queue_wait.record(waited);
+    let _run = m.recorder().span(&m.run);
+    engine.execute(q)
+}
 
 /// A fixed-width thread-pool executor for query batches.
 #[derive(Debug, Clone, Copy)]
@@ -57,9 +77,13 @@ impl BatchExecutor {
         if queries.is_empty() {
             return Vec::new();
         }
+        let batch_start = engine.metrics().enabled().then(Instant::now);
         let workers = self.workers.min(queries.len());
         if workers == 1 {
-            return queries.iter().map(|q| engine.execute(q)).collect();
+            return queries
+                .iter()
+                .map(|q| execute_one(engine, batch_start, q))
+                .collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -78,7 +102,7 @@ impl BatchExecutor {
                     }
                     // A send can only fail if the receiver was dropped,
                     // which cannot happen while this scope is alive.
-                    let _ = tx.send((i, engine.execute(&queries[i])));
+                    let _ = tx.send((i, execute_one(engine, batch_start, &queries[i])));
                 });
             }
             drop(tx);
@@ -110,10 +134,11 @@ impl BatchExecutor {
         if queries.is_empty() {
             return;
         }
+        let batch_start = engine.metrics().enabled().then(Instant::now);
         let workers = self.workers.min(queries.len());
         if workers == 1 {
             for (i, q) in queries.iter().enumerate() {
-                deliver(i, engine.execute(q));
+                deliver(i, execute_one(engine, batch_start, q));
             }
             return;
         }
@@ -129,7 +154,7 @@ impl BatchExecutor {
                     if i >= queries.len() {
                         break;
                     }
-                    let _ = tx.send((i, engine.execute(&queries[i])));
+                    let _ = tx.send((i, execute_one(engine, batch_start, &queries[i])));
                 });
             }
             drop(tx);

@@ -23,6 +23,10 @@
 //! * [`executor`] — a [`BatchExecutor`] fan-out over std threads and
 //!   channels (no async runtime) whose output is independent of worker
 //!   count and scheduling;
+//! * [`metrics`] — the [`ServiceMetrics`] telemetry surface: per-stage
+//!   latency histograms, request-lifecycle spans, and gauges, exported
+//!   over the `METRICS` wire verb and the bench JSON snapshot (built on
+//!   the lock-free primitives in `fairhms-obs`);
 //! * [`protocol`] — typed [`Request`]/[`Response`] wire model and the v1
 //!   text rendering;
 //! * [`codec`] — the pluggable [`Codec`] seam: v1 text lines and the v2
@@ -59,6 +63,7 @@ pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod executor;
+pub mod metrics;
 pub mod protocol;
 pub mod query;
 pub mod server;
@@ -68,9 +73,10 @@ pub use cache::{CacheStats, SolutionCache};
 pub use catalog::{Catalog, CatalogConfig, PreparedDataset, ShardPrep, MAX_SHARDS};
 pub use client::WireClient;
 pub use codec::{BinaryCodec, Codec, CodecKind, TextCodec};
-pub use engine::{Answer, QueryEngine, QueryResponse};
+pub use engine::{Answer, QueryEngine, QueryResponse, StageTimings};
 pub use executor::BatchExecutor;
-pub use protocol::{Request, Response, WireAnswer};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, TelemetryConfig};
+pub use protocol::{Request, Response, WireAnswer, WireHistogram};
 pub use query::Query;
 pub use server::{ServeOptions, Server, ServerConfig};
 pub use warmstart::{WarmConfig, WarmEntry, WarmKey, WarmStartCache, WarmStats};

@@ -1,0 +1,322 @@
+//! Service-wide telemetry: the named span map of the request lifecycle.
+//!
+//! [`ServiceMetrics`] owns every histogram, counter, and gauge the
+//! serving layer records into, built on the lock-free primitives from
+//! [`fairhms_obs`]. One instance lives in the [`crate::QueryEngine`] and
+//! is shared (by `Arc`) with the catalog, executor, and server, so a
+//! `METRICS` wire request or a JSON snapshot sees one coherent view of
+//! the whole process.
+//!
+//! The span map (all durations in nanoseconds):
+//!
+//! | name | recorded by | covers |
+//! |------|-------------|--------|
+//! | `server.read` | server | blocking wait for the next request line/frame (includes client idle time) |
+//! | `server.decode` | server | parsing one request (text verb or binary frame) |
+//! | `server.encode` | server | rendering one response through the negotiated codec |
+//! | `server.flush` | server | flushing the response to the socket |
+//! | `engine.cache_lookup` | engine | solution-cache consultation (hit or miss) |
+//! | `engine.flight_wait` | engine | blocked on another worker's identical in-flight solve |
+//! | `engine.warm_probe` | engine | warm-start tier lookup |
+//! | `engine.solve.<family>` | engine | the cold solve, labeled per registry algorithm family |
+//! | `catalog.shard_prep` | catalog | per-shard normalize + skyline work (one observation per shard) |
+//! | `catalog.merge` | catalog | deterministic shard-skyline merge |
+//! | `executor.queue_wait` | executor | batch query sat queued before a worker claimed it |
+//! | `executor.run` | executor | worker executing one batch query |
+//!
+//! Gauges: `conn.active` (open connections), `streams.active` (streamed
+//! batches in flight). Counter: `queries.total` (engine executions —
+//! recorded even when telemetry is disabled, because `STATS` reports it).
+//!
+//! Telemetry is gated by [`TelemetryConfig`]: when disabled, spans never
+//! read the clock (a single branch per span site) and answers are
+//! bit-identical either way — pinned by `tests/telemetry_equivalence.rs`.
+
+use fairhms_core::registry::{family_index, ALGORITHM_NAMES};
+use fairhms_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Recorder};
+
+/// Whether the telemetry subsystem records.
+///
+/// Mirrors [`crate::WarmConfig`]'s env hook: `FAIRHMS_TEST_TELEMETRY`
+/// set to `0`/`false`/`off` disables recording, so CI can run the whole
+/// service suite on the no-telemetry path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Whether spans, gauges, and histograms record.
+    pub enabled: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self { enabled: true }
+    }
+}
+
+impl TelemetryConfig {
+    /// The default config, overridden by `FAIRHMS_TEST_TELEMETRY`
+    /// (`0`/`false`/`off` disables).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("FAIRHMS_TEST_TELEMETRY") {
+            if matches!(v.to_ascii_lowercase().as_str(), "0" | "false" | "off") {
+                cfg.enabled = false;
+            }
+        }
+        cfg
+    }
+}
+
+/// Every telemetry instrument in the serving layer, by name.
+///
+/// See the module docs for the span map. Fields are public so recording
+/// sites write `metrics.recorder().span(&metrics.cache_lookup)` without
+/// a lookup table on the hot path; [`ServiceMetrics::histograms`]
+/// provides the name⇢instrument iteration for export.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    recorder: Recorder,
+    /// `server.read` — wait for the next request (includes client idle).
+    pub read: Histogram,
+    /// `server.decode` — request parse.
+    pub decode: Histogram,
+    /// `server.encode` — response render.
+    pub encode: Histogram,
+    /// `server.flush` — socket flush.
+    pub flush: Histogram,
+    /// `engine.cache_lookup` — solution-cache consultation.
+    pub cache_lookup: Histogram,
+    /// `engine.flight_wait` — blocked on an identical in-flight solve.
+    pub flight_wait: Histogram,
+    /// `engine.warm_probe` — warm-start tier lookup.
+    pub warm_probe: Histogram,
+    /// `engine.solve.<family>` — cold solves, indexed by
+    /// [`fairhms_core::registry::family_index`].
+    pub solve: Vec<Histogram>,
+    /// `catalog.shard_prep` — per-shard prepare (one observation/shard).
+    pub shard_prep: Histogram,
+    /// `catalog.merge` — shard-skyline merge.
+    pub merge: Histogram,
+    /// `executor.queue_wait` — batch query queued before claim.
+    pub queue_wait: Histogram,
+    /// `executor.run` — worker executing one batch query.
+    pub run: Histogram,
+    /// `conn.active` — open connections.
+    pub conn_active: Gauge,
+    /// `streams.active` — streamed batches in flight.
+    pub streams_active: Gauge,
+    /// `queries.total` — engine executions. Always recorded (STATS
+    /// reports it even with telemetry off).
+    pub total_queries: Counter,
+}
+
+impl ServiceMetrics {
+    /// Builds the full instrument set; `enabled` gates span recording.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            recorder: if enabled {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            read: Histogram::new(),
+            decode: Histogram::new(),
+            encode: Histogram::new(),
+            flush: Histogram::new(),
+            cache_lookup: Histogram::new(),
+            flight_wait: Histogram::new(),
+            warm_probe: Histogram::new(),
+            solve: ALGORITHM_NAMES.iter().map(|_| Histogram::new()).collect(),
+            shard_prep: Histogram::new(),
+            merge: Histogram::new(),
+            queue_wait: Histogram::new(),
+            run: Histogram::new(),
+            conn_active: Gauge::new(),
+            streams_active: Gauge::new(),
+            total_queries: Counter::new(),
+        }
+    }
+
+    /// Instruments gated by [`TelemetryConfig::from_env`].
+    pub fn from_env() -> Self {
+        Self::new(TelemetryConfig::from_env().enabled)
+    }
+
+    /// The span gate shared by every recording site.
+    pub fn recorder(&self) -> Recorder {
+        self.recorder
+    }
+
+    /// Whether spans record.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The per-family solve histogram for `alg` (any accepted spelling),
+    /// or `None` for names outside the registry.
+    pub fn solve_hist(&self, alg: &str) -> Option<&Histogram> {
+        family_index(alg).map(|i| &self.solve[i])
+    }
+
+    /// Every histogram with its export name, in stable order. Names
+    /// contain no whitespace, `,`, or `:` — the text wire rendering uses
+    /// those as delimiters.
+    pub fn histograms(&self) -> Vec<(String, &Histogram)> {
+        let mut out: Vec<(String, &Histogram)> = vec![
+            ("server.read".into(), &self.read),
+            ("server.decode".into(), &self.decode),
+            ("server.encode".into(), &self.encode),
+            ("server.flush".into(), &self.flush),
+            ("engine.cache_lookup".into(), &self.cache_lookup),
+            ("engine.flight_wait".into(), &self.flight_wait),
+            ("engine.warm_probe".into(), &self.warm_probe),
+        ];
+        for (name, hist) in ALGORITHM_NAMES.iter().zip(self.solve.iter()) {
+            out.push((format!("engine.solve.{name}"), hist));
+        }
+        out.extend([
+            ("catalog.shard_prep".into(), &self.shard_prep),
+            ("catalog.merge".into(), &self.merge),
+            ("executor.queue_wait".into(), &self.queue_wait),
+            ("executor.run".into(), &self.run),
+        ]);
+        out
+    }
+
+    /// Every counter/gauge with its export name, as `u64` levels (gauges
+    /// are instantaneous and never negative here).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("conn.active".into(), self.conn_active.get().max(0) as u64),
+            (
+                "streams.active".into(),
+                self.streams_active.get().max(0) as u64,
+            ),
+            ("queries.total".into(), self.total_queries.get()),
+        ]
+    }
+
+    /// Point-in-time export of every **non-empty** histogram plus all
+    /// counters — the payload behind the `METRICS` wire verb and the
+    /// JSON snapshot writer. Empty histograms are elided so the wire
+    /// line stays proportional to actual activity.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            enabled: self.enabled(),
+            counters: self.counters(),
+            histograms: self
+                .histograms()
+                .into_iter()
+                .filter_map(|(name, h)| {
+                    let s = h.snapshot();
+                    (s.count() > 0).then_some((name, s))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A coherent point-in-time view of [`ServiceMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Whether span recording was enabled when captured.
+    pub enabled: bool,
+    /// Counter and gauge levels, by export name.
+    pub counters: Vec<(String, u64)>,
+    /// Non-empty histograms, by export name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object:
+    /// `{"enabled":…,"counters":{…},"histograms":{name:{count,sum,mean,p50,p90,p99,max},…}}`.
+    /// Times are nanoseconds. This is the format the bench harness
+    /// embeds in `BENCH_service.json`.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .fold(fairhms_obs::json::Obj::new(), |o, (name, v)| {
+                o.u64(name, *v)
+            })
+            .build();
+        let histograms = self
+            .histograms
+            .iter()
+            .fold(fairhms_obs::json::Obj::new(), |o, (name, s)| {
+                o.raw(name, &s.to_json())
+            })
+            .build();
+        fairhms_obs::json::Obj::new()
+            .raw("enabled", if self.enabled { "true" } else { "false" })
+            .raw("counters", &counters)
+            .raw("histograms", &histograms)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_names_are_wire_safe() {
+        let m = ServiceMetrics::new(true);
+        for (name, _) in m.histograms() {
+            assert!(
+                !name.contains([' ', '\t', ',', ':', '\n']),
+                "histogram name {name:?} collides with wire delimiters"
+            );
+        }
+        for (name, _) in m.counters() {
+            assert!(
+                !name.contains([' ', '\t', ',', ':', '\n']),
+                "counter name {name:?} collides with wire delimiters"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_hist_resolves_aliases_to_one_family() {
+        let m = ServiceMetrics::new(true);
+        let a = m.solve_hist("BiGreedy+").unwrap();
+        a.record(7);
+        let b = m.solve_hist("bigreedyplus").unwrap();
+        assert_eq!(b.count(), 1, "alias did not share the family histogram");
+        assert!(m.solve_hist("nope").is_none());
+    }
+
+    #[test]
+    fn snapshot_elides_empty_histograms() {
+        let m = ServiceMetrics::new(true);
+        m.cache_lookup.record(100);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "engine.cache_lookup");
+        assert!(snap.enabled);
+        // counters always present
+        assert!(snap.counters.iter().any(|(n, _)| n == "queries.total"));
+    }
+
+    #[test]
+    fn disabled_metrics_still_count_queries() {
+        let m = ServiceMetrics::new(false);
+        m.total_queries.inc();
+        assert!(!m.enabled());
+        let snap = m.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "queries.total" && *v == 1));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let m = ServiceMetrics::new(true);
+        m.read.record(50);
+        let j = m.snapshot().to_json();
+        assert!(j.starts_with("{\"enabled\":true"));
+        assert!(j.contains("\"counters\":{"));
+        assert!(j.contains("\"server.read\":{\"count\":1"));
+    }
+}

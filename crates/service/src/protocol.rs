@@ -94,6 +94,9 @@ pub enum Request {
         /// Path relative to the server's `--load-root`.
         path: String,
     },
+    /// Report the telemetry snapshot (stage histograms, counters,
+    /// gauges). Added after v2 shipped; old clients simply never send it.
+    Metrics,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -141,6 +144,13 @@ pub enum Response {
         warm_misses: u64,
         /// Resident warm-start entries.
         warm_entries: usize,
+        /// Seconds since the server started (0 for engine-only
+        /// contexts). Decoding tolerates absence — pre-telemetry
+        /// transcripts parse with 0.
+        uptime_secs: u64,
+        /// Queries executed by the engine since start (decoding
+        /// tolerates absence, defaulting to 0).
+        total_queries: u64,
     },
     /// `INFO` reply: server configuration.
     Info {
@@ -158,6 +168,11 @@ pub enum Response {
         /// field's absence in pre-warm-start transcripts, defaulting to
         /// `true` — the tier's default state).
         warmstart: bool,
+        /// Seconds since the server started (absence-tolerant, like
+        /// [`Response::Stats`]'s field).
+        uptime_secs: u64,
+        /// Queries executed by the engine since start (absence-tolerant).
+        total_queries: u64,
     },
     /// `SHARDS` reply: the (possibly just set) preparation shard count.
     Shards(usize),
@@ -189,6 +204,18 @@ pub enum Response {
         groups: usize,
         /// Group-skyline size.
         skyline: usize,
+    },
+    /// `METRICS` reply: the telemetry snapshot. `histograms` holds only
+    /// non-empty stage histograms (durations in nanoseconds), so the
+    /// line stays proportional to actual activity; `enabled=false` with
+    /// empty histograms is the whole reply when telemetry is off.
+    Metrics {
+        /// Whether span recording is enabled server-side.
+        enabled: bool,
+        /// Counter and gauge levels, `(name, value)` in export order.
+        counters: Vec<(String, u64)>,
+        /// Summaries of the non-empty stage histograms.
+        histograms: Vec<WireHistogram>,
     },
     /// `SHUTDOWN` acknowledgment.
     Bye,
@@ -268,6 +295,18 @@ fn check_wire_safe(field: &str, v: &str) -> Result<(), ServiceError> {
     if v.chars().any(char::is_whitespace) {
         return Err(ServiceError::Protocol(format!(
             "{field}: value {v:?} is not wire-safe (contains whitespace)"
+        )));
+    }
+    Ok(())
+}
+
+/// Like [`check_wire_safe`], plus the `,`/`:` delimiters the `METRICS`
+/// line uses inside its comma-joined lists.
+fn check_metric_name(name: &str) -> Result<(), ServiceError> {
+    check_wire_safe("metric", name)?;
+    if name.is_empty() || name.contains([',', ':']) {
+        return Err(ServiceError::Protocol(format!(
+            "metric: name {name:?} would corrupt the METRICS list encoding"
         )));
     }
     Ok(())
@@ -395,6 +434,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "BATCH" => parse_batch(rest),
         "QUERY" => Ok(Request::Query(Box::new(parse_query(rest)?))),
         "LOAD" => parse_load(rest),
+        "METRICS" => Ok(Request::Metrics),
         other => Err(ServiceError::Protocol(format!("unknown verb {other:?}"))),
     }
 }
@@ -413,6 +453,59 @@ pub fn query_to_wire(q: &Query) -> Result<String, ServiceError> {
         "QUERY dataset={} k={} alg={} alpha={} balanced={} seed={} skyline={}",
         q.dataset, q.k, q.alg, q.alpha, q.balanced, q.seed, q.skyline
     ))
+}
+
+/// One stage histogram's summary as carried by the `METRICS` reply.
+///
+/// All durations are nanoseconds; quantiles carry the bucket-midpoint
+/// error bound documented in `fairhms_obs` (≤ 1/64 relative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Export name (e.g. `engine.solve.bigreedy`); never contains
+    /// whitespace, `,`, or `:`.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations, ns.
+    pub sum: u64,
+    /// Median estimate, ns.
+    pub p50: u64,
+    /// 90th-percentile estimate, ns.
+    pub p90: u64,
+    /// 99th-percentile estimate, ns.
+    pub p99: u64,
+    /// Exact maximum, ns.
+    pub max: u64,
+}
+
+impl WireHistogram {
+    /// The wire form of a named histogram snapshot.
+    pub fn from_snapshot(name: &str, s: &fairhms_obs::HistogramSnapshot) -> WireHistogram {
+        WireHistogram {
+            name: name.to_string(),
+            count: s.count(),
+            sum: s.sum(),
+            p50: s.p50(),
+            p90: s.p90(),
+            p99: s.p99(),
+            max: s.max(),
+        }
+    }
+}
+
+impl Response {
+    /// The `METRICS` reply for a telemetry snapshot.
+    pub fn from_metrics(snap: &crate::metrics::MetricsSnapshot) -> Response {
+        Response::Metrics {
+            enabled: snap.enabled,
+            counters: snap.counters.clone(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, s)| WireHistogram::from_snapshot(name, s))
+                .collect(),
+        }
+    }
 }
 
 /// An `OK …` query response as decoded by a client.
@@ -526,10 +619,12 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             warm_hits,
             warm_misses,
             warm_entries,
+            uptime_secs,
+            total_queries,
         } => format!(
             "OK hits={hits} misses={misses} entries={entries} evictions={evictions} \
              hit_rate={hit_rate} warm_hits={warm_hits} warm_misses={warm_misses} \
-             warm_entries={warm_entries}"
+             warm_entries={warm_entries} uptime_secs={uptime_secs} total_queries={total_queries}"
         ),
         Response::Info {
             shards,
@@ -538,11 +633,38 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             datasets,
             cache_entries,
             warmstart,
+            uptime_secs,
+            total_queries,
         } => {
             check_wire_safe("strategy", strategy)?;
             format!(
                 "OK shards={shards} strategy={strategy} workers={workers} datasets={datasets} \
-                 cache_entries={cache_entries} warmstart={warmstart}"
+                 cache_entries={cache_entries} warmstart={warmstart} uptime_secs={uptime_secs} \
+                 total_queries={total_queries}"
+            )
+        }
+        Response::Metrics {
+            enabled,
+            counters,
+            histograms,
+        } => {
+            let mut cs = Vec::with_capacity(counters.len());
+            for (name, v) in counters {
+                check_metric_name(name)?;
+                cs.push(format!("{name}:{v}"));
+            }
+            let mut hs = Vec::with_capacity(histograms.len());
+            for h in histograms {
+                check_metric_name(&h.name)?;
+                hs.push(format!(
+                    "{}:{}:{}:{}:{}:{}:{}",
+                    h.name, h.count, h.sum, h.p50, h.p90, h.p99, h.max
+                ));
+            }
+            format!(
+                "OK metrics enabled={enabled} counters={} histos={}",
+                cs.join(","),
+                hs.join(",")
             )
         }
         Response::Shards(n) => format!("OK shards={n}"),
@@ -699,6 +821,40 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
     match *first {
         "pong" => Ok(Response::Pong),
         "bye" => Ok(Response::Bye),
+        "metrics" => {
+            let m = kv_map(&tokens[1..])?;
+            let enabled = flag_or(&m, "enabled", true)?;
+            let mut counters = Vec::new();
+            for item in split_list(m.get("counters").map(String::as_str).unwrap_or("")) {
+                let (name, v) = item.split_once(':').ok_or_else(|| {
+                    ServiceError::Protocol(format!("counters: expected name:value, got {item:?}"))
+                })?;
+                counters.push((name.to_string(), parse_num("counters", v)?));
+            }
+            let mut histograms = Vec::new();
+            for item in split_list(m.get("histos").map(String::as_str).unwrap_or("")) {
+                let parts: Vec<&str> = item.split(':').collect();
+                let [name, count, sum, p50, p90, p99, max] = parts.as_slice() else {
+                    return Err(ServiceError::Protocol(format!(
+                        "histos: expected name:count:sum:p50:p90:p99:max, got {item:?}"
+                    )));
+                };
+                histograms.push(WireHistogram {
+                    name: name.to_string(),
+                    count: parse_num("histos", count)?,
+                    sum: parse_num("histos", sum)?,
+                    p50: parse_num("histos", p50)?,
+                    p90: parse_num("histos", p90)?,
+                    p99: parse_num("histos", p99)?,
+                    max: parse_num("histos", max)?,
+                });
+            }
+            Ok(Response::Metrics {
+                enabled,
+                counters,
+                histograms,
+            })
+        }
         "loaded" => {
             let m = kv_map(&tokens[1..])?;
             Ok(Response::Loaded {
@@ -741,6 +897,8 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     warm_hits: field_or(&m, "warm_hits", 0)?,
                     warm_misses: field_or(&m, "warm_misses", 0)?,
                     warm_entries: field_or(&m, "warm_entries", 0)?,
+                    uptime_secs: field_or(&m, "uptime_secs", 0)?,
+                    total_queries: field_or(&m, "total_queries", 0)?,
                 })
             }
             Some(("shards", v)) if tokens.len() == 1 => {
@@ -758,6 +916,8 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     datasets: field(&m, "datasets")?,
                     cache_entries: field(&m, "cache_entries")?,
                     warmstart: flag_or(&m, "warmstart", true)?,
+                    uptime_secs: field_or(&m, "uptime_secs", 0)?,
+                    total_queries: field_or(&m, "total_queries", 0)?,
                 })
             }
             Some(("batch", v)) => {
@@ -846,6 +1006,7 @@ mod tests {
         );
         assert_eq!(parse_request("ShUtDoWn").unwrap(), Request::Shutdown);
         assert_eq!(parse_request("INFO").unwrap(), Request::Info);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse_request("shards").unwrap(), Request::Shards(None));
         assert_eq!(parse_request("SHARDS 4").unwrap(), Request::Shards(Some(4)));
         assert_eq!(
@@ -920,6 +1081,7 @@ mod tests {
             }),
             cached: false,
             micros: 812,
+            stages: None,
         };
         let line = format_response(&resp).unwrap();
         let parsed = parse_response(&line).unwrap();
@@ -939,6 +1101,7 @@ mod tests {
             }),
             cached: true,
             micros: 3,
+            stages: None,
         };
         let parsed2 = parse_response(&format_response(&resp2).unwrap()).unwrap();
         assert!(parsed2.indices.is_empty());
@@ -976,12 +1139,35 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        // Pre-telemetry transcripts (no uptime_secs/total_queries) also
+        // decode, with zero defaults.
+        match decode_response_line(
+            "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.5 \
+             warm_hits=3 warm_misses=2 warm_entries=1",
+        )
+        .unwrap()
+        {
+            Response::Stats {
+                uptime_secs,
+                total_queries,
+                ..
+            } => assert_eq!((uptime_secs, total_queries), (0, 0)),
+            other => panic!("{other:?}"),
+        }
         match decode_response_line(
             "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0",
         )
         .unwrap()
         {
-            Response::Info { warmstart, .. } => assert!(warmstart),
+            Response::Info {
+                warmstart,
+                uptime_secs,
+                total_queries,
+                ..
+            } => {
+                assert!(warmstart);
+                assert_eq!((uptime_secs, total_queries), (0, 0));
+            }
             other => panic!("{other:?}"),
         }
         // Malformed values in the new fields are still typed errors.
@@ -1013,11 +1199,47 @@ mod tests {
             }),
             cached: false,
             micros: 1,
+            stages: None,
         };
         assert!(matches!(
             format_response(&resp),
             Err(ServiceError::Protocol(m)) if m.contains("wire-safe")
         ));
+    }
+
+    #[test]
+    fn metric_names_that_collide_with_delimiters_are_rejected() {
+        for bad in ["has space", "has:colon", "has,comma", ""] {
+            let resp = Response::Metrics {
+                enabled: true,
+                counters: vec![(bad.to_string(), 1)],
+                histograms: vec![],
+            };
+            assert!(
+                encode_response_line(&resp).is_err(),
+                "counter name {bad:?} should be rejected"
+            );
+            let resp = Response::Metrics {
+                enabled: true,
+                counters: vec![],
+                histograms: vec![WireHistogram {
+                    name: bad.to_string(),
+                    count: 1,
+                    sum: 1,
+                    p50: 1,
+                    p90: 1,
+                    p99: 1,
+                    max: 1,
+                }],
+            };
+            assert!(
+                encode_response_line(&resp).is_err(),
+                "histogram name {bad:?} should be rejected"
+            );
+        }
+        // Malformed METRICS bodies are typed errors, not panics.
+        assert!(decode_response_line("OK metrics enabled=true counters=noval histos=").is_err());
+        assert!(decode_response_line("OK metrics enabled=true counters= histos=a:1:2").is_err());
     }
 
     #[test]
@@ -1066,7 +1288,7 @@ mod tests {
             ),
             (
                 "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666 \
-                 warm_hits=3 warm_misses=2 warm_entries=1",
+                 warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3",
                 Response::Stats {
                     hits: 2,
                     misses: 1,
@@ -1076,11 +1298,13 @@ mod tests {
                     warm_hits: 3,
                     warm_misses: 2,
                     warm_entries: 1,
+                    uptime_secs: 12,
+                    total_queries: 3,
                 },
             ),
             (
                 "OK shards=4 strategy=stratified workers=2 datasets=1 cache_entries=0 \
-                 warmstart=false",
+                 warmstart=false uptime_secs=0 total_queries=0",
                 Response::Info {
                     shards: 4,
                     strategy: "stratified".into(),
@@ -1088,6 +1312,44 @@ mod tests {
                     datasets: 1,
                     cache_entries: 0,
                     warmstart: false,
+                    uptime_secs: 0,
+                    total_queries: 0,
+                },
+            ),
+            (
+                "OK metrics enabled=true counters=conn.active:1,queries.total:9 \
+                 histos=engine.cache_lookup:9:8100:800:950:990:1024,server.read:9:90000:9000:9900:9990:12000",
+                Response::Metrics {
+                    enabled: true,
+                    counters: vec![("conn.active".into(), 1), ("queries.total".into(), 9)],
+                    histograms: vec![
+                        WireHistogram {
+                            name: "engine.cache_lookup".into(),
+                            count: 9,
+                            sum: 8100,
+                            p50: 800,
+                            p90: 950,
+                            p99: 990,
+                            max: 1024,
+                        },
+                        WireHistogram {
+                            name: "server.read".into(),
+                            count: 9,
+                            sum: 90000,
+                            p50: 9000,
+                            p90: 9900,
+                            p99: 9990,
+                            max: 12000,
+                        },
+                    ],
+                },
+            ),
+            (
+                "OK metrics enabled=false counters= histos=",
+                Response::Metrics {
+                    enabled: false,
+                    counters: vec![],
+                    histograms: vec![],
                 },
             ),
             ("OK shards=4", Response::Shards(4)),

@@ -17,13 +17,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fairhms_core::registry::ALGORITHM_NAMES;
 
 use crate::codec::{Codec, CodecKind};
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, QueryResponse};
 use crate::executor::BatchExecutor;
+use crate::metrics::ServiceMetrics;
 use crate::protocol::{self, Request, Response};
 use crate::query::Query;
 use crate::ServiceError;
@@ -63,6 +64,19 @@ pub struct ServeOptions {
     /// the first concrete admission-control/backpressure knob. `0`
     /// disables streaming outright.
     pub max_stream_batches: usize,
+    /// Slow-query log threshold in milliseconds. `None` (the default)
+    /// disables the log; `Some(n)` prints one structured line on stderr
+    /// for every query whose total execution time exceeds `n` ms — see
+    /// docs/ARCHITECTURE.md ("Observability") for the line format.
+    pub slow_query_ms: Option<u64>,
+    /// Telemetry switch the `fairhms serve` front end applies when
+    /// constructing the engine (`--no-telemetry` clears it). The
+    /// authoritative switch lives on the engine's
+    /// [`crate::metrics::ServiceMetrics`]; this field exists so one
+    /// options struct carries the whole serve configuration. Defaults to
+    /// [`crate::metrics::TelemetryConfig::from_env`], honouring
+    /// `FAIRHMS_TEST_TELEMETRY`.
+    pub telemetry: crate::metrics::TelemetryConfig,
 }
 
 impl Default for ServeOptions {
@@ -70,6 +84,8 @@ impl Default for ServeOptions {
         Self {
             load_root: None,
             max_stream_batches: 8,
+            slow_query_ms: None,
+            telemetry: crate::metrics::TelemetryConfig::from_env(),
         }
     }
 }
@@ -154,8 +170,9 @@ impl Server {
         let loop_stop = Arc::clone(&stop);
         let executor = BatchExecutor::new(cfg.workers);
         let opts = Arc::new(opts);
+        let started = Instant::now();
         let handle = std::thread::spawn(move || {
-            accept_loop(listener, engine, executor, loop_stop, opts);
+            accept_loop(listener, engine, executor, loop_stop, opts, started);
         });
         Ok(Server { addr, stop, handle })
     }
@@ -202,6 +219,7 @@ fn accept_loop(
     executor: BatchExecutor,
     stop: Arc<AtomicBool>,
     opts: Arc<ServeOptions>,
+    started: Instant,
 ) {
     let gate = StreamGate::new(opts.max_stream_batches);
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -213,7 +231,8 @@ fn accept_loop(
                 let opts = Arc::clone(&opts);
                 let gate = gate.clone();
                 conns.push(std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &engine, executor, &stop, &opts, &gate);
+                    let _ =
+                        serve_connection(stream, &engine, executor, &stop, &opts, &gate, started);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -312,21 +331,28 @@ fn send(
     codec: &dyn Codec,
     frame: &mut Vec<u8>,
     resp: &Response,
+    metrics: &ServiceMetrics,
 ) -> std::io::Result<()> {
-    frame.clear();
-    if let Err(e) = codec.encode_frame(resp, frame) {
+    {
+        // Scoped so the encode span covers serialization only, not the
+        // socket write below.
+        let _encode = metrics.recorder().span(&metrics.encode);
         frame.clear();
-        let fallback = Response::Error {
-            seq: None,
-            message: format!("response not encodable: {e}").replace(['\n', '\r'], " "),
-        };
-        codec
-            .encode_frame(&fallback, frame)
-            .map_err(|e2| std::io::Error::new(std::io::ErrorKind::InvalidData, e2.to_string()))?;
+        if let Err(e) = codec.encode_frame(resp, frame) {
+            frame.clear();
+            let fallback = Response::Error {
+                seq: None,
+                message: format!("response not encodable: {e}").replace(['\n', '\r'], " "),
+            };
+            codec.encode_frame(&fallback, frame).map_err(|e2| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e2.to_string())
+            })?;
+        }
     }
     writer.write_all(frame)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     engine: &QueryEngine,
@@ -334,7 +360,11 @@ fn serve_connection(
     stop: &AtomicBool,
     opts: &ServeOptions,
     gate: &StreamGate,
+    started: Instant,
 ) -> std::io::Result<()> {
+    let metrics = Arc::clone(engine.metrics());
+    let m = metrics.as_ref();
+    let _conn = m.recorder().gauge_guard(&m.conn_active);
     stream.set_nodelay(true).ok();
     // On BSD/macOS/Windows accepted sockets inherit the listener's
     // non-blocking mode (Linux does not); force blocking so the read
@@ -351,23 +381,34 @@ fn serve_connection(
     let mut frame = Vec::new();
     loop {
         line.clear();
-        if read_line_or_stop(&mut reader, &mut line, stop)? == 0 {
-            return Ok(()); // client closed or server stopping
+        {
+            // The read span includes client think-time between requests
+            // (the histogram measures "time to obtain the next request
+            // line", not just kernel copy time) — interpret its upper
+            // quantiles accordingly.
+            let _read = m.recorder().span(&m.read);
+            if read_line_or_stop(&mut reader, &mut line, stop)? == 0 {
+                return Ok(()); // client closed or server stopping
+            }
         }
         // Decode the complete line once (see read_line_or_stop).
+        let decode_span = m.recorder().span(&m.decode);
         let decoded = String::from_utf8_lossy(&line);
         let trimmed = decoded.trim();
         if trimmed.is_empty() {
             continue;
         }
-        match protocol::parse_request(trimmed) {
+        let parsed = protocol::parse_request(trimmed);
+        drop(decode_span);
+        match parsed {
             Err(e) => send(
                 &mut writer,
                 codec.as_ref(),
                 &mut frame,
                 &Response::error(&e),
+                m,
             )?,
-            Ok(Request::Ping) => send(&mut writer, codec.as_ref(), &mut frame, &Response::Pong)?,
+            Ok(Request::Ping) => send(&mut writer, codec.as_ref(), &mut frame, &Response::Pong, m)?,
             Ok(Request::Hello {
                 version,
                 codec: kind,
@@ -378,7 +419,7 @@ fn serve_connection(
                     version,
                     codec: kind,
                 };
-                send(&mut writer, codec.as_ref(), &mut frame, &ack)?;
+                send(&mut writer, codec.as_ref(), &mut frame, &ack, m)?;
                 codec = kind.new_codec();
             }
             Ok(Request::List) => {
@@ -394,6 +435,7 @@ fn serve_connection(
                     codec.as_ref(),
                     &mut frame,
                     &Response::Datasets(summaries),
+                    m,
                 )?;
             }
             Ok(Request::Algorithms) => {
@@ -403,6 +445,7 @@ fn serve_connection(
                     codec.as_ref(),
                     &mut frame,
                     &Response::Algorithms(names),
+                    m,
                 )?;
             }
             Ok(Request::Stats) => {
@@ -417,8 +460,10 @@ fn serve_connection(
                     warm_hits: warm.hits,
                     warm_misses: warm.misses,
                     warm_entries: warm.entries,
+                    uptime_secs: started.elapsed().as_secs(),
+                    total_queries: m.total_queries.get(),
                 };
-                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
+                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
             }
             Ok(Request::Info) => {
                 let cfg = engine.catalog().config();
@@ -429,8 +474,14 @@ fn serve_connection(
                     datasets: engine.catalog().len(),
                     cache_entries: engine.cache_stats().entries,
                     warmstart: engine.warmstart_enabled(),
+                    uptime_secs: started.elapsed().as_secs(),
+                    total_queries: m.total_queries.get(),
                 };
-                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
+                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
+            }
+            Ok(Request::Metrics) => {
+                let resp = Response::from_metrics(&m.snapshot());
+                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
             }
             Ok(Request::Shards(set)) => {
                 let shards = match set {
@@ -442,25 +493,28 @@ fn serve_connection(
                     codec.as_ref(),
                     &mut frame,
                     &Response::Shards(shards),
+                    m,
                 )?;
             }
             Ok(Request::Load { name, path }) => {
                 let resp = handle_load(engine, opts, &name, &path);
-                send(&mut writer, codec.as_ref(), &mut frame, &resp)?;
+                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
             }
             Ok(Request::Shutdown) => {
-                send(&mut writer, codec.as_ref(), &mut frame, &Response::Bye)?;
+                send(&mut writer, codec.as_ref(), &mut frame, &Response::Bye, m)?;
                 writer.flush()?;
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
             Ok(Request::Query(q)) => {
                 let res = engine.execute(&q);
+                log_if_slow(opts.slow_query_ms, &q, &res);
                 send(
                     &mut writer,
                     codec.as_ref(),
                     &mut frame,
                     &Response::from_result(None, &res),
+                    m,
                 )?;
             }
             Ok(Request::Batch { n, stream }) => match read_batch(&mut reader, n, stop)? {
@@ -469,6 +523,7 @@ fn serve_connection(
                     codec.as_ref(),
                     &mut frame,
                     &Response::error(&e),
+                    m,
                 )?,
                 Ok(queries) => {
                     if stream {
@@ -479,6 +534,7 @@ fn serve_connection(
                             engine,
                             executor,
                             gate,
+                            opts,
                             &queries,
                         )?;
                     } else {
@@ -488,20 +544,72 @@ fn serve_connection(
                             codec.as_ref(),
                             &mut frame,
                             &Response::BatchHeader { n, stream: false },
+                            m,
                         )?;
-                        for r in &results {
+                        for (q, r) in queries.iter().zip(&results) {
+                            log_if_slow(opts.slow_query_ms, q, r);
                             send(
                                 &mut writer,
                                 codec.as_ref(),
                                 &mut frame,
                                 &Response::from_result(None, r),
+                                m,
                             )?;
                         }
                     }
                 }
             },
         }
+        let _flush = m.recorder().span(&m.flush);
         writer.flush()?;
+    }
+}
+
+/// Renders the slow-query log line for a query that took longer than
+/// `threshold_ms`, or `None` when the log is off, the query failed, or
+/// the query was fast enough. One line per slow query:
+///
+/// ```text
+/// SLOW query dataset=airline alg=bigreedy k=8 total_ms=412.7 cached=false \
+///   cache_lookup_us=1 flight_wait_us=0 warm_probe_us=33 solve_us=412608
+/// ```
+///
+/// The stage breakdown is present only when telemetry is enabled (stage
+/// timings ride on [`QueryResponse::stages`]).
+fn format_slow_query(
+    threshold_ms: Option<u64>,
+    q: &Query,
+    res: &Result<QueryResponse, ServiceError>,
+) -> Option<String> {
+    let threshold = threshold_ms?;
+    let resp = res.as_ref().ok()?;
+    if resp.micros <= threshold.saturating_mul(1000) {
+        return None;
+    }
+    let mut out = format!(
+        "SLOW query dataset={} alg={} k={} total_ms={:.1} cached={}",
+        q.dataset,
+        q.alg,
+        q.k,
+        resp.micros as f64 / 1000.0,
+        resp.cached,
+    );
+    if let Some(st) = &resp.stages {
+        out.push_str(&format!(
+            " cache_lookup_us={} flight_wait_us={} warm_probe_us={} solve_us={}",
+            st.cache_lookup_ns / 1000,
+            st.flight_wait_ns / 1000,
+            st.warm_probe_ns / 1000,
+            st.solve_ns / 1000,
+        ));
+    }
+    Some(out)
+}
+
+/// Prints [`format_slow_query`]'s line to stderr when it applies.
+fn log_if_slow(threshold_ms: Option<u64>, q: &Query, res: &Result<QueryResponse, ServiceError>) {
+    if let Some(line) = format_slow_query(threshold_ms, q, res) {
+        eprintln!("{line}");
     }
 }
 
@@ -511,6 +619,7 @@ fn serve_connection(
 /// flushes one `seq`-tagged frame per query **as the executor completes
 /// it** — first answers reach the client while later queries are still
 /// solving.
+#[allow(clippy::too_many_arguments)]
 fn serve_streamed_batch(
     writer: &mut impl Write,
     codec: &dyn Codec,
@@ -518,14 +627,18 @@ fn serve_streamed_batch(
     engine: &QueryEngine,
     executor: BatchExecutor,
     gate: &StreamGate,
+    opts: &ServeOptions,
     queries: &[Query],
 ) -> std::io::Result<()> {
+    let metrics = Arc::clone(engine.metrics());
+    let m = metrics.as_ref();
     let _permit = match gate.try_acquire() {
         Err(busy) => {
-            return send(writer, codec, frame, &Response::error(&busy));
+            return send(writer, codec, frame, &Response::error(&busy), m);
         }
         Ok(p) => p,
     };
+    let _streams = m.recorder().gauge_guard(&m.streams_active);
     send(
         writer,
         codec,
@@ -534,6 +647,7 @@ fn serve_streamed_batch(
             n: queries.len(),
             stream: true,
         },
+        m,
     )?;
     writer.flush()?;
     // The executor keeps delivering after a write failure (workers are
@@ -541,11 +655,12 @@ fn serve_streamed_batch(
     // and surface it after the batch so the connection closes.
     let mut write_err: Option<std::io::Error> = None;
     executor.execute_streaming(engine, queries, |i, r| {
+        log_if_slow(opts.slow_query_ms, &queries[i], &r);
         if write_err.is_some() {
             return;
         }
         let resp = Response::from_result(Some(i as u64), &r);
-        let attempt = send(&mut *writer, codec, frame, &resp).and_then(|()| writer.flush());
+        let attempt = send(&mut *writer, codec, frame, &resp, m).and_then(|()| writer.flush());
         if let Err(e) = attempt {
             write_err = Some(e);
         }
@@ -684,6 +799,62 @@ mod tests {
         let mut rest = String::new();
         cur.read_line(&mut rest).unwrap();
         assert_eq!(rest.trim(), "STATS");
+    }
+
+    #[test]
+    fn slow_query_log_formats_only_over_threshold() {
+        use crate::engine::{Answer, StageTimings};
+
+        let mut q = Query::new("airline", 8);
+        q.alg = "bigreedy".into();
+        let resp = |micros: u64, stages: Option<StageTimings>| {
+            Ok(QueryResponse {
+                answer: Arc::new(Answer {
+                    indices: vec![1, 2],
+                    mhr: None,
+                    violations: 0,
+                    alg: "BiGreedy".into(),
+                    solve_micros: micros,
+                }),
+                cached: false,
+                micros,
+                stages,
+            })
+        };
+
+        // Off by default: no threshold, no line.
+        assert!(format_slow_query(None, &q, &resp(10_000_000, None)).is_none());
+        // Under threshold: no line.
+        assert!(format_slow_query(Some(100), &q, &resp(99_000, None)).is_none());
+        // Errors never log (there is no timing to report).
+        assert!(format_slow_query(
+            Some(0),
+            &q,
+            &Err(ServiceError::UnknownDataset {
+                name: "airline".into()
+            })
+        )
+        .is_none());
+
+        // Over threshold without telemetry: identity fields only.
+        let line = format_slow_query(Some(100), &q, &resp(412_700, None)).unwrap();
+        assert_eq!(
+            line,
+            "SLOW query dataset=airline alg=bigreedy k=8 total_ms=412.7 cached=false"
+        );
+
+        // With telemetry the per-stage breakdown rides along.
+        let stages = StageTimings {
+            cache_lookup_ns: 1_500,
+            flight_wait_ns: 0,
+            warm_probe_ns: 33_000,
+            solve_ns: 412_608_000,
+        };
+        let line = format_slow_query(Some(100), &q, &resp(412_700, Some(stages))).unwrap();
+        assert!(line.contains("cache_lookup_us=1"), "{line}");
+        assert!(line.contains("flight_wait_us=0"), "{line}");
+        assert!(line.contains("warm_probe_us=33"), "{line}");
+        assert!(line.contains("solve_us=412608"), "{line}");
     }
 
     #[test]

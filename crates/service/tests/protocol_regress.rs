@@ -173,6 +173,7 @@ fn wire_unsafe_query_values_error_instead_of_desyncing() {
         }),
         cached: false,
         micros: 1,
+        stages: None,
     };
     assert!(matches!(
         format_response(&resp),

@@ -347,6 +347,8 @@ fn all_response_variants_agree_across_codecs() {
             warm_hits: 4,
             warm_misses: 2,
             warm_entries: 1,
+            uptime_secs: 77,
+            total_queries: 31,
         },
         Response::Info {
             shards: 4,
@@ -355,6 +357,21 @@ fn all_response_variants_agree_across_codecs() {
             datasets: 1,
             cache_entries: 0,
             warmstart: true,
+            uptime_secs: 5,
+            total_queries: 2,
+        },
+        Response::Metrics {
+            enabled: true,
+            counters: vec![("queries.total".into(), 31), ("conn.active".into(), 1)],
+            histograms: vec![fairhms_service::protocol::WireHistogram {
+                name: "engine.cache_lookup".into(),
+                count: 31,
+                sum: 12_400,
+                p50: 330,
+                p90: 610,
+                p99: 900,
+                max: 1_024,
+            }],
         },
         Response::Shards(8),
         Response::BatchHeader {

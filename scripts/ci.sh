@@ -48,10 +48,25 @@ FAIRHMS_TEST_CODEC=binary cargo test -p fairhms-service -q
 echo "==> service tests, warm-start disabled (FAIRHMS_TEST_WARMSTART=0)"
 FAIRHMS_TEST_WARMSTART=0 cargo test -p fairhms-service -q
 
+# …and once with telemetry disabled: spans and stage accounting must be
+# provably inert — answers are contractually bit-identical with
+# telemetry on or off (see crates/service/tests/telemetry_equivalence.rs).
+echo "==> service tests, telemetry disabled (FAIRHMS_TEST_TELEMETRY=0)"
+FAIRHMS_TEST_TELEMETRY=0 cargo test -p fairhms-service -q
+
 echo "==> bench smoke (service engine + shard prep + wire codecs + warm-start, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench protocol
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench warmstart
+
+# Telemetry bench: asserts the warm-hit overhead budget (<1 µs) and
+# writes the machine-readable service profile.
+echo "==> telemetry bench smoke (overhead budget + BENCH_service.json)"
+FAIRHMS_BENCH_JSON="$PWD/BENCH_service.json" cargo bench -p fairhms-bench --bench telemetry
+python3 -c "import json; d = json.load(open('BENCH_service.json')); \
+assert d['warm_hit_overhead_ns'] < 1000 and d['queries_per_sec'] > 0 \
+and d['metrics']['histograms'], 'BENCH_service.json failed sanity checks'" \
+  || { echo "BENCH_service.json missing or malformed"; exit 1; }
 
 echo "CI OK"

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
+        "metrics" => cmd_metrics(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -71,10 +72,11 @@ USAGE:
   fairhms serve --data NAME=FILE[,NAME=FILE...] [--addr HOST:PORT] [--workers N]
                 [--cache N] [--shards N] [--strategy roundrobin|stratified]
                 [--load-root DIR] [--max-streams N] [--no-warmstart]
-                [--warm-capacity N]
+                [--warm-capacity N] [--no-telemetry] [--slow-query-ms N]
   fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
                 [--balanced] [--no-skyline] [--seed S] | --file FILE [--stream])
                 [--codec text|binary] [--show-stats]
+  fairhms metrics --addr HOST:PORT [--codec text|binary]
 
 ALGORITHMS (for --alg):
   intcov bigreedy bigreedy+ f-greedy g-greedy g-dmm g-hs g-sphere streaming
@@ -89,7 +91,11 @@ concurrent streamed batches (excess answered ERR busy). Near-miss queries
 (same dataset, k and algorithm; different bounds) reuse warm-start state
 (BiGreedy δ-nets, prepared bounds scans) — answers are bit-identical
 either way; --no-warmstart disables the tier and --warm-capacity bounds
-its resident entries. `query` is the
+its resident entries. Per-stage latency histograms are recorded by
+default (answers are bit-identical with telemetry on or off);
+--no-telemetry disables them and --slow-query-ms N logs one structured
+stderr line per query slower than N ms. `metrics` dumps a running
+server's telemetry snapshot via the METRICS verb. `query` is the
 matching client: --codec binary negotiates the v2 length-prefixed framing
 (answers are bit-identical to text), and --file sends a BATCH of QUERY
 lines through the server's thread pool — with --stream the answers are
@@ -107,7 +113,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         match key {
             // boolean flags
-            "balanced" | "no-skyline" | "show-stats" | "stream" | "no-warmstart" => {
+            "balanced" | "no-skyline" | "show-stats" | "stream" | "no-warmstart"
+            | "no-telemetry" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -277,7 +284,28 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .ok_or_else(|| format!("--strategy: expected roundrobin|stratified, got {strat:?}"))?;
     }
 
+    let mut warm = fairhms::service::WarmConfig::from_env();
+    if opts.contains_key("no-warmstart") {
+        warm.enabled = false;
+    }
+    if let Some(n) = num::<usize>(opts, "warm-capacity")? {
+        warm.capacity = n;
+    }
+
+    let mut telemetry = fairhms::service::TelemetryConfig::from_env();
+    if opts.contains_key("no-telemetry") {
+        telemetry.enabled = false;
+    }
+
     let catalog = Arc::new(Catalog::with_config(cfg));
+    // The engine wires the telemetry registry into the catalog, so build
+    // it before loading datasets: initial prep/merge spans are recorded.
+    let engine = Arc::new(QueryEngine::with_config(
+        Arc::clone(&catalog),
+        cache,
+        warm,
+        telemetry,
+    ));
     for spec in specs.split(',').filter(|s| !s.is_empty()) {
         let (name, path) = spec
             .split_once('=')
@@ -315,14 +343,8 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(n) = num::<usize>(opts, "max-streams")? {
         serve_opts.max_stream_batches = n;
     }
-
-    let mut warm = fairhms::service::WarmConfig::from_env();
-    if opts.contains_key("no-warmstart") {
-        warm.enabled = false;
-    }
-    if let Some(n) = num::<usize>(opts, "warm-capacity")? {
-        warm.capacity = n;
-    }
+    serve_opts.telemetry = telemetry;
+    serve_opts.slow_query_ms = num::<u64>(opts, "slow-query-ms")?;
 
     let shards = cfg.shards;
     let strategy = cfg.strategy;
@@ -333,12 +355,16 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         "warm-start off".to_string()
     };
-    let engine = Arc::new(QueryEngine::with_warm_config(catalog, cache, warm));
+    let telemetry_banner = match (telemetry.enabled, serve_opts.slow_query_ms) {
+        (false, _) => ", telemetry off".to_string(),
+        (true, None) => ", telemetry on".to_string(),
+        (true, Some(ms)) => format!(", telemetry on, slow-query log >{ms}ms"),
+    };
     let server = Server::spawn_with(engine, ServerConfig { addr, workers }, serve_opts)
         .map_err(|e| e.to_string())?;
     println!(
         "fairhms-service listening on {} ({} batch workers, cache {} answers, \
-         {} prep shards [{}], {} max streams, {}{})",
+         {} prep shards [{}], {} max streams, {}{}{})",
         server.addr(),
         workers,
         cache,
@@ -346,6 +372,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         strategy,
         max_streams,
         warm_banner,
+        telemetry_banner,
         match &load_root {
             Some(r) => format!(", LOAD root {}", r.display()),
             None => ", LOAD disabled".to_string(),
@@ -476,6 +503,50 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             "server {}",
             encode_response_line(&stats).map_err(|e| e.to_string())?
         );
+    }
+    Ok(())
+}
+
+/// `fairhms metrics`: dump a running server's telemetry snapshot
+/// (per-stage latency histograms + counters) in a human table.
+fn cmd_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fairhms::service::{CodecKind, WireClient};
+
+    let addr = req(opts, "addr")?;
+    let mut client = match opts.get("codec") {
+        None => WireClient::connect(addr),
+        Some(c) => {
+            let kind = CodecKind::parse(c)
+                .ok_or_else(|| format!("--codec: expected text|binary, got {c:?}"))?;
+            WireClient::negotiate(addr, kind)
+        }
+    }
+    .map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let (enabled, counters, histograms) = client.metrics().map_err(|e| e.to_string())?;
+    println!(
+        "telemetry : {}",
+        if enabled { "enabled" } else { "disabled" }
+    );
+    if !counters.is_empty() {
+        println!("counters  :");
+        for (name, v) in &counters {
+            println!("  {name:<24} {v}");
+        }
+    }
+    if histograms.is_empty() {
+        println!("histograms: (none recorded)");
+    } else {
+        println!(
+            "histograms: (nanoseconds){:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "count", "sum", "p50", "p90", "p99", "max"
+        );
+        for h in &histograms {
+            println!(
+                "  {:<24} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                h.name, h.count, h.sum, h.p50, h.p90, h.p99, h.max
+            );
+        }
     }
     Ok(())
 }
