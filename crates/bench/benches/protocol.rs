@@ -92,6 +92,9 @@ fn bench_codecs(c: &mut Criterion) {
             warm_entries: 128,
             uptime_secs: 86_400,
             total_queries: 1_250_000,
+            queue_depth: 3,
+            shed_total: 42,
+            conns_open: 512,
         },
         answer_frame(5, None),
     ];

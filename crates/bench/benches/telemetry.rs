@@ -24,7 +24,10 @@ use rand::SeedableRng;
 
 use fairhms_data::{gen, Dataset};
 use fairhms_obs::json;
-use fairhms_service::{Catalog, Query, QueryEngine, TelemetryConfig, WarmConfig};
+use fairhms_service::{
+    Catalog, FrontendKind, Query, QueryEngine, ServeOptions, Server, ServerConfig, TelemetryConfig,
+    WarmConfig, WireClient,
+};
 
 const DATASET_N: usize = 2_000;
 
@@ -104,6 +107,62 @@ fn run_workload() -> (u64, f64, Arc<QueryEngine>) {
     (queries, t.elapsed().as_secs_f64(), eng)
 }
 
+/// OS threads in this process (`/proc/self/status`; 0 where unavailable).
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:")?.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Idle-connection fan-out on the event front end: opens `connections`
+/// pinged-idle clients against a live server and reports
+/// `(threads_grown, ping_us_under_fanout)` — how many OS threads the
+/// fan-out cost (the loop + worker pool only; idle sockets are poll-set
+/// entries) and the PING round-trip latency through the loaded poll set.
+fn idle_fanout(connections: usize) -> (u64, f64) {
+    let before = thread_count();
+    let server = Server::spawn_with(
+        Arc::new(QueryEngine::new(Arc::new(Catalog::new()), 16)),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+        },
+        ServeOptions {
+            frontend: FrontendKind::Event,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("spawn event server");
+    let mut idle = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut c = WireClient::connect(server.addr()).expect("connect");
+        c.send_line("PING").unwrap();
+        c.recv().unwrap();
+        idle.push(c);
+    }
+    let grown = thread_count().saturating_sub(before);
+
+    const ITERS: u32 = 2_000;
+    let mut probe = WireClient::connect(server.addr()).unwrap();
+    for _ in 0..200 {
+        probe.send_line("PING").unwrap();
+        probe.recv().unwrap();
+    }
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        probe.send_line("PING").unwrap();
+        probe.recv().unwrap();
+    }
+    let ping_us = t.elapsed().as_micros() as f64 / ITERS as f64;
+    drop(idle);
+    server.shutdown();
+    (grown, ping_us)
+}
+
 fn main() {
     let (on_ns, off_ns, overhead_ns) = measure_overhead();
     println!(
@@ -120,6 +179,13 @@ fn main() {
     let pps = qps * DATASET_N as f64;
     println!("workload: {queries} queries in {secs:.3}s ({qps:.0} q/s)");
 
+    const FANOUT_CONNS: usize = 500;
+    let (threads_grown, ping_us) = idle_fanout(FANOUT_CONNS);
+    println!(
+        "idle fan-out: {FANOUT_CONNS} idle connections cost {threads_grown} threads, \
+         ping {ping_us:.1} µs under load"
+    );
+
     let snapshot = eng.metrics().snapshot();
     let out = json::Obj::new()
         .str("bench", "service")
@@ -131,6 +197,14 @@ fn main() {
         .f64("warm_hit_ns_telemetry_on", on_ns)
         .f64("warm_hit_ns_telemetry_off", off_ns)
         .f64("warm_hit_overhead_ns", overhead_ns)
+        .raw(
+            "idle_fanout",
+            &json::Obj::new()
+                .u64("connections", FANOUT_CONNS as u64)
+                .u64("threads_grown", threads_grown)
+                .f64("ping_us_under_fanout", ping_us)
+                .build(),
+        )
         .raw("metrics", &snapshot.to_json())
         .build();
 

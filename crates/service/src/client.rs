@@ -100,6 +100,14 @@ impl WireClient {
     pub fn recv_answer(&mut self) -> Result<WireAnswer, ServiceError> {
         match self.recv()? {
             Response::Answer { answer, .. } => Ok(answer),
+            Response::Busy {
+                retry_after_ms,
+                message,
+                ..
+            } => Err(ServiceError::Busy {
+                reason: message,
+                retry_after_ms,
+            }),
             Response::Error { message, .. } => Err(ServiceError::Protocol(message)),
             other => Err(ServiceError::Protocol(format!(
                 "expected a query answer, got {other:?}"
@@ -179,6 +187,16 @@ impl WireClient {
     ) -> Result<Vec<Result<WireAnswer, ServiceError>>, ServiceError> {
         match self.send_batch(queries, stream)? {
             Response::BatchHeader { n, .. } if n == queries.len() => {}
+            Response::Busy {
+                retry_after_ms,
+                message,
+                ..
+            } => {
+                return Err(ServiceError::Busy {
+                    reason: message,
+                    retry_after_ms,
+                })
+            }
             Response::Error { message, .. } => return Err(ServiceError::Protocol(message)),
             other => {
                 return Err(ServiceError::Protocol(format!(
@@ -191,6 +209,17 @@ impl WireClient {
         for i in 0..queries.len() {
             let (seq, res) = match self.recv()? {
                 Response::Answer { seq, answer } => (seq, Ok(answer)),
+                Response::Busy {
+                    seq,
+                    retry_after_ms,
+                    message,
+                } => (
+                    seq,
+                    Err(ServiceError::Busy {
+                        reason: message,
+                        retry_after_ms,
+                    }),
+                ),
                 Response::Error { seq, message } => (seq, Err(ServiceError::Protocol(message))),
                 other => {
                     return Err(ServiceError::Protocol(format!(

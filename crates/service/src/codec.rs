@@ -156,6 +156,7 @@ mod tag {
     pub const BYE: u8 = 11;
     pub const ERROR: u8 = 12;
     pub const METRICS: u8 = 13;
+    pub const BUSY: u8 = 14;
 }
 
 /// Protocol v2: length-prefixed binary frames (see the module docs for
@@ -343,6 +344,9 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             warm_entries,
             uptime_secs,
             total_queries,
+            queue_depth,
+            shed_total,
+            conns_open,
         } => {
             out.push(tag::STATS);
             put_varint(out, *hits);
@@ -355,6 +359,9 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *warm_entries as u64);
             put_varint(out, *uptime_secs);
             put_varint(out, *total_queries);
+            put_varint(out, *queue_depth);
+            put_varint(out, *shed_total);
+            put_varint(out, *conns_open);
         }
         Response::Info {
             shards,
@@ -442,6 +449,16 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *skyline as u64);
         }
         Response::Bye => out.push(tag::BYE),
+        Response::Busy {
+            seq,
+            retry_after_ms,
+            message,
+        } => {
+            out.push(tag::BUSY);
+            put_opt_varint(out, *seq);
+            put_varint(out, *retry_after_ms);
+            put_str(out, message);
+        }
         Response::Error { seq, message } => {
             out.push(tag::ERROR);
             put_opt_varint(out, *seq);
@@ -493,6 +510,17 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
             } else {
                 (r.varint("uptime_secs")?, r.varint("total_queries")?)
             };
+            // Third appended tier (admission control): gauges default to
+            // 0 when the peer predates them.
+            let (queue_depth, shed_total, conns_open) = if r.at_end() {
+                (0, 0, 0)
+            } else {
+                (
+                    r.varint("queue_depth")?,
+                    r.varint("shed_total")?,
+                    r.varint("conns_open")?,
+                )
+            };
             Response::Stats {
                 hits,
                 misses,
@@ -504,6 +532,9 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
                 warm_entries,
                 uptime_secs,
                 total_queries,
+                queue_depth,
+                shed_total,
+                conns_open,
             }
         }
         tag::INFO => {
@@ -584,6 +615,11 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
             skyline: r.usize("skyline")?,
         },
         tag::BYE => Response::Bye,
+        tag::BUSY => Response::Busy {
+            seq: r.opt_varint("seq")?,
+            retry_after_ms: r.varint("retry_after_ms")?,
+            message: r.str("message")?,
+        },
         tag::ERROR => Response::Error {
             seq: r.opt_varint("seq")?,
             message: r.str("message")?,
@@ -708,6 +744,9 @@ mod tests {
                 warm_entries: 2,
                 uptime_secs: 3600,
                 total_queries: 42,
+                queue_depth: 6,
+                shed_total: 11,
+                conns_open: 3,
             },
             Response::Info {
                 shards: 4,
@@ -790,6 +829,16 @@ mod tests {
             Response::Error {
                 seq: None,
                 message: "unknown verb \"FROB\"".into(),
+            },
+            Response::Busy {
+                seq: None,
+                retry_after_ms: 24,
+                message: "solve queue full (depth 256)".into(),
+            },
+            Response::Busy {
+                seq: Some(5),
+                retry_after_ms: 1,
+                message: "queue deadline exceeded".into(),
             },
         ]
     }
@@ -1018,6 +1067,42 @@ mod tests {
         bad.push(1);
         put_varint(&mut bad, 100); // uptime_secs present, total_queries missing
         assert!(decode_binary_payload(&bad).is_err());
+    }
+
+    #[test]
+    fn pre_admission_binary_frames_still_decode() {
+        // Peers from the telemetry era emit the uptime/total tier but
+        // end before the admission gauges; all three default to 0.
+        let mut payload = vec![tag::STATS];
+        put_varint(&mut payload, 2); // hits
+        put_varint(&mut payload, 1); // misses
+        put_varint(&mut payload, 1); // entries
+        put_varint(&mut payload, 0); // evictions
+        payload.extend_from_slice(&(2.0f64 / 3.0).to_bits().to_le_bytes());
+        put_varint(&mut payload, 7); // warm_hits
+        put_varint(&mut payload, 3); // warm_misses
+        put_varint(&mut payload, 2); // warm_entries
+        put_varint(&mut payload, 60); // uptime_secs
+        put_varint(&mut payload, 9); // total_queries
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Stats {
+                total_queries,
+                queue_depth,
+                shed_total,
+                conns_open,
+                ..
+            } => assert_eq!(
+                (total_queries, queue_depth, shed_total, conns_open),
+                (9, 0, 0, 0)
+            ),
+            other => panic!("{other:?}"),
+        }
+
+        // A partially appended admission tier is corruption, same as the
+        // warm-start and telemetry tiers before it.
+        put_varint(&mut payload, 4); // queue_depth present…
+        put_varint(&mut payload, 2); // …shed_total present, conns_open missing
+        assert!(decode_binary_payload(&payload).is_err());
     }
 
     #[test]

@@ -108,6 +108,22 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// Feeds the wall-clock duration of one [`QueryEngine::execute`] call
+/// into the always-on execute-time EWMA on drop — every outcome counts
+/// (hits, cold solves, errors), because each occupies a worker for that
+/// long and the EWMA exists to price `retry_after_ms` back-off advice.
+struct ExecTimeNote<'a> {
+    metrics: &'a ServiceMetrics,
+    t: Instant,
+}
+
+impl Drop for ExecTimeNote<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .note_execute_micros(self.t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    }
+}
+
 impl QueryEngine {
     /// An engine over `catalog` with a solution cache of `cache_capacity`
     /// answers and the warm-start tier configured from the environment
@@ -210,6 +226,10 @@ impl QueryEngine {
     pub fn execute(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
         let t = Instant::now();
         self.metrics.total_queries.inc();
+        let _exec_note = ExecTimeNote {
+            metrics: &self.metrics,
+            t,
+        };
         let rec = self.metrics.recorder();
         let mut stages = StageTimings::default();
         let q = query.canonicalized();

@@ -7,13 +7,24 @@
 //! count and OS scheduling affect only wall-clock time, never payloads
 //! (each query's answer is solved from a per-query seed, not from shared
 //! RNG state).
+//!
+//! The event front end adds a second execution shape: a **bounded,
+//! long-lived** `SolveQueue` drained by a resident `WorkerPool`,
+//! instead of per-batch scoped threads. The bound is the admission-control
+//! backstop — when the queue is full the server sheds with `ERR busy`
+//! rather than buffering without limit — and workers apply the optional
+//! queue *deadline*: a job that sat queued longer than the client would
+//! plausibly wait is shed at dequeue time instead of wasting a solve.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::engine::{QueryEngine, QueryResponse};
+use crate::metrics::ServiceMetrics;
 use crate::query::Query;
+use crate::reactor::Waker;
 use crate::ServiceError;
 
 /// Executes `queries[i]`, recording `executor.queue_wait` (submission →
@@ -165,6 +176,199 @@ impl BatchExecutor {
     }
 }
 
+/// One solve admitted into the global queue, addressed back to its
+/// connection by `(conn slot, generation, ticket)` — the generation
+/// guards against a slot being reused by a new connection while an old
+/// job is still in flight.
+#[derive(Debug)]
+pub(crate) struct SolveJob {
+    /// Connection slab slot.
+    pub conn: usize,
+    /// Slot generation at enqueue time.
+    pub generation: u64,
+    /// Per-connection response-order ticket.
+    pub ticket: u64,
+    /// Index within the owning batch (`None` for single queries).
+    pub batch_index: Option<usize>,
+    /// The query to solve.
+    pub query: Box<Query>,
+    /// When the job entered the queue (deadline shedding + queue_wait).
+    pub enqueued: Instant,
+}
+
+/// A completed (or deadline-shed) solve, routed back to the event loop.
+#[derive(Debug)]
+pub(crate) struct SolveDone {
+    /// Connection slab slot.
+    pub conn: usize,
+    /// Slot generation at enqueue time.
+    pub generation: u64,
+    /// Per-connection response-order ticket.
+    pub ticket: u64,
+    /// Index within the owning batch (`None` for single queries).
+    pub batch_index: Option<usize>,
+    /// The query (carried through so the loop can log slow solves).
+    pub query: Box<Query>,
+    /// The outcome.
+    pub result: Result<QueryResponse, ServiceError>,
+}
+
+struct QueueState {
+    jobs: VecDeque<SolveJob>,
+    closed: bool,
+}
+
+/// The bounded global solve queue between the event loop and the
+/// `WorkerPool`. `try_push` never blocks — a full (or closed) queue
+/// hands the job back so the caller sheds it — and the queue maintains
+/// the `queue.depth` gauge itself, so STATS and the shed tests see an
+/// exact depth, not an approximation.
+pub(crate) struct SolveQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl SolveQueue {
+    /// A queue admitting at most `cap` waiting jobs (0 sheds everything —
+    /// the deterministic-overload test hook).
+    pub fn new(cap: usize, metrics: Arc<ServiceMetrics>) -> Arc<SolveQueue> {
+        Arc::new(SolveQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+            metrics,
+        })
+    }
+
+    /// Admits `job`, or hands it back when the queue is full or closed.
+    pub fn try_push(&self, job: SolveJob) -> Result<(), SolveJob> {
+        let mut st = self.state.lock().expect("solve queue poisoned");
+        if st.closed || st.jobs.len() >= self.cap {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        self.metrics.queue_depth.inc();
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// drained (the worker's exit signal).
+    pub fn pop(&self) -> Option<SolveJob> {
+        let mut st = self.state.lock().expect("solve queue poisoned");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                self.metrics.queue_depth.dec();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("solve queue poisoned");
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("solve queue poisoned").jobs.len()
+    }
+
+    /// Stops admission and wakes every blocked worker; queued jobs still
+    /// drain before workers exit.
+    pub fn close(&self) {
+        self.state.lock().expect("solve queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The resident worker threads draining a `SolveQueue`. Each completed
+/// solve is sent over the `done` channel and followed by a [`Waker`]
+/// kick, so the event loop learns about it immediately instead of on its
+/// next timeout.
+pub(crate) struct WorkerPool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads. `deadline_ms` is the queue-time budget:
+    /// a job dequeued after sitting longer is shed (typed busy error
+    /// carrying retry advice) instead of solved.
+    pub fn spawn(
+        workers: usize,
+        engine: Arc<QueryEngine>,
+        queue: Arc<SolveQueue>,
+        done: mpsc::Sender<SolveDone>,
+        waker: Waker,
+        deadline_ms: Option<u64>,
+    ) -> WorkerPool {
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let queue = Arc::clone(&queue);
+                let done = done.clone();
+                let waker = waker.clone();
+                std::thread::Builder::new()
+                    .name(format!("fairhms-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let m = engine.metrics();
+                            let waited = job.enqueued.elapsed();
+                            if m.enabled() {
+                                m.queue_wait
+                                    .record(waited.as_nanos().min(u64::MAX as u128) as u64);
+                            }
+                            let result = match deadline_ms {
+                                Some(d) if waited.as_millis() > u128::from(d) => {
+                                    m.shed_total.inc();
+                                    Err(ServiceError::Busy {
+                                        reason: format!(
+                                            "queue deadline exceeded ({} ms queued, budget {d} ms)",
+                                            waited.as_millis()
+                                        ),
+                                        retry_after_ms: m.retry_after_ms(queue.depth(), workers),
+                                    })
+                                }
+                                _ => {
+                                    let _run = m.recorder().span(&m.run);
+                                    engine.execute(&job.query)
+                                }
+                            };
+                            let out = SolveDone {
+                                conn: job.conn,
+                                generation: job.generation,
+                                ticket: job.ticket,
+                                batch_index: job.batch_index,
+                                query: job.query,
+                                result,
+                            };
+                            if done.send(out).is_err() {
+                                break; // event loop gone; nothing to report to
+                            }
+                            waker.wake();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit. Call [`SolveQueue::close`] first,
+    /// or this blocks forever.
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +464,101 @@ mod tests {
         assert!(BatchExecutor::default()
             .execute_all(&engine(), &[])
             .is_empty());
+    }
+
+    fn job(ticket: u64) -> SolveJob {
+        SolveJob {
+            conn: 0,
+            generation: 1,
+            ticket,
+            batch_index: None,
+            query: Box::new(Query::new("toy", 2)),
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn solve_queue_bounds_admission_and_tracks_the_depth_gauge() {
+        let m = Arc::new(ServiceMetrics::new(false));
+        let q = SolveQueue::new(2, Arc::clone(&m));
+        assert!(q.try_push(job(0)).is_ok());
+        assert!(q.try_push(job(1)).is_ok());
+        let bounced = q.try_push(job(2));
+        assert!(bounced.is_err(), "third push must bounce off the bound");
+        assert_eq!(bounced.unwrap_err().ticket, 2, "the job is handed back");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(m.queue_depth.get(), 2);
+        assert_eq!(q.pop().unwrap().ticket, 0);
+        assert_eq!(m.queue_depth.get(), 1);
+        // Closing stops admission but drains what is queued.
+        q.close();
+        assert!(q.try_push(job(3)).is_err());
+        assert_eq!(q.pop().unwrap().ticket, 1);
+        assert!(q.pop().is_none(), "closed + drained pops None");
+        assert_eq!(m.queue_depth.get(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything() {
+        let m = Arc::new(ServiceMetrics::new(false));
+        let q = SolveQueue::new(0, m);
+        assert!(q.try_push(job(0)).is_err());
+    }
+
+    #[test]
+    fn worker_pool_drains_the_queue_and_wakes_per_completion() {
+        let eng = Arc::new(engine());
+        let m = Arc::clone(eng.metrics());
+        let queue = SolveQueue::new(64, m);
+        let (pipe, waker) = crate::reactor::wake_pair().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(3, Arc::clone(&eng), Arc::clone(&queue), tx, waker, None);
+        assert_eq!(pool.handles.len(), 3);
+        for t in 0..8 {
+            queue.try_push(job(t)).unwrap();
+        }
+        let mut done: Vec<SolveDone> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        done.sort_by_key(|d| d.ticket);
+        for (t, d) in done.iter().enumerate() {
+            assert_eq!(d.ticket, t as u64);
+            assert!(d.result.is_ok(), "{:?}", d.result);
+        }
+        // Completions pinged the wake pipe (coalesced ≥ 1 byte pending).
+        let mut fds = [crate::reactor::PollFd::new(
+            pipe.fd(),
+            crate::reactor::POLLIN,
+        )];
+        assert_eq!(crate::reactor::poll(&mut fds, 1_000).unwrap(), 1);
+        queue.close();
+        pool.join();
+    }
+
+    #[test]
+    fn worker_pool_sheds_jobs_past_the_queue_deadline() {
+        let eng = Arc::new(engine());
+        let m = Arc::clone(eng.metrics());
+        let queue = SolveQueue::new(64, Arc::clone(&m));
+        // A job that already sat "queued" for 50 ms against a 1 ms budget.
+        let mut stale = job(0);
+        stale.enqueued = Instant::now() - std::time::Duration::from_millis(50);
+        queue.try_push(stale).unwrap();
+        let (_pipe, waker) = crate::reactor::wake_pair().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(1, eng, Arc::clone(&queue), tx, waker, Some(1));
+        let d = rx.recv().unwrap();
+        match &d.result {
+            Err(ServiceError::Busy {
+                reason,
+                retry_after_ms,
+            }) => {
+                assert!(reason.contains("deadline"), "{reason}");
+                assert!(*retry_after_ms >= 1);
+            }
+            other => panic!("expected a deadline shed, got {other:?}"),
+        }
+        assert_eq!(m.shed_total.get(), 1);
+        queue.close();
+        pool.join();
     }
 
     #[test]

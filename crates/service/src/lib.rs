@@ -34,8 +34,15 @@
 //!   `HELLO`;
 //! * [`client`] — [`WireClient`], the typed client the CLI and test
 //!   suites share;
-//! * [`server`] — a std-only TCP front end (`fairhms serve`) with
-//!   streamed batch delivery and the `LOAD` admin verb.
+//! * [`reactor`] — a thin std-only wrapper over `poll(2)` plus a
+//!   self-pipe [`reactor::Waker`], the readiness layer under the event
+//!   front end;
+//! * [`server`] — the TCP front ends (`fairhms serve`): the classic
+//!   thread-per-connection loop and the event-driven multiplexer
+//!   (selected by [`FrontendKind`]), with streamed batch delivery,
+//!   admission control (bounded solve queue, per-connection quotas,
+//!   deadline shedding with `retry_after_ms`), and the `LOAD` admin
+//!   verb.
 //!
 //! ```
 //! use fairhms_service::{Catalog, Query, QueryEngine};
@@ -62,10 +69,12 @@ pub mod catalog;
 pub mod client;
 pub mod codec;
 pub mod engine;
+mod event;
 pub mod executor;
 pub mod metrics;
 pub mod protocol;
 pub mod query;
+pub mod reactor;
 pub mod server;
 pub mod warmstart;
 
@@ -78,7 +87,7 @@ pub use executor::BatchExecutor;
 pub use metrics::{MetricsSnapshot, ServiceMetrics, TelemetryConfig};
 pub use protocol::{Request, Response, WireAnswer, WireHistogram};
 pub use query::Query;
-pub use server::{ServeOptions, Server, ServerConfig};
+pub use server::{FrontendKind, ServeOptions, Server, ServerConfig};
 pub use warmstart::{WarmConfig, WarmEntry, WarmKey, WarmStartCache, WarmStats};
 
 use fairhms_core::types::CoreError;
@@ -98,14 +107,16 @@ pub enum ServiceError {
     Core(CoreError),
     /// A wire request could not be parsed.
     Protocol(String),
-    /// The server is shedding load: too many streamed batches in flight
-    /// (the first concrete admission-control backstop; see
-    /// [`server::ServeOptions::max_stream_batches`]).
+    /// The server is shedding load: an admission-control bound was hit
+    /// (stream gate, solve queue, per-connection quota, or queue
+    /// deadline — see [`server::ServeOptions`]). Carries the server's
+    /// retry advice so well-behaved clients can back off precisely.
     Busy {
-        /// Streamed batches currently in flight server-wide.
-        active: usize,
-        /// Configured cap.
-        limit: usize,
+        /// Which bound shed the request, e.g.
+        /// `"8 streamed batches in flight (limit 8)"`.
+        reason: String,
+        /// Suggested client back-off in milliseconds (≥ 1).
+        retry_after_ms: u64,
     },
     /// Socket / filesystem failure (message-only; `io::Error` is not
     /// `Clone`).
@@ -121,10 +132,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Dataset(m) => write!(f, "dataset error: {m}"),
             ServiceError::Core(e) => write!(f, "solver error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ServiceError::Busy { active, limit } => write!(
-                f,
-                "busy: {active} streamed batches in flight (limit {limit})"
-            ),
+            ServiceError::Busy {
+                reason,
+                retry_after_ms,
+            } => write!(f, "busy: {reason} (retry after {retry_after_ms} ms)"),
             ServiceError::Io(m) => write!(f, "io error: {m}"),
         }
     }

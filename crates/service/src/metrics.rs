@@ -25,8 +25,11 @@
 //! | `executor.run` | executor | worker executing one batch query |
 //!
 //! Gauges: `conn.active` (open connections), `streams.active` (streamed
-//! batches in flight). Counter: `queries.total` (engine executions —
-//! recorded even when telemetry is disabled, because `STATS` reports it).
+//! batches in flight), `queue.depth` (solves waiting in the bounded
+//! queue). Counters: `queries.total` (engine executions) and
+//! `shed.total` (requests refused by admission control). The admission
+//! instruments and `queries.total` record even when telemetry is
+//! disabled, because `STATS` reports them.
 //!
 //! Telemetry is gated by [`TelemetryConfig`]: when disabled, spans never
 //! read the clock (a single branch per span site) and answers are
@@ -107,6 +110,16 @@ pub struct ServiceMetrics {
     /// `queries.total` — engine executions. Always recorded (STATS
     /// reports it even with telemetry off).
     pub total_queries: Counter,
+    /// `queue.depth` — solves waiting in the bounded global queue.
+    /// Always recorded (STATS reports it even with telemetry off).
+    pub queue_depth: Gauge,
+    /// `shed.total` — requests refused by admission control (`ERR busy`).
+    /// Always recorded (STATS reports it even with telemetry off).
+    pub shed_total: Counter,
+    /// Exponential moving average of `engine.execute` wall time in
+    /// microseconds (α = 1/8), always on: the basis for the
+    /// `retry_after_ms` advice carried by shed responses.
+    avg_execute_us: std::sync::atomic::AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -133,6 +146,9 @@ impl ServiceMetrics {
             conn_active: Gauge::new(),
             streams_active: Gauge::new(),
             total_queries: Counter::new(),
+            queue_depth: Gauge::new(),
+            shed_total: Counter::new(),
+            avg_execute_us: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -192,7 +208,41 @@ impl ServiceMetrics {
                 self.streams_active.get().max(0) as u64,
             ),
             ("queries.total".into(), self.total_queries.get()),
+            ("queue.depth".into(), self.queue_depth.get().max(0) as u64),
+            ("shed.total".into(), self.shed_total.get()),
         ]
+    }
+
+    /// Folds one `engine.execute` wall time into the always-on EWMA that
+    /// backs [`ServiceMetrics::retry_after_ms`]. One atomic store per
+    /// query; never gated by telemetry (shed advice must work with
+    /// telemetry off).
+    pub fn note_execute_micros(&self, micros: u64) {
+        use std::sync::atomic::Ordering;
+        let prev = self.avg_execute_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            micros.max(1)
+        } else {
+            ((prev * 7 + micros) / 8).max(1)
+        };
+        self.avg_execute_us.store(next, Ordering::Relaxed);
+    }
+
+    /// The current `engine.execute` EWMA in microseconds (0 until the
+    /// first query completes).
+    pub fn avg_execute_micros(&self) -> u64 {
+        self.avg_execute_us
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Back-off advice for a shed response: roughly how long the work
+    /// already admitted ahead of the client will take to drain
+    /// (`(queued / workers + 1) × avg execute time`), clamped to
+    /// `[1 ms, 30 s]` so the advice is always positive and never absurd.
+    pub fn retry_after_ms(&self, queued: usize, workers: usize) -> u64 {
+        let avg_us = self.avg_execute_micros().max(1);
+        let rounds = (queued as u64) / (workers.max(1) as u64) + 1;
+        (rounds.saturating_mul(avg_us) / 1000).clamp(1, 30_000)
     }
 
     /// Point-in-time export of every **non-empty** histogram plus all
@@ -308,6 +358,30 @@ mod tests {
             .counters
             .iter()
             .any(|(n, v)| n == "queries.total" && *v == 1));
+    }
+
+    #[test]
+    fn retry_advice_tracks_the_execute_ewma_and_stays_clamped() {
+        let m = ServiceMetrics::new(false);
+        // No observations yet: advice still ≥ 1 ms.
+        assert_eq!(m.retry_after_ms(0, 4), 1);
+        m.note_execute_micros(8_000); // first sample seeds the EWMA
+        assert_eq!(m.avg_execute_micros(), 8_000);
+        m.note_execute_micros(8_000);
+        assert_eq!(m.avg_execute_micros(), 8_000);
+        // 8 ms per solve, 8 queued over 4 workers → 3 rounds → 24 ms.
+        assert_eq!(m.retry_after_ms(8, 4), 24);
+        // Advice is clamped to 30 s even under absurd backlogs.
+        m.note_execute_micros(u64::MAX / 16);
+        assert_eq!(m.retry_after_ms(1_000_000, 1), 30_000);
+        // Admission instruments record with telemetry disabled.
+        m.shed_total.inc();
+        for _ in 0..3 {
+            m.queue_depth.inc();
+        }
+        let c = m.counters();
+        assert!(c.iter().any(|(n, v)| n == "shed.total" && *v == 1));
+        assert!(c.iter().any(|(n, v)| n == "queue.depth" && *v == 3));
     }
 
     #[test]

@@ -151,6 +151,17 @@ pub enum Response {
         /// Queries executed by the engine since start (decoding
         /// tolerates absence, defaulting to 0).
         total_queries: u64,
+        /// Solves waiting in the bounded admission queue right now
+        /// (0 on the threaded front end, which has no global queue).
+        /// Decoding tolerates absence — pre-admission-control
+        /// transcripts parse with 0, like the tiers before it.
+        queue_depth: u64,
+        /// Requests refused by admission control since start
+        /// (absence-tolerant, defaulting to 0).
+        shed_total: u64,
+        /// Connections currently open (absence-tolerant, defaulting
+        /// to 0).
+        conns_open: u64,
     },
     /// `INFO` reply: server configuration.
     Info {
@@ -219,6 +230,18 @@ pub enum Response {
     },
     /// `SHUTDOWN` acknowledgment.
     Bye,
+    /// Admission control refused the request (`ERR busy …` on the text
+    /// wire). A distinguished error shape so the server's back-off
+    /// advice travels typed; v1 text clients that don't know it still
+    /// see a regular `ERR` line.
+    Busy {
+        /// Request index within a streamed batch, if any.
+        seq: Option<u64>,
+        /// Suggested client back-off in milliseconds (≥ 1).
+        retry_after_ms: u64,
+        /// Which bound shed the request (newline-free).
+        message: String,
+    },
     /// Any failure; `seq` is set only for per-query failures inside a
     /// streamed batch.
     Error {
@@ -238,11 +261,22 @@ impl Response {
     }
 
     /// Like [`Response::error`], tagged with a streamed-batch sequence
-    /// number.
+    /// number. [`ServiceError::Busy`] maps to the distinguished
+    /// [`Response::Busy`] shape so the retry advice travels typed.
     pub fn error_at(seq: Option<u64>, e: &ServiceError) -> Response {
-        Response::Error {
-            seq,
-            message: e.to_string().replace(['\n', '\r'], " "),
+        match e {
+            ServiceError::Busy {
+                reason,
+                retry_after_ms,
+            } => Response::Busy {
+                seq,
+                retry_after_ms: *retry_after_ms,
+                message: reason.replace(['\n', '\r'], " "),
+            },
+            _ => Response::Error {
+                seq,
+                message: e.to_string().replace(['\n', '\r'], " "),
+            },
         }
     }
 
@@ -621,10 +655,14 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             warm_entries,
             uptime_secs,
             total_queries,
+            queue_depth,
+            shed_total,
+            conns_open,
         } => format!(
             "OK hits={hits} misses={misses} entries={entries} evictions={evictions} \
              hit_rate={hit_rate} warm_hits={warm_hits} warm_misses={warm_misses} \
-             warm_entries={warm_entries} uptime_secs={uptime_secs} total_queries={total_queries}"
+             warm_entries={warm_entries} uptime_secs={uptime_secs} total_queries={total_queries} \
+             queue_depth={queue_depth} shed_total={shed_total} conns_open={conns_open}"
         ),
         Response::Info {
             shards,
@@ -690,6 +728,23 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             format!("OK loaded name={name} n={rows} d={dim} groups={groups} skyline={skyline}")
         }
         Response::Bye => "OK bye".to_string(),
+        Response::Busy {
+            seq,
+            retry_after_ms,
+            message,
+        } => {
+            if message.contains(['\n', '\r']) {
+                return Err(ServiceError::Protocol(
+                    "busy message contains a newline (not wire-safe)".into(),
+                ));
+            }
+            // Old clients parse this as a regular ERR line; new ones
+            // recognize the `busy retry_after_ms=` marker.
+            match seq {
+                None => format!("ERR busy retry_after_ms={retry_after_ms} {message}"),
+                Some(s) => format!("ERR seq={s} busy retry_after_ms={retry_after_ms} {message}"),
+            }
+        }
         Response::Error { seq, message } => {
             if message.contains(['\n', '\r']) {
                 return Err(ServiceError::Protocol(
@@ -794,19 +849,35 @@ fn flag_or(
 pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
     if let Some(body) = line.strip_prefix("ERR ") {
         // An optional leading seq=N token tags streamed per-query errors.
-        if let Some(rest) = body.strip_prefix("seq=") {
-            if let Some((seq, msg)) = rest.split_once(' ') {
-                if let Ok(seq) = seq.parse::<u64>() {
-                    return Ok(Response::Error {
-                        seq: Some(seq),
+        // A seq= prefix that does not parse falls back to being part of
+        // the message — exactly the historical behavior.
+        let (seq, rest) = match body.strip_prefix("seq=") {
+            Some(tail) => match tail.split_once(' ') {
+                Some((s, msg)) => match s.parse::<u64>() {
+                    Ok(s) => (Some(s), msg),
+                    Err(_) => (None, body),
+                },
+                None => (None, body),
+            },
+            None => (None, body),
+        };
+        // The admission-control shed marker; anything else (including a
+        // malformed retry value) stays a plain error, so pre-admission
+        // transcripts decode unchanged.
+        if let Some(tail) = rest.strip_prefix("busy retry_after_ms=") {
+            if let Some((ms, msg)) = tail.split_once(' ') {
+                if let Ok(retry_after_ms) = ms.parse::<u64>() {
+                    return Ok(Response::Busy {
+                        seq,
+                        retry_after_ms,
                         message: msg.to_string(),
                     });
                 }
             }
         }
         return Ok(Response::Error {
-            seq: None,
-            message: body.to_string(),
+            seq,
+            message: rest.to_string(),
         });
     }
     let Some(body) = line.strip_prefix("OK ") else {
@@ -899,6 +970,9 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     warm_entries: field_or(&m, "warm_entries", 0)?,
                     uptime_secs: field_or(&m, "uptime_secs", 0)?,
                     total_queries: field_or(&m, "total_queries", 0)?,
+                    queue_depth: field_or(&m, "queue_depth", 0)?,
+                    shed_total: field_or(&m, "shed_total", 0)?,
+                    conns_open: field_or(&m, "conns_open", 0)?,
                 })
             }
             Some(("shards", v)) if tokens.len() == 1 => {
@@ -949,6 +1023,14 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
 pub fn parse_response(line: &str) -> Result<WireAnswer, ServiceError> {
     match decode_response_line(line)? {
         Response::Answer { answer, .. } => Ok(answer),
+        Response::Busy {
+            retry_after_ms,
+            message,
+            ..
+        } => Err(ServiceError::Busy {
+            reason: message,
+            retry_after_ms,
+        }),
         Response::Error { message, .. } => Err(ServiceError::Protocol(message)),
         other => Err(ServiceError::Protocol(format!(
             "expected a query answer, got {other:?}"
@@ -1178,6 +1260,53 @@ mod tests {
     }
 
     #[test]
+    fn pre_admission_stats_lines_and_busy_markers_decode_compatibly() {
+        // Transcripts captured before admission control lack the
+        // queue_depth/shed_total/conns_open fields: they decode with
+        // zero defaults, exactly like the warm-start and telemetry
+        // tiers before them.
+        match decode_response_line(
+            "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.5 \
+             warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3",
+        )
+        .unwrap()
+        {
+            Response::Stats {
+                queue_depth,
+                shed_total,
+                conns_open,
+                ..
+            } => assert_eq!((queue_depth, shed_total, conns_open), (0, 0, 0)),
+            other => panic!("{other:?}"),
+        }
+        // A message that merely *starts* like the busy marker but has a
+        // malformed retry value stays a plain error (pre-admission
+        // transcripts decode unchanged).
+        match decode_response_line("ERR busy retry_after_ms=soon overloaded").unwrap() {
+            Response::Error { seq: None, message } => {
+                assert_eq!(message, "busy retry_after_ms=soon overloaded");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The historical v1 busy rendering (no marker) is a plain error.
+        match decode_response_line("ERR busy: 8 streamed batches in flight (limit 8)").unwrap() {
+            Response::Error { seq: None, message } => {
+                assert!(message.starts_with("busy: "));
+            }
+            other => panic!("{other:?}"),
+        }
+        // parse_response surfaces a typed ServiceError::Busy to v1-style
+        // clients of the line decoder.
+        assert!(matches!(
+            parse_response("ERR busy retry_after_ms=24 solve queue full"),
+            Err(ServiceError::Busy {
+                retry_after_ms: 24,
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn wire_unsafe_query_fields_error_instead_of_desync() {
         let mut q = Query::new("toy", 2);
         q.alg = "bigreedy cached=true".into(); // crafted: would inject a field
@@ -1288,7 +1417,8 @@ mod tests {
             ),
             (
                 "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666 \
-                 warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3",
+                 warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3 \
+                 queue_depth=2 shed_total=5 conns_open=7",
                 Response::Stats {
                     hits: 2,
                     misses: 1,
@@ -1300,6 +1430,9 @@ mod tests {
                     warm_entries: 1,
                     uptime_secs: 12,
                     total_queries: 3,
+                    queue_depth: 2,
+                    shed_total: 5,
+                    conns_open: 7,
                 },
             ),
             (
@@ -1393,6 +1526,22 @@ mod tests {
                 Response::Error {
                     seq: Some(2),
                     message: "solver error: k must be positive".into(),
+                },
+            ),
+            (
+                "ERR busy retry_after_ms=24 solve queue full (depth 256)",
+                Response::Busy {
+                    seq: None,
+                    retry_after_ms: 24,
+                    message: "solve queue full (depth 256)".into(),
+                },
+            ),
+            (
+                "ERR seq=3 busy retry_after_ms=1 queue deadline exceeded",
+                Response::Busy {
+                    seq: Some(3),
+                    retry_after_ms: 1,
+                    message: "queue deadline exceeded".into(),
                 },
             ),
         ] {

@@ -1,15 +1,33 @@
-//! Std-only TCP front end.
+//! Std-only TCP front ends.
 //!
-//! One thread per connection (client counts are small; the expensive work
-//! is the solves, which the engine already coalesces and caches), reading
-//! newline-delimited requests and answering with typed
-//! [`Response`] frames through the connection's negotiated
-//! [`Codec`] — v1 text until a `HELLO version=2 codec=binary` handshake
-//! swaps in binary framing. `BATCH n` requests fan out over the server's
-//! [`BatchExecutor`]; `BATCH n stream=true` delivers each answer as it
-//! completes (`seq`-tagged), bounded by a [`ServeOptions::max_stream_batches`]
-//! admission gate that sheds excess load with `ERR busy`. No async
-//! runtime, no external protocol dependencies.
+//! Two selectable serving strategies ([`FrontendKind`]) share one
+//! protocol implementation and are contractually bit-identical on the
+//! wire (pinned by `tests/frontend_equivalence.rs`):
+//!
+//! * **Threaded** — one thread per connection (the historical default),
+//!   reading newline-delimited requests and answering with typed
+//!   [`Response`] frames through the connection's negotiated [`Codec`].
+//!   `BATCH n` requests fan out over the server's [`BatchExecutor`];
+//!   idle connections cost a blocked thread each, woken every 200 ms to
+//!   check the stop flag.
+//! * **Event** — a readiness-driven multiplexer (`crate::event`, built
+//!   on [`crate::reactor`]): one loop thread owns every socket via
+//!   `poll(2)`, per-connection state machines pump the codec
+//!   incrementally, and solves run on a resident
+//!   `executor::WorkerPool` behind a **bounded**
+//!   `executor::SolveQueue`. Idle connections cost a poll-set
+//!   entry, not a thread, and shutdown is immediate (self-pipe wake, no
+//!   timeout spin).
+//!
+//! Admission control spans both: the [`ServeOptions::max_stream_batches`]
+//! gate bounds concurrently streaming batches everywhere, and the event
+//! front end adds per-connection quotas
+//! ([`ServeOptions::max_inflight_queries`],
+//! [`ServeOptions::max_conn_batches`]), a connection cap
+//! ([`ServeOptions::max_conns`]), and queue bounds
+//! ([`ServeOptions::queue_depth`], [`ServeOptions::queue_deadline_ms`]).
+//! Every shed answers `ERR busy` carrying `retry_after_ms` back-off
+//! advice. No async runtime, no external protocol dependencies.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,7 +45,52 @@ use crate::executor::BatchExecutor;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{self, Request, Response};
 use crate::query::Query;
+use crate::reactor::Waker;
 use crate::ServiceError;
+
+/// Which serving strategy `fairhms serve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendKind {
+    /// One OS thread per connection (the historical default).
+    #[default]
+    Threaded,
+    /// One `poll(2)` event loop plus a resident solve worker pool.
+    Event,
+}
+
+impl FrontendKind {
+    /// Parses a front-end name as given to `serve --frontend <name>`.
+    pub fn parse(s: &str) -> Option<FrontendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" | "thread" => Some(FrontendKind::Threaded),
+            "event" => Some(FrontendKind::Event),
+            _ => None,
+        }
+    }
+
+    /// The front end test hooks select via `FAIRHMS_TEST_FRONTEND`
+    /// (`threaded`/`event`), defaulting to threaded.
+    ///
+    /// Mirrors `FAIRHMS_TEST_SHARDS`/`FAIRHMS_TEST_CODEC`: `scripts/
+    /// ci.sh` re-runs the whole service suite once per front end, so
+    /// every TCP test exercises both serving strategies without
+    /// duplicating test bodies.
+    pub fn from_env() -> FrontendKind {
+        std::env::var("FAIRHMS_TEST_FRONTEND")
+            .ok()
+            .and_then(|v| FrontendKind::parse(&v))
+            .unwrap_or(FrontendKind::Threaded)
+    }
+}
+
+impl std::fmt::Display for FrontendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrontendKind::Threaded => "threaded",
+            FrontendKind::Event => "event",
+        })
+    }
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -77,6 +140,30 @@ pub struct ServeOptions {
     /// [`crate::metrics::TelemetryConfig::from_env`], honouring
     /// `FAIRHMS_TEST_TELEMETRY`.
     pub telemetry: crate::metrics::TelemetryConfig,
+    /// Which serving strategy to run. Defaults to
+    /// [`FrontendKind::from_env`], honouring `FAIRHMS_TEST_FRONTEND` so
+    /// CI runs the whole suite over both front ends.
+    pub frontend: FrontendKind,
+    /// Maximum simultaneously open connections (event front end). An
+    /// accept beyond the cap is answered with a best-effort `ERR busy`
+    /// line and closed immediately.
+    pub max_conns: usize,
+    /// Bound on the global solve queue between the event loop and its
+    /// workers. A `QUERY` (or batch slot) arriving while the queue is
+    /// full is shed with `ERR busy` + retry advice. `0` sheds every
+    /// solve — the deterministic-overload test hook.
+    pub queue_depth: usize,
+    /// Queue-time budget in milliseconds (event front end): a solve
+    /// dequeued after waiting longer is shed instead of executed — the
+    /// client has likely timed out, so finishing the solve only wastes a
+    /// worker. `None` disables deadline shedding.
+    pub queue_deadline_ms: Option<u64>,
+    /// Per-connection cap on in-flight single `QUERY`s (event front
+    /// end): a pipelining client beyond it is shed with `ERR busy`.
+    pub max_inflight_queries: usize,
+    /// Per-connection cap on concurrently executing batches (event
+    /// front end), on top of the server-wide stream gate.
+    pub max_conn_batches: usize,
 }
 
 impl Default for ServeOptions {
@@ -86,56 +173,100 @@ impl Default for ServeOptions {
             max_stream_batches: 8,
             slow_query_ms: None,
             telemetry: crate::metrics::TelemetryConfig::from_env(),
+            frontend: FrontendKind::from_env(),
+            max_conns: 1024,
+            queue_depth: 256,
+            queue_deadline_ms: Some(5_000),
+            max_inflight_queries: 64,
+            max_conn_batches: 4,
         }
     }
 }
 
-/// Counts in-flight streamed batches server-wide; acquisition beyond the
-/// cap is refused with a typed [`ServiceError::Busy`].
+/// Counts concurrently executing batches server-wide; acquisition beyond
+/// the cap is refused with the `(active, limit)` pair so the caller can
+/// build a typed busy error carrying retry advice.
 #[derive(Debug, Clone)]
-struct StreamGate {
+pub(crate) struct StreamGate {
     active: Arc<AtomicUsize>,
     max: usize,
 }
 
 /// Releases its [`StreamGate`] slot on drop — including when a streaming
-/// write fails mid-batch, so a dying client can never leak a permit.
+/// write fails mid-batch or the connection dies with a batch in flight,
+/// so a dying client can never leak a permit. Owned (no borrow of the
+/// gate): the event front end stores permits inside per-connection state
+/// that outlives any single call frame. Carries the metrics handle so
+/// the `streams.active` gauge (telemetry-gated) tracks the permit's
+/// lifetime on both front ends.
 #[derive(Debug)]
-struct StreamPermit<'a> {
-    gate: &'a StreamGate,
+pub(crate) struct StreamPermit {
+    active: Arc<AtomicUsize>,
+    metrics: Option<Arc<ServiceMetrics>>,
 }
 
 impl StreamGate {
-    fn new(max: usize) -> Self {
+    pub(crate) fn new(max: usize) -> Self {
         Self {
             active: Arc::new(AtomicUsize::new(0)),
             max,
         }
     }
 
-    fn try_acquire(&self) -> Result<StreamPermit<'_>, ServiceError> {
+    /// Acquires a slot, or reports `(active, limit)` when the gate is
+    /// full. Incrementing the `streams.active` gauge rides on the permit
+    /// when telemetry is enabled.
+    pub(crate) fn try_acquire(
+        &self,
+        metrics: &Arc<ServiceMetrics>,
+    ) -> Result<StreamPermit, (usize, usize)> {
         let mut cur = self.active.load(Ordering::SeqCst);
         loop {
             if cur >= self.max {
-                return Err(ServiceError::Busy {
-                    active: cur,
-                    limit: self.max,
-                });
+                return Err((cur, self.max));
             }
             match self
                 .active
                 .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
             {
-                Ok(_) => return Ok(StreamPermit { gate: self }),
+                Ok(_) => {
+                    let metrics = metrics.enabled().then(|| {
+                        metrics.streams_active.inc();
+                        Arc::clone(metrics)
+                    });
+                    return Ok(StreamPermit {
+                        active: Arc::clone(&self.active),
+                        metrics,
+                    });
+                }
                 Err(now) => cur = now,
             }
         }
     }
 }
 
-impl Drop for StreamPermit<'_> {
+impl Drop for StreamPermit {
     fn drop(&mut self) {
-        self.gate.active.fetch_sub(1, Ordering::SeqCst);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some(m) = &self.metrics {
+            m.streams_active.dec();
+        }
+    }
+}
+
+/// Builds the typed busy error for a stream-gate shed and counts it in
+/// `shed.total`; `queued`/`workers` feed the retry advice.
+pub(crate) fn gate_busy(
+    m: &ServiceMetrics,
+    active: usize,
+    limit: usize,
+    queued: usize,
+    workers: usize,
+) -> ServiceError {
+    m.shed_total.inc();
+    ServiceError::Busy {
+        reason: format!("{active} streamed batches in flight (limit {limit})"),
+        retry_after_ms: m.retry_after_ms(queued, workers),
     }
 }
 
@@ -144,6 +275,9 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: JoinHandle<()>,
+    /// Present on the event front end: wakes the `poll(2)` loop so
+    /// shutdown is immediate instead of waiting out a timeout.
+    waker: Option<Waker>,
 }
 
 impl Server {
@@ -163,18 +297,44 @@ impl Server {
     ) -> Result<Server, ServiceError> {
         let listener = bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        // Poll accept with a short sleep so the loop notices `stop`
-        // without needing a wake-up connection.
+        // Nonblocking on both front ends: the threaded accept loop polls
+        // with a short sleep so it notices `stop`; the event loop waits
+        // for listener readiness via `poll(2)`.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let loop_stop = Arc::clone(&stop);
-        let executor = BatchExecutor::new(cfg.workers);
         let opts = Arc::new(opts);
         let started = Instant::now();
-        let handle = std::thread::spawn(move || {
-            accept_loop(listener, engine, executor, loop_stop, opts, started);
-        });
-        Ok(Server { addr, stop, handle })
+        match opts.frontend {
+            FrontendKind::Threaded => {
+                let executor = BatchExecutor::new(cfg.workers);
+                let handle = std::thread::spawn(move || {
+                    accept_loop(listener, engine, executor, loop_stop, opts, started);
+                });
+                Ok(Server {
+                    addr,
+                    stop,
+                    handle,
+                    waker: None,
+                })
+            }
+            FrontendKind::Event => {
+                let (pipe, waker) = crate::reactor::wake_pair()?;
+                let loop_waker = waker.clone();
+                let workers = cfg.workers;
+                let handle = std::thread::spawn(move || {
+                    crate::event::run(
+                        listener, engine, workers, loop_stop, opts, started, pipe, loop_waker,
+                    );
+                });
+                Ok(Server {
+                    addr,
+                    stop,
+                    handle,
+                    waker: Some(waker),
+                })
+            }
+        }
     }
 
     /// The bound listen address.
@@ -184,8 +344,13 @@ impl Server {
 
     /// Signals the accept loop to stop and waits for it to exit.
     /// Connections already being served finish their current request.
+    /// On the event front end the stop is observed immediately (self-pipe
+    /// wake); the threaded front end notices within its poll interval.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
         let _ = self.handle.join();
     }
 
@@ -256,14 +421,19 @@ fn accept_loop(
 
 /// Longest accepted request line, bytes. Oversized lines drop the
 /// connection, so a newline-free stream cannot grow server memory without
-/// limit.
-const MAX_LINE_BYTES: usize = 1 << 20;
+/// limit. Shared with the event front end — the limit is a protocol
+/// property, not a front-end one.
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Largest total byte size of the lines following a `BATCH` header.
 /// `read_batch` buffers the whole batch before parsing (to keep bad
 /// batches from desynchronizing the connection), so the buffer itself
 /// needs a cap independent of the per-line one.
-const MAX_BATCH_BYTES: usize = 16 << 20;
+pub(crate) const MAX_BATCH_BYTES: usize = 16 << 20;
+
+/// Largest accepted `BATCH n` count; a larger header is answered with a
+/// protocol error before any lines are read.
+pub(crate) const MAX_BATCH: usize = 100_000;
 
 /// Reads one `\n`-terminated line of raw bytes, noticing `stop` and
 /// bounding length: the stream carries a short read timeout, and every
@@ -333,23 +503,108 @@ fn send(
     resp: &Response,
     metrics: &ServiceMetrics,
 ) -> std::io::Result<()> {
-    {
-        // Scoped so the encode span covers serialization only, not the
-        // socket write below.
-        let _encode = metrics.recorder().span(&metrics.encode);
-        frame.clear();
-        if let Err(e) = codec.encode_frame(resp, frame) {
-            frame.clear();
-            let fallback = Response::Error {
-                seq: None,
-                message: format!("response not encodable: {e}").replace(['\n', '\r'], " "),
-            };
-            codec.encode_frame(&fallback, frame).map_err(|e2| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e2.to_string())
-            })?;
-        }
-    }
+    encode_into(codec, frame, resp, metrics)?;
     writer.write_all(frame)
+}
+
+/// Serializes `resp` into `frame` (replacing its contents), falling back
+/// to a typed `ERR` frame when the value is not encodable. Shared with
+/// the event front end, which appends the frame to a per-connection
+/// output buffer instead of writing it straight to a socket.
+pub(crate) fn encode_into(
+    codec: &dyn Codec,
+    frame: &mut Vec<u8>,
+    resp: &Response,
+    metrics: &ServiceMetrics,
+) -> std::io::Result<()> {
+    // The encode span covers serialization only, never socket writes.
+    let _encode = metrics.recorder().span(&metrics.encode);
+    frame.clear();
+    if let Err(e) = codec.encode_frame(resp, frame) {
+        frame.clear();
+        let fallback = Response::Error {
+            seq: None,
+            message: format!("response not encodable: {e}").replace(['\n', '\r'], " "),
+        };
+        codec
+            .encode_frame(&fallback, frame)
+            .map_err(|e2| std::io::Error::new(std::io::ErrorKind::InvalidData, e2.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Answers the control-plane verbs (everything except `HELLO`, `QUERY`,
+/// `BATCH`, and `SHUTDOWN`, which need connection or executor state).
+/// One implementation shared by both front ends keeps the wire contract
+/// bit-identical between them.
+pub(crate) fn control_response(
+    engine: &QueryEngine,
+    workers: usize,
+    opts: &ServeOptions,
+    started: Instant,
+    req: &Request,
+) -> Option<Response> {
+    let m = engine.metrics();
+    Some(match req {
+        Request::Ping => Response::Pong,
+        Request::List => {
+            let summaries: Vec<String> = engine
+                .catalog()
+                .names()
+                .iter()
+                .filter_map(|n| engine.catalog().get(n))
+                .map(|p| p.summary())
+                .collect();
+            Response::Datasets(summaries)
+        }
+        Request::Algorithms => {
+            Response::Algorithms(ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect())
+        }
+        Request::Stats => {
+            let st = engine.cache_stats();
+            let warm = engine.warm_stats();
+            Response::Stats {
+                hits: st.hits,
+                misses: st.misses,
+                entries: st.entries,
+                evictions: st.evictions,
+                hit_rate: st.hit_rate(),
+                warm_hits: warm.hits,
+                warm_misses: warm.misses,
+                warm_entries: warm.entries,
+                uptime_secs: started.elapsed().as_secs(),
+                total_queries: m.total_queries.get(),
+                queue_depth: m.queue_depth.get().max(0) as u64,
+                shed_total: m.shed_total.get(),
+                conns_open: m.conn_active.get().max(0) as u64,
+            }
+        }
+        Request::Info => {
+            let cfg = engine.catalog().config();
+            Response::Info {
+                shards: cfg.shards,
+                strategy: cfg.strategy.to_string(),
+                workers,
+                datasets: engine.catalog().len(),
+                cache_entries: engine.cache_stats().entries,
+                warmstart: engine.warmstart_enabled(),
+                uptime_secs: started.elapsed().as_secs(),
+                total_queries: m.total_queries.get(),
+            }
+        }
+        Request::Metrics => Response::from_metrics(&m.snapshot()),
+        Request::Shards(set) => {
+            let shards = match set {
+                Some(n) => engine.catalog().set_shards(*n),
+                None => engine.catalog().config().shards,
+            };
+            Response::Shards(shards)
+        }
+        Request::Load { name, path } => handle_load(engine, opts, name, path),
+        Request::Hello { .. } | Request::Query(_) | Request::Batch { .. } | Request::Shutdown => {
+            return None
+        }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -364,7 +619,9 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     let metrics = Arc::clone(engine.metrics());
     let m = metrics.as_ref();
-    let _conn = m.recorder().gauge_guard(&m.conn_active);
+    // Always-on (not telemetry-gated): this gauge backs the STATS
+    // `conns_open` field, which must be accurate with telemetry off.
+    let _conn = m.conn_active.guard();
     stream.set_nodelay(true).ok();
     // On BSD/macOS/Windows accepted sockets inherit the listener's
     // non-blocking mode (Linux does not); force blocking so the read
@@ -408,7 +665,6 @@ fn serve_connection(
                 &Response::error(&e),
                 m,
             )?,
-            Ok(Request::Ping) => send(&mut writer, codec.as_ref(), &mut frame, &Response::Pong, m)?,
             Ok(Request::Hello {
                 version,
                 codec: kind,
@@ -421,84 +677,6 @@ fn serve_connection(
                 };
                 send(&mut writer, codec.as_ref(), &mut frame, &ack, m)?;
                 codec = kind.new_codec();
-            }
-            Ok(Request::List) => {
-                let summaries: Vec<String> = engine
-                    .catalog()
-                    .names()
-                    .iter()
-                    .filter_map(|n| engine.catalog().get(n))
-                    .map(|p| p.summary())
-                    .collect();
-                send(
-                    &mut writer,
-                    codec.as_ref(),
-                    &mut frame,
-                    &Response::Datasets(summaries),
-                    m,
-                )?;
-            }
-            Ok(Request::Algorithms) => {
-                let names = ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect();
-                send(
-                    &mut writer,
-                    codec.as_ref(),
-                    &mut frame,
-                    &Response::Algorithms(names),
-                    m,
-                )?;
-            }
-            Ok(Request::Stats) => {
-                let st = engine.cache_stats();
-                let warm = engine.warm_stats();
-                let resp = Response::Stats {
-                    hits: st.hits,
-                    misses: st.misses,
-                    entries: st.entries,
-                    evictions: st.evictions,
-                    hit_rate: st.hit_rate(),
-                    warm_hits: warm.hits,
-                    warm_misses: warm.misses,
-                    warm_entries: warm.entries,
-                    uptime_secs: started.elapsed().as_secs(),
-                    total_queries: m.total_queries.get(),
-                };
-                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
-            }
-            Ok(Request::Info) => {
-                let cfg = engine.catalog().config();
-                let resp = Response::Info {
-                    shards: cfg.shards,
-                    strategy: cfg.strategy.to_string(),
-                    workers: executor.workers(),
-                    datasets: engine.catalog().len(),
-                    cache_entries: engine.cache_stats().entries,
-                    warmstart: engine.warmstart_enabled(),
-                    uptime_secs: started.elapsed().as_secs(),
-                    total_queries: m.total_queries.get(),
-                };
-                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
-            }
-            Ok(Request::Metrics) => {
-                let resp = Response::from_metrics(&m.snapshot());
-                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
-            }
-            Ok(Request::Shards(set)) => {
-                let shards = match set {
-                    Some(n) => engine.catalog().set_shards(n),
-                    None => engine.catalog().config().shards,
-                };
-                send(
-                    &mut writer,
-                    codec.as_ref(),
-                    &mut frame,
-                    &Response::Shards(shards),
-                    m,
-                )?;
-            }
-            Ok(Request::Load { name, path }) => {
-                let resp = handle_load(engine, opts, &name, &path);
-                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
             }
             Ok(Request::Shutdown) => {
                 send(&mut writer, codec.as_ref(), &mut frame, &Response::Bye, m)?;
@@ -559,6 +737,13 @@ fn serve_connection(
                     }
                 }
             },
+            // Everything else is a control-plane verb shared verbatim
+            // with the event front end.
+            Ok(req) => {
+                let resp = control_response(engine, executor.workers(), opts, started, &req)
+                    .expect("non-control verbs are matched above");
+                send(&mut writer, codec.as_ref(), &mut frame, &resp, m)?;
+            }
         }
         let _flush = m.recorder().span(&m.flush);
         writer.flush()?;
@@ -607,7 +792,12 @@ fn format_slow_query(
 }
 
 /// Prints [`format_slow_query`]'s line to stderr when it applies.
-fn log_if_slow(threshold_ms: Option<u64>, q: &Query, res: &Result<QueryResponse, ServiceError>) {
+/// Shared with the event front end, which logs on completion delivery.
+pub(crate) fn log_if_slow(
+    threshold_ms: Option<u64>,
+    q: &Query,
+    res: &Result<QueryResponse, ServiceError>,
+) {
     if let Some(line) = format_slow_query(threshold_ms, q, res) {
         eprintln!("{line}");
     }
@@ -632,13 +822,15 @@ fn serve_streamed_batch(
 ) -> std::io::Result<()> {
     let metrics = Arc::clone(engine.metrics());
     let m = metrics.as_ref();
-    let _permit = match gate.try_acquire() {
-        Err(busy) => {
+    let _permit = match gate.try_acquire(&metrics) {
+        Err((active, limit)) => {
+            // The threaded front end has no solve queue; retry advice is
+            // one execute-EWMA round.
+            let busy = gate_busy(m, active, limit, 0, executor.workers());
             return send(writer, codec, frame, &Response::error(&busy), m);
         }
         Ok(p) => p,
     };
-    let _streams = m.recorder().gauge_guard(&m.streams_active);
     send(
         writer,
         codec,
@@ -712,7 +904,6 @@ fn read_batch(
     n: usize,
     stop: &AtomicBool,
 ) -> std::io::Result<Result<Vec<Query>, ServiceError>> {
-    const MAX_BATCH: usize = 100_000;
     if n > MAX_BATCH {
         return Ok(Err(ServiceError::Protocol(format!(
             "batch size {n} exceeds limit {MAX_BATCH}"
@@ -739,20 +930,28 @@ fn read_batch(
         }
         lines.push(String::from_utf8_lossy(&line).trim().to_string());
     }
-    let mut queries = Vec::with_capacity(n);
+    Ok(parse_batch_lines(&lines))
+}
+
+/// Parses the decoded lines of a `BATCH` body into queries; any non-query
+/// line is a protocol error naming its 1-based position. Shared with the
+/// event front end (which collects the lines incrementally but must
+/// report identical errors).
+pub(crate) fn parse_batch_lines(lines: &[String]) -> Result<Vec<Query>, ServiceError> {
+    let mut queries = Vec::with_capacity(lines.len());
     for (i, l) in lines.iter().enumerate() {
         match protocol::parse_request(l) {
             Ok(Request::Query(q)) => queries.push(*q),
             Ok(other) => {
-                return Ok(Err(ServiceError::Protocol(format!(
+                return Err(ServiceError::Protocol(format!(
                     "batch line {} must be a QUERY, got {other:?}",
                     i + 1
-                ))))
+                )))
             }
-            Err(e) => return Ok(Err(e)),
+            Err(e) => return Err(e),
         }
     }
-    Ok(Ok(queries))
+    Ok(queries)
 }
 
 #[cfg(test)]
@@ -859,29 +1058,49 @@ mod tests {
 
     #[test]
     fn stream_gate_sheds_load_beyond_the_cap_and_releases_on_drop() {
+        let m = Arc::new(ServiceMetrics::new(false));
         let gate = StreamGate::new(2);
-        let a = gate.try_acquire().unwrap();
-        let b = gate.try_acquire().unwrap();
-        // Third stream: shed with the typed busy error.
-        match gate.try_acquire() {
-            Err(ServiceError::Busy { active, limit }) => {
-                assert_eq!((active, limit), (2, 2));
+        let a = gate.try_acquire(&m).unwrap();
+        let b = gate.try_acquire(&m).unwrap();
+        // Third stream: refused with the (active, limit) pair, which the
+        // caller turns into a typed busy error carrying retry advice.
+        let (active, limit) = gate.try_acquire(&m).unwrap_err();
+        assert_eq!((active, limit), (2, 2));
+        let busy = gate_busy(&m, active, limit, 0, 4);
+        match busy {
+            ServiceError::Busy {
+                reason,
+                retry_after_ms,
+            } => {
+                assert_eq!(reason, "2 streamed batches in flight (limit 2)");
+                assert!(retry_after_ms >= 1);
             }
             other => panic!("expected busy, got {other:?}"),
         }
+        assert_eq!(m.shed_total.get(), 1);
         drop(a);
         // A released slot is immediately reusable.
-        let c = gate.try_acquire().unwrap();
+        let c = gate.try_acquire(&m).unwrap();
         drop(b);
         drop(c);
         assert_eq!(gate.active.load(Ordering::SeqCst), 0);
 
         // max_stream_batches = 0 disables streaming outright.
         let closed = StreamGate::new(0);
-        assert!(matches!(
-            closed.try_acquire(),
-            Err(ServiceError::Busy { limit: 0, .. })
-        ));
+        assert!(closed.try_acquire(&m).is_err());
+    }
+
+    #[test]
+    fn stream_permit_tracks_the_streams_gauge_when_telemetry_is_on() {
+        let m = Arc::new(ServiceMetrics::new(true));
+        let gate = StreamGate::new(4);
+        let a = gate.try_acquire(&m).unwrap();
+        let b = gate.try_acquire(&m).unwrap();
+        assert_eq!(m.streams_active.get(), 2);
+        drop(a);
+        assert_eq!(m.streams_active.get(), 1);
+        drop(b);
+        assert_eq!(m.streams_active.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Front-end equivalence suite: the event-driven and thread-per-connection
+//! front ends are wire-compatible down to the bit.
+//!
+//! For every registered algorithm, across both codecs (text, binary) and
+//! both batch deliveries (buffered, streamed), the two front ends must
+//! return identical payloads — same indices, bit-identical `mhr`
+//! (`f64::to_bits`), same algorithm attribution and violation counts —
+//! and identical typed errors for failing queries. Only transport
+//! plumbing may differ between the front ends, never answers.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::registry::ALGORITHM_NAMES;
+use fairhms_data::{gen, Dataset};
+use fairhms_service::codec::CodecKind;
+use fairhms_service::protocol::WireAnswer;
+use fairhms_service::{
+    Catalog, FrontendKind, Query, QueryEngine, ServeOptions, Server, ServerConfig, ServiceError,
+    WireClient,
+};
+
+fn generated(name: &str, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, c);
+    Dataset::new(
+        name,
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap()
+}
+
+/// A 2-dimensional dataset so even `intcov` (exact, 2D-only) runs.
+fn spawn_frontend(frontend: FrontendKind) -> Server {
+    let catalog = Arc::new(Catalog::new());
+    catalog
+        .insert_dataset(generated("demo", 120, 2, 3, 11))
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog, 4096));
+    Server::spawn_with(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        },
+        ServeOptions {
+            frontend,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn client(server: &Server, kind: CodecKind) -> WireClient {
+    match kind {
+        CodecKind::Text => WireClient::connect(server.addr()).unwrap(),
+        CodecKind::Binary => WireClient::negotiate(server.addr(), kind).unwrap(),
+    }
+}
+
+/// Every registered algorithm, plus slots that must fail with typed
+/// errors identically on both front ends.
+fn probe_queries() -> Vec<Query> {
+    let mut qs = Vec::new();
+    for alg in ALGORITHM_NAMES {
+        for k in [2usize, 3] {
+            let mut q = Query::new("demo", k);
+            q.alg = alg.to_string();
+            q.alpha = 0.25;
+            qs.push(q);
+        }
+    }
+    // A duplicate (cache interaction) and two failing slots.
+    qs.push(qs[0].clone());
+    qs.push(Query::new("absent", 3));
+    let mut bad_alg = Query::new("demo", 3);
+    bad_alg.alg = "no-such-alg".to_string();
+    qs.push(bad_alg);
+    qs
+}
+
+/// Payload equality modulo transport metadata: `cached`/`micros` vary by
+/// server instance and scheduling; everything the solver produced must
+/// not.
+fn assert_same_payload(a: &WireAnswer, b: &WireAnswer, ctx: &str) {
+    assert_eq!(a.indices, b.indices, "{ctx}: indices diverged");
+    assert_eq!(
+        a.mhr.map(f64::to_bits),
+        b.mhr.map(f64::to_bits),
+        "{ctx}: mhr bits diverged"
+    );
+    assert_eq!(a.alg, b.alg, "{ctx}: algorithm diverged");
+    assert_eq!(a.violations, b.violations, "{ctx}: violations diverged");
+}
+
+fn assert_same_slots(
+    threaded: &[Result<WireAnswer, ServiceError>],
+    event: &[Result<WireAnswer, ServiceError>],
+    queries: &[Query],
+    ctx: &str,
+) {
+    assert_eq!(threaded.len(), event.len(), "{ctx}: slot count diverged");
+    for (i, (t, e)) in threaded.iter().zip(event.iter()).enumerate() {
+        let slot = format!("{ctx} slot {i} ({} k={})", queries[i].alg, queries[i].k);
+        match (t, e) {
+            (Ok(ta), Ok(ea)) => assert_same_payload(ta, ea, &slot),
+            (Err(te), Err(ee)) => {
+                assert_eq!(te.to_string(), ee.to_string(), "{slot}: errors diverged")
+            }
+            (t, e) => panic!("{slot}: outcome diverged — threaded {t:?}, event {e:?}"),
+        }
+    }
+}
+
+/// The full matrix: every algorithm × {text, binary} × {buffered,
+/// streamed}, bit-identical between the two front ends.
+#[test]
+fn front_ends_agree_for_every_algorithm_codec_and_delivery() {
+    let threaded = spawn_frontend(FrontendKind::Threaded);
+    let event = spawn_frontend(FrontendKind::Event);
+    let queries = probe_queries();
+
+    for kind in [CodecKind::Text, CodecKind::Binary] {
+        for stream in [false, true] {
+            let ctx = format!("{kind:?}/{}", if stream { "stream" } else { "buffered" });
+            let t = client(&threaded, kind).batch(&queries, stream).unwrap();
+            let e = client(&event, kind).batch(&queries, stream).unwrap();
+            assert_same_slots(&t, &e, &queries, &ctx);
+        }
+    }
+    threaded.shutdown();
+    event.shutdown();
+}
+
+/// The single-query (non-batch) path agrees too, including typed errors.
+#[test]
+fn single_query_path_agrees_between_front_ends() {
+    let threaded = spawn_frontend(FrontendKind::Threaded);
+    let event = spawn_frontend(FrontendKind::Event);
+    let mut tc = client(&threaded, CodecKind::Text);
+    let mut ec = client(&event, CodecKind::Text);
+
+    for alg in ALGORITHM_NAMES {
+        let mut q = Query::new("demo", 3);
+        q.alg = alg.to_string();
+        q.alpha = 0.25;
+        match (tc.query(&q), ec.query(&q)) {
+            (Ok(ta), Ok(ea)) => assert_same_payload(&ta, &ea, &format!("single {alg}")),
+            (Err(te), Err(ee)) => assert_eq!(
+                te.to_string(),
+                ee.to_string(),
+                "single {alg}: errors diverged"
+            ),
+            (t, e) => panic!("single {alg}: outcome diverged — threaded {t:?}, event {e:?}"),
+        }
+    }
+
+    let bad = Query::new("absent", 3);
+    let te = tc.query(&bad).unwrap_err();
+    let ee = ec.query(&bad).unwrap_err();
+    assert_eq!(
+        te.to_string(),
+        ee.to_string(),
+        "typed errors diverged between front ends"
+    );
+
+    threaded.shutdown();
+    event.shutdown();
+}

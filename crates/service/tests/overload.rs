@@ -1,0 +1,441 @@
+//! Deterministic overload and fault-injection harness for the serving
+//! front ends.
+//!
+//! Pins the admission-control contract of the event front end — idle
+//! connections cost poll-set entries rather than threads, the bounded
+//! solve queue sheds with typed `retry_after_ms` advice, per-connection
+//! quotas refuse pipelined floods without desynchronizing, and the
+//! `queue_depth`/`shed_total`/`conns_open` gauges agree exactly with
+//! what clients observed — plus the fault-injection matrix both front
+//! ends must survive: clients dropping mid-frame (text and binary),
+//! half-written handshakes, byte-at-a-time delivery, abandoned batch
+//! bodies, and vanished streamed-batch readers, none of which may leak a
+//! quota/stream slot, desync another connection, or wedge shutdown.
+//!
+//! Determinism comes from configuration, not timing: `queue_depth: 0`
+//! sheds every solve, quota limits of 0 shed every admission, and the
+//! accounting identities (`observed busy == shed_total`,
+//! `answered + shed == burst`) hold under any scheduling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_data::{gen, Dataset};
+use fairhms_service::protocol::{parse_response, Response};
+use fairhms_service::{
+    Catalog, FrontendKind, Query, QueryEngine, ServeOptions, Server, ServerConfig, WireClient,
+};
+
+fn generated(name: &str, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, c);
+    Dataset::new(
+        name,
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap()
+}
+
+fn spawn(workers: usize, opts: ServeOptions) -> Server {
+    let catalog = Arc::new(Catalog::new());
+    catalog
+        .insert_dataset(generated("demo", 120, 2, 3, 11))
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog, 4096));
+    Server::spawn_with(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+        },
+        opts,
+    )
+    .unwrap()
+}
+
+fn event_opts() -> ServeOptions {
+    ServeOptions {
+        frontend: FrontendKind::Event,
+        ..ServeOptions::default()
+    }
+}
+
+/// Connects and completes one PING round trip, so the server has
+/// definitely accepted (and counted) the connection.
+fn connect_pinged(server: &Server) -> WireClient {
+    let mut c = WireClient::connect(server.addr()).unwrap();
+    c.send_line("PING").unwrap();
+    assert_eq!(c.recv().unwrap(), Response::Pong);
+    c
+}
+
+/// The admission gauges from a `STATS` round trip:
+/// `(queue_depth, shed_total, conns_open)`.
+fn gauges(client: &mut WireClient) -> (u64, u64, u64) {
+    client.send_line("STATS").unwrap();
+    match client.recv().unwrap() {
+        Response::Stats {
+            queue_depth,
+            shed_total,
+            conns_open,
+            ..
+        } => (queue_depth, shed_total, conns_open),
+        other => panic!("expected STATS, got {other:?}"),
+    }
+}
+
+/// Number of OS threads in this test process (Linux).
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+/// Polls `probe` until `cond` holds on the gauges or the deadline
+/// passes; disconnect cleanup is asynchronous on both front ends.
+fn wait_for_gauges(probe: &mut WireClient, cond: impl Fn((u64, u64, u64)) -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let g = gauges(probe);
+        if cond(g) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last gauges {g:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overload: idle fan-out, bounded-queue sheds, quotas, accounting
+// ---------------------------------------------------------------------
+
+/// The tentpole resource claim: 500 mostly-idle connections on the event
+/// front end cost poll-set entries, not threads — the process grows by
+/// the event loop plus the worker pool only — and every one of them is
+/// visible in the `conns_open` gauge.
+#[test]
+fn five_hundred_idle_connections_hold_no_threads() {
+    const WORKERS: usize = 2;
+    let baseline = thread_count();
+    let server = spawn(WORKERS, event_opts());
+    let mut idle = Vec::with_capacity(500);
+    for _ in 0..500 {
+        idle.push(connect_pinged(&server));
+    }
+    let grown = thread_count() - baseline;
+    assert!(
+        grown <= WORKERS + 4,
+        "event front end grew {grown} threads for 500 idle connections \
+         (expected <= workers {WORKERS} + 4)"
+    );
+
+    let mut probe = connect_pinged(&server);
+    let (_, _, conns_open) = gauges(&mut probe);
+    assert_eq!(conns_open, 501, "500 idle connections + the probe");
+
+    // Disconnects are observed and the gauge settles back to the probe.
+    drop(idle);
+    wait_for_gauges(&mut probe, |(_, _, c)| c == 1, "conns_open to settle");
+    server.shutdown();
+}
+
+/// A burst past the solve-queue bound sheds deterministically
+/// (`queue_depth: 0` refuses every admission): every response is a typed
+/// busy carrying actionable retry advice, and the gauges account for the
+/// burst exactly.
+#[test]
+fn bounded_queue_sheds_bursts_with_retry_advice_and_exact_gauges() {
+    const IDLE: usize = 50;
+    const BURST: usize = 40;
+    let server = spawn(
+        1,
+        ServeOptions {
+            queue_depth: 0,
+            ..event_opts()
+        },
+    );
+    let _idle: Vec<WireClient> = (0..IDLE).map(|_| connect_pinged(&server)).collect();
+
+    // Pipeline the whole burst in one write; the loop sheds each QUERY
+    // at admission and answers in request order.
+    let mut burst = WireClient::connect(server.addr()).unwrap();
+    let block = "QUERY dataset=demo k=3 alg=bigreedy\n".repeat(BURST);
+    burst.send_line(block.trim_end()).unwrap();
+    let mut shed = 0usize;
+    for i in 0..BURST {
+        match burst.recv().unwrap() {
+            Response::Busy {
+                seq: None,
+                retry_after_ms,
+                message,
+            } => {
+                assert!(retry_after_ms >= 1, "frame {i}: advice must be actionable");
+                assert!(
+                    message.contains("solve queue full (depth 0)"),
+                    "frame {i}: unexpected shed reason {message:?}"
+                );
+                shed += 1;
+            }
+            other => panic!("frame {i}: expected ERR busy, got {other:?}"),
+        }
+    }
+    assert_eq!(shed, BURST, "a zero-depth queue sheds the whole burst");
+
+    let mut probe = connect_pinged(&server);
+    let (queue_depth, shed_total, conns_open) = gauges(&mut probe);
+    assert_eq!(queue_depth, 0, "nothing was admitted");
+    assert_eq!(
+        shed_total, BURST as u64,
+        "shed_total must match the busy responses clients observed"
+    );
+    assert_eq!(conns_open, (IDLE + 2) as u64, "idle + burst + probe");
+    server.shutdown();
+}
+
+/// With a real (nonzero) queue bound, sheds and answers partition the
+/// burst exactly: `answered + shed == burst` and `shed_total` equals the
+/// busy frames the client saw — under any worker scheduling.
+#[test]
+fn sheds_plus_answers_account_for_the_whole_burst() {
+    const BURST: usize = 12;
+    let server = spawn(
+        1,
+        ServeOptions {
+            queue_depth: 4,
+            ..event_opts()
+        },
+    );
+    let mut burst = WireClient::connect(server.addr()).unwrap();
+    let block = "QUERY dataset=demo k=3 alg=bigreedy\n".repeat(BURST);
+    burst.send_line(block.trim_end()).unwrap();
+    let (mut answered, mut shed) = (0u64, 0u64);
+    for i in 0..BURST {
+        match burst.recv().unwrap() {
+            Response::Answer { answer, .. } => {
+                assert_eq!(answer.indices.len(), 3, "frame {i}");
+                answered += 1;
+            }
+            Response::Busy { retry_after_ms, .. } => {
+                assert!(retry_after_ms >= 1, "frame {i}");
+                shed += 1;
+            }
+            other => panic!("frame {i}: expected answer or busy, got {other:?}"),
+        }
+    }
+    assert_eq!(answered + shed, BURST as u64);
+
+    let mut probe = connect_pinged(&server);
+    let (queue_depth, shed_total, _) = gauges(&mut probe);
+    assert_eq!(queue_depth, 0, "the queue drained");
+    assert_eq!(shed_total, shed, "gauge and observed sheds must agree");
+    server.shutdown();
+}
+
+/// Per-connection quotas (limits of 0 make the shed deterministic)
+/// refuse single queries and batches with typed busy errors, and the
+/// connection stays perfectly synchronized afterwards.
+#[test]
+fn per_connection_quotas_shed_without_desync() {
+    let server = spawn(
+        1,
+        ServeOptions {
+            max_inflight_queries: 0,
+            max_conn_batches: 0,
+            ..event_opts()
+        },
+    );
+    let mut c = WireClient::connect(server.addr()).unwrap();
+
+    c.send_line("QUERY dataset=demo k=3").unwrap();
+    match c.recv().unwrap() {
+        Response::Busy {
+            retry_after_ms,
+            message,
+            ..
+        } => {
+            assert!(retry_after_ms >= 1);
+            assert!(
+                message.contains("queries in flight on this connection (limit 0)"),
+                "unexpected quota reason {message:?}"
+            );
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    let queries = vec![Query::new("demo", 2), Query::new("demo", 3)];
+    match c.send_batch(&queries, false).unwrap() {
+        Response::Busy { message, .. } => assert!(
+            message.contains("batches in flight on this connection (limit 0)"),
+            "unexpected quota reason {message:?}"
+        ),
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    // Both sheds consumed their full request (batch body included): the
+    // connection is not desynchronized.
+    c.send_line("PING").unwrap();
+    assert_eq!(c.recv().unwrap(), Response::Pong);
+
+    let (_, shed_total, _) = gauges(&mut c);
+    assert_eq!(shed_total, 2, "one per refused admission");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (both front ends)
+// ---------------------------------------------------------------------
+
+/// The full client-misbehavior matrix; run identically against both
+/// front ends. Every scenario must leave the server answering cleanly on
+/// other connections, release every quota/stream slot, settle the
+/// `conns_open` gauge, and shut down promptly.
+fn fault_injection_suite(frontend: FrontendKind) {
+    let server = spawn(
+        2,
+        ServeOptions {
+            frontend,
+            max_stream_batches: 1,
+            ..ServeOptions::default()
+        },
+    );
+    let addr = server.addr();
+    let mut probe = connect_pinged(&server);
+
+    // (a) Drop mid-line: a text request with no terminator.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"QUERY dataset=demo k=3").unwrap();
+        drop(s);
+    }
+    // (b) Half-written HELLO handshake.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"HELLO version=2 cod").unwrap();
+        drop(s);
+    }
+    // (c) Binary client vanishes mid-response-frame: negotiate binary,
+    // request a solve, read two bytes of the length-prefixed frame, die.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"HELLO version=2 codec=binary\n").unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut ack = String::new();
+        r.read_line(&mut ack).unwrap();
+        assert_eq!(ack.trim(), "OK version=2 codec=binary");
+        s.write_all(b"QUERY dataset=demo k=3 alg=bigreedy\n")
+            .unwrap();
+        let mut partial = [0u8; 2];
+        std::io::Read::read_exact(&mut r, &mut partial).unwrap();
+        drop(s);
+    }
+    // (d) Abandoned batch body: header promises 3 lines, one arrives.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"BATCH 3\nQUERY dataset=demo k=2\n").unwrap();
+        drop(s);
+    }
+    // After every drop the server still answers instantly elsewhere.
+    probe.send_line("PING").unwrap();
+    assert_eq!(probe.recv().unwrap(), Response::Pong);
+
+    // (e) Byte-at-a-time delivery makes progress and never desyncs a
+    // concurrent connection: between every single byte the fast client
+    // completes a full round trip.
+    {
+        let slow = TcpStream::connect(addr).unwrap();
+        for &byte in b"QUERY dataset=demo k=3 alg=bigreedy\n".iter() {
+            (&slow).write_all(&[byte]).unwrap();
+            probe.send_line("PING").unwrap();
+            assert_eq!(probe.recv().unwrap(), Response::Pong);
+        }
+        let mut r = BufReader::new(slow);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let ans = parse_response(line.trim()).unwrap();
+        assert_eq!(ans.indices.len(), 3, "byte-at-a-time query still solves");
+    }
+
+    // (f) A streamed-batch reader that vanishes must release the gate
+    // slot (max_stream_batches: 1 makes a leak block forever).
+    let queries = vec![Query::new("demo", 2), Query::new("demo", 3)];
+    {
+        let mut a = WireClient::connect(addr).unwrap();
+        match a.send_batch(&queries, true).unwrap() {
+            Response::BatchHeader { n: 2, stream: true } => {}
+            other => panic!("expected stream header, got {other:?}"),
+        }
+        drop(a); // never reads its frames
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut b = WireClient::connect(addr).unwrap();
+        match b.send_batch(&queries, true).unwrap() {
+            Response::BatchHeader { .. } => {
+                for _ in 0..queries.len() {
+                    b.recv().unwrap();
+                }
+                break; // slot was released
+            }
+            Response::Busy { .. } => {
+                assert!(
+                    Instant::now() < deadline,
+                    "stream-gate slot leaked by a vanished reader"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected header or busy, got {other:?}"),
+        }
+    }
+
+    // Every faulty connection is reaped: the gauge settles to the probe.
+    wait_for_gauges(&mut probe, |(_, _, c)| c == 1, "conns_open to settle");
+
+    // (g) Shutdown completes promptly even with an idle client attached.
+    let _idle = TcpStream::connect(addr).unwrap();
+    let t = Instant::now();
+    server.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(3),
+        "shutdown wedged after fault injection"
+    );
+}
+
+#[test]
+fn fault_injection_event_frontend() {
+    fault_injection_suite(FrontendKind::Event);
+}
+
+#[test]
+fn fault_injection_threaded_frontend() {
+    fault_injection_suite(FrontendKind::Threaded);
+}
+
+/// Shutdown on the event front end is a wake, not a timeout expiry: with
+/// 100 idle connections attached it completes promptly.
+#[test]
+fn event_shutdown_is_immediate_with_idle_connections() {
+    let server = spawn(2, event_opts());
+    let _idle: Vec<WireClient> = (0..100).map(|_| connect_pinged(&server)).collect();
+    let t = Instant::now();
+    server.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(2),
+        "event shutdown took {:?} with idle connections",
+        t.elapsed()
+    );
+}

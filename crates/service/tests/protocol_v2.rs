@@ -309,7 +309,10 @@ proptest! {
         let e = match code {
             0 => ServiceError::UnknownDataset { name: "x".into() },
             1 => ServiceError::Protocol("unknown verb \"FROB\"".into()),
-            2 => ServiceError::Busy { active: 8, limit: 8 },
+            2 => ServiceError::Busy {
+                reason: "8 streamed batches in flight (limit 8)".into(),
+                retry_after_ms: 24,
+            },
             _ => ServiceError::Dataset("dataset has no rows".into()),
         };
         let seq = (seq_kind == 1).then_some(3u64);
@@ -349,6 +352,9 @@ fn all_response_variants_agree_across_codecs() {
             warm_entries: 1,
             uptime_secs: 77,
             total_queries: 31,
+            queue_depth: 3,
+            shed_total: 9,
+            conns_open: 2,
         },
         Response::Info {
             shards: 4,
@@ -475,10 +481,15 @@ fn streamed_batch_beyond_gate_answers_busy_without_desync() {
 
     let queries = vec![Query::new("demo", 3), Query::new("demo", 4)];
     match client.send_batch(&queries, true).unwrap() {
-        Response::Error { seq: None, message } => {
+        Response::Busy {
+            seq: None,
+            retry_after_ms,
+            message,
+        } => {
+            assert!(retry_after_ms >= 1, "retry advice must be actionable");
             assert!(
-                message.starts_with("busy: "),
-                "expected ERR busy, got {message:?}"
+                message.contains("streamed batches in flight (limit 0)"),
+                "expected a stream-gate shed, got {message:?}"
             );
         }
         other => panic!("expected busy, got {other:?}"),

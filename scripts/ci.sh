@@ -54,19 +54,37 @@ FAIRHMS_TEST_WARMSTART=0 cargo test -p fairhms-service -q
 echo "==> service tests, telemetry disabled (FAIRHMS_TEST_TELEMETRY=0)"
 FAIRHMS_TEST_TELEMETRY=0 cargo test -p fairhms-service -q
 
+# …and once on the event-driven front end: FAIRHMS_TEST_FRONTEND routes
+# every server the suite spawns through the poll(2) reactor instead of
+# thread-per-connection — answers are contractually bit-identical (see
+# crates/service/tests/frontend_equivalence.rs).
+echo "==> service tests, event-driven front end (FAIRHMS_TEST_FRONTEND=event)"
+FAIRHMS_TEST_FRONTEND=event cargo test -p fairhms-service -q
+
+# Overload smoke: the admission-control contract (bounded-queue sheds
+# with retry advice, exact gauges, 500-connection idle fan-out) and the
+# fault-injection matrix on both front ends.
+echo "==> overload + fault-injection smoke (crates/service/tests/overload.rs)"
+cargo test -p fairhms-service --test overload -q
+
 echo "==> bench smoke (service engine + shard prep + wire codecs + warm-start, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench protocol
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench warmstart
 
-# Telemetry bench: asserts the warm-hit overhead budget (<1 µs) and
-# writes the machine-readable service profile.
-echo "==> telemetry bench smoke (overhead budget + BENCH_service.json)"
+# Telemetry bench: asserts the warm-hit overhead budget (<1 µs), measures
+# the event front end's idle-connection fan-out (500 idle conns must cost
+# only the loop + worker threads), and writes the machine-readable
+# service profile.
+echo "==> telemetry bench smoke (overhead budget + idle fan-out + BENCH_service.json)"
 FAIRHMS_BENCH_JSON="$PWD/BENCH_service.json" cargo bench -p fairhms-bench --bench telemetry
 python3 -c "import json; d = json.load(open('BENCH_service.json')); \
 assert d['warm_hit_overhead_ns'] < 1000 and d['queries_per_sec'] > 0 \
-and d['metrics']['histograms'], 'BENCH_service.json failed sanity checks'" \
+and d['metrics']['histograms'], 'BENCH_service.json failed sanity checks'; \
+f = d['idle_fanout']; \
+assert f['connections'] >= 500 and f['threads_grown'] <= 16 \
+and f['ping_us_under_fanout'] > 0, 'idle fan-out failed sanity checks'" \
   || { echo "BENCH_service.json missing or malformed"; exit 1; }
 
 echo "CI OK"
