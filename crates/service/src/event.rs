@@ -14,7 +14,12 @@
 //!   one slow or byte-at-a-time client can never stall another;
 //! * solves never run on the loop thread: they are admitted into a
 //!   bounded `SolveQueue` and executed by a resident `WorkerPool`,
-//!   whose completions come back over a channel followed by a wake.
+//!   whose completions come back over a channel followed by a wake. The
+//!   heavy `LOAD` admin verb (disk read + dataset preparation) rides the
+//!   same pool — bypassing the queue bound, since control verbs are
+//!   never shed — while the issuing connection parks its input behind a
+//!   barrier so pipelined requests keep their sequential order; light
+//!   control verbs (PING, STATS, …) answer inline on the loop.
 //!
 //! Admission control happens at the loop, where load first becomes
 //! visible: the connection cap ([`ServeOptions::max_conns`]), the
@@ -44,7 +49,7 @@ use std::time::Instant;
 
 use crate::codec::CodecKind;
 use crate::engine::QueryEngine;
-use crate::executor::{SolveDone, SolveJob, SolveQueue, WorkerPool};
+use crate::executor::{SolveDone, SolveJob, SolveQueue, WorkDone, WorkItem, WorkerPool};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{self, Request, Response};
 use crate::query::Query;
@@ -136,11 +141,23 @@ impl BatchEntry {
 /// pipelining: an entry's frames reach the out-buffer only once every
 /// earlier entry has fully delivered.
 enum Entry {
-    /// Already-encoded frame(s): control verbs, HELLO acks, protocol
-    /// errors, admission sheds.
+    /// Already-encoded frame(s): light control verbs, HELLO acks,
+    /// protocol errors, admission sheds.
     Ready(Vec<u8>),
-    /// A single `QUERY` awaiting its solve.
-    Single { ticket: u64, done: Option<Vec<u8>> },
+    /// A single `QUERY` awaiting its solve. `kind` snapshots the codec
+    /// at admit time, so a pipelined `HELLO` behind it re-codes only
+    /// what follows.
+    Single {
+        ticket: u64,
+        kind: CodecKind,
+        done: Option<Vec<u8>>,
+    },
+    /// A heavy control verb (`LOAD`) executing on the worker pool.
+    Control {
+        ticket: u64,
+        kind: CodecKind,
+        done: Option<Vec<u8>>,
+    },
     /// A batch awaiting (some of) its slots.
     Batch(BatchEntry),
 }
@@ -170,9 +187,20 @@ struct Conn {
     collecting: Option<BatchCollect>,
     inflight_singles: usize,
     active_batches: usize,
+    /// In-flight `Entry::Control` jobs. While nonzero the connection
+    /// stops carving input (and drops read interest, so TCP backpressure
+    /// bounds buffering): requests pipelined behind a `LOAD` — typically
+    /// queries against the dataset being loaded — are admitted only once
+    /// it completes, exactly as the sequential threaded path orders them.
+    control_inflight: usize,
     next_ticket: u64,
-    /// Set by `SHUTDOWN`: stop reading, close once the out-buffer drains.
+    /// Set by `SHUTDOWN` and by peer EOF: stop reading; the connection is
+    /// reaped once its out-buffer drains *and* no admitted work is still
+    /// pending (everything received before a FIN still answers).
     closing: bool,
+    /// Set by `SHUTDOWN` only: unprocessed input is discarded rather
+    /// than resumed (a FIN leaves buffered complete lines processable).
+    discard_input: bool,
     metrics: Arc<ServiceMetrics>,
 }
 
@@ -198,8 +226,10 @@ impl Conn {
             collecting: None,
             inflight_singles: 0,
             active_batches: 0,
+            control_inflight: 0,
             next_ticket: 0,
             closing: false,
+            discard_input: false,
             metrics,
         }
     }
@@ -243,18 +273,20 @@ impl Conn {
         if saw_eof {
             // A half-written request dies with the peer (the threaded
             // path sees EOF mid-line and returns), but everything already
-            // admitted still answers into the out-buffer; close once it
-            // drains — or now, when there is nothing to flush.
+            // admitted still answers into the out-buffer; close once the
+            // pending FIFO and the out-buffer have both drained.
             self.closing = true;
         }
         Ok(outcome)
     }
 
     /// Carves buffered bytes into complete lines and handles each.
+    /// Stops early (leaving the tail buffered) while a control barrier
+    /// is up; the event loop resumes it once the barrier lifts.
     fn process_input(&mut self, sh: &Shared) -> Result<Outcome, ()> {
         let mut outcome = Outcome::Continue;
         let mut start = 0usize;
-        while !self.closing {
+        while !self.discard_input && self.control_inflight == 0 {
             let Some(pos) = self.inbuf[start..].iter().position(|&b| b == b'\n') else {
                 break;
             };
@@ -270,8 +302,12 @@ impl Conn {
                 outcome = Outcome::Shutdown;
             }
         }
-        // A partial line past the limit can never complete legally.
-        if self.inbuf.len() - start > MAX_LINE_BYTES {
+        // A partial line past the limit can never complete legally. (A
+        // tail holding complete lines — parked behind a control barrier
+        // or a SHUTDOWN — is exempt: it is bounded by what the socket
+        // buffer held, not open-ended.)
+        let rest = &self.inbuf[start..];
+        if rest.len() > MAX_LINE_BYTES && !rest.contains(&b'\n') {
             return Err(());
         }
         self.inbuf.drain(..start);
@@ -325,9 +361,11 @@ impl Conn {
             Ok(Request::Shutdown) => {
                 self.push_ready(&Response::Bye, sh);
                 self.closing = true;
+                self.discard_input = true;
                 return Ok(Outcome::Shutdown);
             }
             Ok(Request::Query(q)) => self.admit_single(q, sh),
+            Ok(Request::Load { name, path }) => self.admit_load(name, path, sh),
             Ok(Request::Batch { n, stream }) => {
                 if n > MAX_BATCH {
                     let e =
@@ -384,17 +422,57 @@ impl Conn {
             generation: self.generation,
             ticket,
             batch_index: None,
-            query: q,
+            work: WorkItem::Solve(q),
             enqueued: Instant::now(),
         };
         match sh.queue.try_push(job) {
             Ok(()) => {
-                self.pending.push_back(Entry::Single { ticket, done: None });
+                self.pending.push_back(Entry::Single {
+                    ticket,
+                    kind: self.kind,
+                    done: None,
+                });
                 self.inflight_singles += 1;
             }
             Err(_shed) => {
                 let busy = sh.queue_full_busy();
                 self.push_ready(&Response::error(&busy), sh);
+            }
+        }
+    }
+
+    /// Admits the `LOAD` admin verb to the worker pool: a disk read plus
+    /// dataset preparation must not stall every connection on the loop
+    /// thread. The job bypasses the queue bound (control verbs are never
+    /// shed) and raises the connection's input barrier
+    /// ([`Conn::control_inflight`]) until it completes.
+    fn admit_load(&mut self, name: String, path: String, sh: &Shared) {
+        let ticket = self.take_ticket();
+        let job = SolveJob {
+            conn: self.slot,
+            generation: self.generation,
+            ticket,
+            batch_index: None,
+            work: WorkItem::Load { name, path },
+            enqueued: Instant::now(),
+        };
+        match sh.queue.push_control(job) {
+            Ok(()) => {
+                self.pending.push_back(Entry::Control {
+                    ticket,
+                    kind: self.kind,
+                    done: None,
+                });
+                self.control_inflight += 1;
+            }
+            Err(job) => {
+                // Only a closed queue refuses control jobs — the server
+                // is tearing down; answer inline, nobody left to stall.
+                let WorkItem::Load { name, path } = job.work else {
+                    unreachable!("admitted a LOAD")
+                };
+                let resp = server::handle_load(&sh.engine, &sh.opts, &name, &path);
+                self.push_ready(&resp, sh);
             }
         }
     }
@@ -459,7 +537,7 @@ impl Conn {
                 generation: self.generation,
                 ticket,
                 batch_index: Some(i),
-                query: Box::new(q),
+                work: WorkItem::Solve(Box::new(q)),
                 enqueued: Instant::now(),
             };
             if sh.queue.try_push(job).is_err() {
@@ -478,24 +556,47 @@ impl Conn {
         self.pending.push_back(Entry::Batch(entry));
     }
 
-    /// Routes one completed solve into its FIFO entry.
+    /// Routes one completed job into its FIFO entry.
     fn complete(&mut self, done: SolveDone, m: &ServiceMetrics) {
         // Linear scan: connections hold at most quota-bounded entries.
         for entry in self.pending.iter_mut() {
             match entry {
-                Entry::Single { ticket, done: slot } if *ticket == done.ticket => {
+                Entry::Single {
+                    ticket,
+                    kind,
+                    done: slot,
+                } if *ticket == done.ticket => {
                     debug_assert!(done.batch_index.is_none());
-                    *slot = Some(encode(
-                        self.kind,
-                        &Response::from_result(None, &done.result),
-                        m,
-                    ));
+                    let WorkDone::Solve { result, .. } = &done.done else {
+                        debug_assert!(false, "single entries only admit solves");
+                        return;
+                    };
+                    *slot = Some(encode(*kind, &Response::from_result(None, result), m));
+                    return;
+                }
+                Entry::Control {
+                    ticket,
+                    kind,
+                    done: slot,
+                } if *ticket == done.ticket => {
+                    let WorkDone::Control(resp) = &done.done else {
+                        debug_assert!(false, "control entries only admit control verbs");
+                        return;
+                    };
+                    *slot = Some(encode(*kind, resp, m));
+                    // Lift the input barrier; the event loop resumes any
+                    // lines parked behind it this same iteration.
+                    self.control_inflight -= 1;
                     return;
                 }
                 Entry::Batch(b) if b.ticket == done.ticket => {
                     let Some(i) = done.batch_index else { return };
+                    let WorkDone::Solve { result, .. } = &done.done else {
+                        debug_assert!(false, "batch slots only admit solves");
+                        return;
+                    };
                     let seq = b.stream.then_some(i as u64);
-                    let frame = encode(b.kind, &Response::from_result(seq, &done.result), m);
+                    let frame = encode(b.kind, &Response::from_result(seq, result), m);
                     if b.stream {
                         b.frames.push_back(frame);
                     } else {
@@ -536,6 +637,16 @@ impl Conn {
                     self.inflight_singles -= 1;
                 }
                 Entry::Single { done: None, .. } => return,
+                Entry::Control { done: Some(_), .. } => {
+                    let Some(Entry::Control {
+                        done: Some(bytes), ..
+                    }) = self.pending.pop_front()
+                    else {
+                        unreachable!()
+                    };
+                    self.outbuf.extend_from_slice(&bytes);
+                }
+                Entry::Control { done: None, .. } => return,
                 Entry::Batch(b) => {
                     if !b.header_sent {
                         let header = Response::BatchHeader {
@@ -672,6 +783,7 @@ pub(crate) fn run(
         done_tx,
         waker,
         opts.queue_deadline_ms,
+        Arc::clone(&opts),
     );
     let gate = StreamGate::new(opts.max_stream_batches);
     let sh = Shared {
@@ -700,15 +812,19 @@ pub(crate) fn run(
         for (slot, c) in conns.iter().enumerate() {
             let Some(c) = c else { continue };
             let mut events = 0i16;
-            if !c.closing {
+            // No read interest while closing, or while a control barrier
+            // parks this connection's input (TCP backpressure bounds what
+            // the client can buffer at us in the meantime).
+            if !c.closing && c.control_inflight == 0 {
                 events |= POLLIN;
             }
             if c.has_output() {
                 events |= POLLOUT;
             }
-            // A closing connection with a drained out-buffer is closed
-            // below before the next poll, so `events` is never 0 here —
-            // but POLLERR/HUP are delivered regardless of interest.
+            // `events` may be 0 — e.g. a closing connection whose
+            // admitted solves are still in flight. The completion wakes
+            // the loop via the self-pipe, and POLLERR/HUP are delivered
+            // regardless of interest.
             fds.push(PollFd::new(c.stream.as_raw_fd(), events));
             slots.push(slot);
         }
@@ -735,7 +851,9 @@ pub(crate) fn run(
             if conn.generation != done.generation {
                 continue; // the slot was reused; the addressee is gone
             }
-            server::log_if_slow(sh.opts.slow_query_ms, &done.query, &done.result);
+            if let WorkDone::Solve { query, result } = &done.done {
+                server::log_if_slow(sh.opts.slow_query_ms, query, result);
+            }
             conn.complete(done, &sh.metrics);
         }
 
@@ -763,13 +881,30 @@ pub(crate) fn run(
         }
 
         // Every connection pumps deliverable frames and flushes; closing
-        // connections leave once drained. (All of them, not just the
-        // ready ones: completions and quota releases above may have made
-        // new frames deliverable on connections with no socket event.)
-        for c in conns.iter_mut() {
+        // connections leave once fully drained. (All of them, not just
+        // the ready ones: completions and quota releases above may have
+        // made new frames deliverable on connections with no socket
+        // event.)
+        for (slot, c) in conns.iter_mut().enumerate() {
             let Some(conn) = c.as_mut() else { continue };
+            // A lifted control barrier may have left complete lines
+            // parked in the in-buffer; resume them now — no new socket
+            // event will re-trigger processing.
+            let mut dead = false;
+            if conn.control_inflight == 0 && !conn.discard_input && !conn.inbuf.is_empty() {
+                match conn.process_input(&sh) {
+                    Ok(Outcome::Shutdown) => shutdown_conn = Some(slot),
+                    Ok(Outcome::Continue) => {}
+                    Err(()) => dead = true,
+                }
+            }
             conn.pump(&sh);
-            let dead = conn.try_flush().is_err() || (conn.closing && !conn.has_output());
+            // A closing connection is reaped only once its out-buffer is
+            // flushed AND no admitted work is still pending — answers to
+            // requests received before a FIN must still be delivered.
+            let dead = dead
+                || conn.try_flush().is_err()
+                || (conn.closing && !conn.has_output() && conn.pending.is_empty());
             if dead {
                 *c = None;
                 open -= 1;

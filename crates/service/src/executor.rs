@@ -23,8 +23,10 @@ use std::time::Instant;
 
 use crate::engine::{QueryEngine, QueryResponse};
 use crate::metrics::ServiceMetrics;
+use crate::protocol::Response;
 use crate::query::Query;
 use crate::reactor::Waker;
+use crate::server::{self, ServeOptions};
 use crate::ServiceError;
 
 /// Executes `queries[i]`, recording `executor.queue_wait` (submission →
@@ -176,7 +178,19 @@ impl BatchExecutor {
     }
 }
 
-/// One solve admitted into the global queue, addressed back to its
+/// What a queued job executes on a worker.
+#[derive(Debug)]
+pub(crate) enum WorkItem {
+    /// A query solve (subject to deadline shedding).
+    Solve(Box<Query>),
+    /// The `LOAD` admin verb: disk read + dataset preparation — heavy
+    /// enough that running it on the event loop would stall every
+    /// connection. Operator-issued and rare, so it bypasses the queue
+    /// bound ([`SolveQueue::push_control`]) and is never deadline-shed.
+    Load { name: String, path: String },
+}
+
+/// One job admitted into the global queue, addressed back to its
 /// connection by `(conn slot, generation, ticket)` — the generation
 /// guards against a slot being reused by a new connection while an old
 /// job is still in flight.
@@ -188,15 +202,29 @@ pub(crate) struct SolveJob {
     pub generation: u64,
     /// Per-connection response-order ticket.
     pub ticket: u64,
-    /// Index within the owning batch (`None` for single queries).
+    /// Index within the owning batch (`None` for single queries and
+    /// control verbs).
     pub batch_index: Option<usize>,
-    /// The query to solve.
-    pub query: Box<Query>,
+    /// What to execute.
+    pub work: WorkItem,
     /// When the job entered the queue (deadline shedding + queue_wait).
     pub enqueued: Instant,
 }
 
-/// A completed (or deadline-shed) solve, routed back to the event loop.
+/// The outcome a worker reports for one job.
+#[derive(Debug)]
+pub(crate) enum WorkDone {
+    /// A solve (or its deadline shed); the query is carried through so
+    /// the loop can log slow solves.
+    Solve {
+        query: Box<Query>,
+        result: Result<QueryResponse, ServiceError>,
+    },
+    /// A control verb's ready-to-encode response.
+    Control(Response),
+}
+
+/// A completed job, routed back to the event loop.
 #[derive(Debug)]
 pub(crate) struct SolveDone {
     /// Connection slab slot.
@@ -205,12 +233,11 @@ pub(crate) struct SolveDone {
     pub generation: u64,
     /// Per-connection response-order ticket.
     pub ticket: u64,
-    /// Index within the owning batch (`None` for single queries).
+    /// Index within the owning batch (`None` for single queries and
+    /// control verbs).
     pub batch_index: Option<usize>,
-    /// The query (carried through so the loop can log slow solves).
-    pub query: Box<Query>,
     /// The outcome.
-    pub result: Result<QueryResponse, ServiceError>,
+    pub done: WorkDone,
 }
 
 struct QueueState {
@@ -249,6 +276,21 @@ impl SolveQueue {
     pub fn try_push(&self, job: SolveJob) -> Result<(), SolveJob> {
         let mut st = self.state.lock().expect("solve queue poisoned");
         if st.closed || st.jobs.len() >= self.cap {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        self.metrics.queue_depth.inc();
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Admits a control job past the capacity bound — operator verbs are
+    /// never shed. Hands the job back only once the queue is closed
+    /// (server teardown), when the caller must answer it itself.
+    pub fn push_control(&self, job: SolveJob) -> Result<(), SolveJob> {
+        let mut st = self.state.lock().expect("solve queue poisoned");
+        if st.closed {
             return Err(job);
         }
         st.jobs.push_back(job);
@@ -297,8 +339,9 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads. `deadline_ms` is the queue-time budget:
-    /// a job dequeued after sitting longer is shed (typed busy error
-    /// carrying retry advice) instead of solved.
+    /// a solve dequeued after sitting longer is shed (typed busy error
+    /// carrying retry advice) instead of executed; control jobs are
+    /// exempt. `opts` parameterizes control verbs (the `LOAD` root).
     pub fn spawn(
         workers: usize,
         engine: Arc<QueryEngine>,
@@ -306,6 +349,7 @@ impl WorkerPool {
         done: mpsc::Sender<SolveDone>,
         waker: Waker,
         deadline_ms: Option<u64>,
+        opts: Arc<ServeOptions>,
     ) -> WorkerPool {
         let workers = workers.max(1);
         let handles = (0..workers)
@@ -314,6 +358,7 @@ impl WorkerPool {
                 let queue = Arc::clone(&queue);
                 let done = done.clone();
                 let waker = waker.clone();
+                let opts = Arc::clone(&opts);
                 std::thread::Builder::new()
                     .name(format!("fairhms-worker-{i}"))
                     .spawn(move || {
@@ -324,29 +369,37 @@ impl WorkerPool {
                                 m.queue_wait
                                     .record(waited.as_nanos().min(u64::MAX as u128) as u64);
                             }
-                            let result = match deadline_ms {
-                                Some(d) if waited.as_millis() > u128::from(d) => {
-                                    m.shed_total.inc();
-                                    Err(ServiceError::Busy {
-                                        reason: format!(
-                                            "queue deadline exceeded ({} ms queued, budget {d} ms)",
-                                            waited.as_millis()
-                                        ),
-                                        retry_after_ms: m.retry_after_ms(queue.depth(), workers),
-                                    })
+                            let done_item = match job.work {
+                                WorkItem::Solve(query) => {
+                                    let result = match deadline_ms {
+                                        Some(d) if waited.as_millis() > u128::from(d) => {
+                                            m.shed_total.inc();
+                                            Err(ServiceError::Busy {
+                                                reason: format!(
+                                                    "queue deadline exceeded ({} ms queued, budget {d} ms)",
+                                                    waited.as_millis()
+                                                ),
+                                                retry_after_ms: m
+                                                    .retry_after_ms(queue.depth(), workers),
+                                            })
+                                        }
+                                        _ => {
+                                            let _run = m.recorder().span(&m.run);
+                                            engine.execute(&query)
+                                        }
+                                    };
+                                    WorkDone::Solve { query, result }
                                 }
-                                _ => {
-                                    let _run = m.recorder().span(&m.run);
-                                    engine.execute(&job.query)
-                                }
+                                WorkItem::Load { name, path } => WorkDone::Control(
+                                    server::handle_load(&engine, &opts, &name, &path),
+                                ),
                             };
                             let out = SolveDone {
                                 conn: job.conn,
                                 generation: job.generation,
                                 ticket: job.ticket,
                                 batch_index: job.batch_index,
-                                query: job.query,
-                                result,
+                                done: done_item,
                             };
                             if done.send(out).is_err() {
                                 break; // event loop gone; nothing to report to
@@ -472,7 +525,7 @@ mod tests {
             generation: 1,
             ticket,
             batch_index: None,
-            query: Box::new(Query::new("toy", 2)),
+            work: WorkItem::Solve(Box::new(Query::new("toy", 2))),
             enqueued: Instant::now(),
         }
     }
@@ -512,7 +565,15 @@ mod tests {
         let queue = SolveQueue::new(64, m);
         let (pipe, waker) = crate::reactor::wake_pair().unwrap();
         let (tx, rx) = mpsc::channel();
-        let pool = WorkerPool::spawn(3, Arc::clone(&eng), Arc::clone(&queue), tx, waker, None);
+        let pool = WorkerPool::spawn(
+            3,
+            Arc::clone(&eng),
+            Arc::clone(&queue),
+            tx,
+            waker,
+            None,
+            Arc::new(ServeOptions::default()),
+        );
         assert_eq!(pool.handles.len(), 3);
         for t in 0..8 {
             queue.try_push(job(t)).unwrap();
@@ -521,7 +582,10 @@ mod tests {
         done.sort_by_key(|d| d.ticket);
         for (t, d) in done.iter().enumerate() {
             assert_eq!(d.ticket, t as u64);
-            assert!(d.result.is_ok(), "{:?}", d.result);
+            let WorkDone::Solve { result, .. } = &d.done else {
+                panic!("expected a solve outcome, got {:?}", d.done);
+            };
+            assert!(result.is_ok(), "{result:?}");
         }
         // Completions pinged the wake pipe (coalesced ≥ 1 byte pending).
         let mut fds = [crate::reactor::PollFd::new(
@@ -544,9 +608,20 @@ mod tests {
         queue.try_push(stale).unwrap();
         let (_pipe, waker) = crate::reactor::wake_pair().unwrap();
         let (tx, rx) = mpsc::channel();
-        let pool = WorkerPool::spawn(1, eng, Arc::clone(&queue), tx, waker, Some(1));
+        let pool = WorkerPool::spawn(
+            1,
+            eng,
+            Arc::clone(&queue),
+            tx,
+            waker,
+            Some(1),
+            Arc::new(ServeOptions::default()),
+        );
         let d = rx.recv().unwrap();
-        match &d.result {
+        let WorkDone::Solve { result, .. } = &d.done else {
+            panic!("expected a solve outcome, got {:?}", d.done);
+        };
+        match result {
             Err(ServiceError::Busy {
                 reason,
                 retry_after_ms,

@@ -68,10 +68,17 @@ impl PollFd {
 }
 
 mod sys {
+    /// The C `nfds_t`: `unsigned long` on Linux/glibc/musl, but `u32`
+    /// on macOS and the BSDs — an ABI detail the libc crate would hide.
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = u32;
+
     extern "C" {
         pub fn poll(
             fds: *mut super::PollFd,
-            nfds: std::ffi::c_ulong,
+            nfds: NfdsT,
             timeout: std::ffi::c_int,
         ) -> std::ffi::c_int;
     }
@@ -82,7 +89,7 @@ mod sys {
 /// ready entries. `EINTR` is retried internally — callers never see it.
 pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
     loop {
-        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);
         }

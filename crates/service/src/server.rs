@@ -865,7 +865,12 @@ fn serve_streamed_batch(
 
 /// Handles the `LOAD` admin verb: allowlist gate, path confinement,
 /// catalog registration.
-fn handle_load(engine: &QueryEngine, opts: &ServeOptions, name: &str, path: &str) -> Response {
+pub(crate) fn handle_load(
+    engine: &QueryEngine,
+    opts: &ServeOptions,
+    name: &str,
+    path: &str,
+) -> Response {
     let Some(root) = &opts.load_root else {
         return Response::error(&ServiceError::Protocol(
             "LOAD disabled: server started without --load-root".into(),

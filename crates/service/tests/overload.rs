@@ -18,7 +18,7 @@
 //! `answered + shed == burst`) hold under any scheduling.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fairhms_data::{gen, Dataset};
+use fairhms_service::codec::CodecKind;
 use fairhms_service::protocol::{parse_response, Response};
 use fairhms_service::{
     Catalog, FrontendKind, Query, QueryEngine, ServeOptions, Server, ServerConfig, WireClient,
@@ -423,6 +424,156 @@ fn fault_injection_event_frontend() {
 #[test]
 fn fault_injection_threaded_frontend() {
     fault_injection_suite(FrontendKind::Threaded);
+}
+
+// ---------------------------------------------------------------------
+// Pipelining and half-close ordering contracts (both front ends)
+// ---------------------------------------------------------------------
+
+/// A pipelined codec switch re-codes only what follows it: a `QUERY`
+/// admitted before `HELLO codec=binary` must answer through the codec in
+/// effect when it was parsed, even though its solve completes after the
+/// switch — exactly the frame sequence a sequential connection thread
+/// produces.
+fn pipelined_hello_recodes_only_later_requests(frontend: FrontendKind) {
+    let server = spawn(
+        2,
+        ServeOptions {
+            frontend,
+            ..ServeOptions::default()
+        },
+    );
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.write_all(
+        b"QUERY dataset=demo k=3 alg=bigreedy\n\
+          HELLO version=2 codec=binary\n\
+          QUERY dataset=demo k=3 alg=bigreedy\n",
+    )
+    .unwrap();
+    let mut r = BufReader::new(s.try_clone().unwrap());
+    let text = CodecKind::Text.new_codec();
+    let binary = CodecKind::Binary.new_codec();
+
+    // Frame 1: the pre-switch query, in text.
+    let first = match text.read_frame(&mut r).unwrap() {
+        Some(Response::Answer { answer, .. }) => answer,
+        other => panic!("expected a text-coded answer first, got {other:?}"),
+    };
+    // Frame 2: the HELLO ack, still text (the previous codec).
+    match text.read_frame(&mut r).unwrap() {
+        Some(Response::Hello { codec, .. }) => assert_eq!(codec, CodecKind::Binary),
+        other => panic!("expected the text-coded HELLO ack second, got {other:?}"),
+    }
+    // Frame 3: the post-switch query, in binary.
+    let third = match binary.read_frame(&mut r).unwrap() {
+        Some(Response::Answer { answer, .. }) => answer,
+        other => panic!("expected a binary-coded answer third, got {other:?}"),
+    };
+    assert_eq!(
+        first.indices, third.indices,
+        "same query before and after the switch must agree"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_hello_recodes_only_later_requests_event() {
+    pipelined_hello_recodes_only_later_requests(FrontendKind::Event);
+}
+
+#[test]
+fn pipelined_hello_recodes_only_later_requests_threaded() {
+    pipelined_hello_recodes_only_later_requests(FrontendKind::Threaded);
+}
+
+/// Requests received before a FIN still answer: a client that sends a
+/// query and immediately half-closes its write side must receive the
+/// answer, then a clean EOF.
+fn half_close_still_answers_admitted_work(frontend: FrontendKind) {
+    let server = spawn(
+        2,
+        ServeOptions {
+            frontend,
+            ..ServeOptions::default()
+        },
+    );
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.write_all(b"QUERY dataset=demo k=3 alg=bigreedy\n")
+        .unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut r = BufReader::new(s);
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    let ans = parse_response(line.trim()).unwrap();
+    assert_eq!(
+        ans.indices.len(),
+        3,
+        "half-closed connection lost its in-flight answer"
+    );
+    line.clear();
+    assert_eq!(
+        r.read_line(&mut line).unwrap(),
+        0,
+        "expected a clean EOF after the final answer"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn half_close_still_answers_admitted_work_event() {
+    half_close_still_answers_admitted_work(FrontendKind::Event);
+}
+
+#[test]
+fn half_close_still_answers_admitted_work_threaded() {
+    half_close_still_answers_admitted_work(FrontendKind::Threaded);
+}
+
+/// On the event front end `LOAD` executes on the worker pool (a disk
+/// read must not stall the loop), but requests pipelined behind it keep
+/// their sequential order: LOAD-then-QUERY written as one block answers
+/// `Loaded` first and then solves against the freshly loaded dataset.
+#[test]
+fn pipelined_load_then_query_keeps_sequential_order() {
+    let root = std::env::temp_dir().join("fairhms_overload_load_root");
+    std::fs::create_dir_all(&root).unwrap();
+    let mut csv = String::new();
+    for i in 0..40 {
+        let x = (i as f64) / 40.0;
+        csv.push_str(&format!("{},{},g{}\n", x, 1.0 - x, i % 2));
+    }
+    std::fs::write(root.join("extra.csv"), csv).unwrap();
+
+    let server = spawn(
+        2,
+        ServeOptions {
+            load_root: Some(root),
+            ..event_opts()
+        },
+    );
+    let mut c = WireClient::connect(server.addr()).unwrap();
+    // One write: the query races the load unless admission is ordered.
+    c.send_line("LOAD name=extra path=extra.csv\nQUERY dataset=extra k=3")
+        .unwrap();
+    match c.recv().unwrap() {
+        Response::Loaded { name, rows, .. } => {
+            assert_eq!((name.as_str(), rows), ("extra", 40));
+        }
+        other => panic!("expected Loaded first, got {other:?}"),
+    }
+    match c.recv().unwrap() {
+        Response::Answer { answer, .. } => assert_eq!(
+            answer.indices.len(),
+            3,
+            "pipelined query must see the loaded dataset"
+        ),
+        other => panic!("expected the pipelined query's answer second, got {other:?}"),
+    }
+    // The connection (and its input barrier) is fully released.
+    c.send_line("PING").unwrap();
+    assert_eq!(c.recv().unwrap(), Response::Pong);
+    server.shutdown();
 }
 
 /// Shutdown on the event front end is a wake, not a timeout expiry: with
