@@ -112,7 +112,7 @@ pub fn bigreedy_plus(
             let est = ev.mhr(inst.data(), &s.indices);
             (s, est)
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        .max_by(|a, b| a.1.total_cmp(&b.1));
     match best {
         Some((sol, est)) => Ok(Solution::new(sol.indices, Some(est))),
         None => Err(CoreError::NoFeasibleSolution),

@@ -115,7 +115,7 @@ pub(crate) fn pad_to_k(data: &Dataset, mut sel: Vec<usize>, k: usize) -> Vec<usi
     rest.sort_by(|&a, &b| {
         let sa: f64 = data.point(a).iter().sum();
         let sb: f64 = data.point(b).iter().sum();
-        sb.partial_cmp(&sa).unwrap()
+        sb.total_cmp(&sa)
     });
     for i in rest {
         if sel.len() >= k {

@@ -48,12 +48,9 @@ pub fn sphere(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
             .max_by(|&a, &b| {
                 let pa = data.point(a);
                 let pb = data.point(b);
-                pa[j].partial_cmp(&pb[j]).unwrap().then_with(|| {
-                    pa.iter()
-                        .sum::<f64>()
-                        .partial_cmp(&pb.iter().sum::<f64>())
-                        .unwrap()
-                })
+                pa[j]
+                    .total_cmp(&pb[j])
+                    .then_with(|| pa.iter().sum::<f64>().total_cmp(&pb.iter().sum::<f64>()))
             })
             .expect("non-empty");
         push_unique(&mut sel, best);
@@ -69,11 +66,7 @@ pub fn sphere(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
                 break;
             }
             let best = (0..n)
-                .max_by(|&a, &b| {
-                    dot(data.point(a), u)
-                        .partial_cmp(&dot(data.point(b), u))
-                        .unwrap()
-                })
+                .max_by(|&a, &b| dot(data.point(a), u).total_cmp(&dot(data.point(b), u)))
                 .expect("non-empty");
             push_unique(&mut sel, best);
         }
@@ -84,7 +77,7 @@ pub fn sphere(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
             rest.sort_by(|&a, &b| {
                 let sa: f64 = data.point(a).iter().sum();
                 let sb: f64 = data.point(b).iter().sum();
-                sb.partial_cmp(&sa).unwrap()
+                sb.total_cmp(&sa)
             });
             for i in rest {
                 if sel.len() >= k {

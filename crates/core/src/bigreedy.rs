@@ -30,8 +30,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use fairhms_data::Dataset;
 use fairhms_geometry::sphere::{bigreedy_net_delta, net_size, random_net_with_basis};
-use fairhms_geometry::vecmath::dot;
 use fairhms_submodular::{greedy_matroid, lazy_greedy_matroid, IncrementalObjective};
 
 use crate::objective::TruncatedMhrObjective;
@@ -103,26 +103,39 @@ impl BiGreedyConfig {
         }
     }
 
+    /// Smallest `epsilon` [`BiGreedyConfig::validate`] accepts. Below
+    /// this the geometric τ grid `{(1−ε/2)^j}` down to `1/m` explodes to
+    /// billions of entries, so tiny ε is rejected up front instead of
+    /// being silently clamped (the pre-validation behaviour).
+    pub const EPSILON_MIN: f64 = 1e-6;
+    /// Largest `epsilon` [`BiGreedyConfig::validate`] accepts.
+    pub const EPSILON_MAX: f64 = 0.999;
+
     /// Validates the numeric parameters: `epsilon` must be finite and in
-    /// `(0, 1)`, and — when `sample_size` is `None`, so it actually drives
-    /// the covering bound — `delta` must be too. A NaN here would
-    /// otherwise survive `clamp` (which propagates NaN) and poison every
-    /// threshold comparison downstream, silently returning garbage
-    /// instead of an error.
+    /// `[EPSILON_MIN, EPSILON_MAX]` — exactly the range the solver runs
+    /// at; there is no silent clamp between validation and use — and,
+    /// when `sample_size` is `None` so it actually drives the covering
+    /// bound, `delta` must be finite in `(0, 1)`. A NaN here would
+    /// otherwise poison every threshold comparison downstream, silently
+    /// returning garbage instead of an error.
     pub fn validate(&self) -> Result<(), CoreError> {
-        let check = |param: &'static str, v: f64| -> Result<(), CoreError> {
+        let e = self.epsilon;
+        if !e.is_finite() || !(Self::EPSILON_MIN..=Self::EPSILON_MAX).contains(&e) {
+            return Err(CoreError::InvalidParameter {
+                param: "epsilon",
+                value: format!("{e}"),
+                expected: "a finite value in [1e-6, 0.999]",
+            });
+        }
+        if self.sample_size.is_none() {
+            let v = self.delta;
             if !v.is_finite() || v <= 0.0 || v >= 1.0 {
                 return Err(CoreError::InvalidParameter {
-                    param,
+                    param: "delta",
                     value: format!("{v}"),
                     expected: "a finite value in (0, 1)",
                 });
             }
-            Ok(())
-        };
-        check("epsilon", self.epsilon)?;
-        if self.sample_size.is_none() {
-            check("delta", self.delta)?;
         }
         Ok(())
     }
@@ -177,6 +190,61 @@ impl SampledNet {
     }
 }
 
+/// The per-utility database maxima `db_max[u] = max_{p ∈ D} ⟨u, p⟩` for a
+/// [`SampledNet`] over an `n`-point dataset.
+///
+/// Routed through [`Dataset::max_dot_many`], the cache-blocked batched
+/// sweep (one stream of the point matrix for all `m` utilities) —
+/// bitwise-equal to the per-utility scalar scan under either backend.
+pub fn db_max_of(data: &Dataset, net: &[Vec<f64>]) -> Vec<f64> {
+    data.max_dot_many(net)
+}
+
+/// A computed `db_max` vector together with the exact preimage that
+/// produced it — the third warm-start component (after the δ-net and the
+/// prepared bounds).
+///
+/// `db_max` is a pure function of the net (identified by `(dim, m, seed)`)
+/// and the point matrix (identified, within one catalog epoch and prepared
+/// form, by `n`). The warm caches key entries by epoch, so a cached vector
+/// whose [`CachedDbMax::matches`] preimage checks out is **bit-identical**
+/// to recomputation: reuse skips the `m × n` setup pass without being able
+/// to change an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedDbMax {
+    /// Utility-space dimensionality of the generating net.
+    pub dim: usize,
+    /// Net size `m` (`values.len() == m` net vectors were scanned).
+    pub m: usize,
+    /// RNG seed of the generating net.
+    pub seed: u64,
+    /// Number of points in the dataset the maxima were taken over.
+    pub n: usize,
+    /// `values[u] = max_{p ∈ D} ⟨net[u], p⟩`.
+    pub values: Vec<f64>,
+}
+
+impl CachedDbMax {
+    /// Computes the maxima for `net` over `data` (through the active
+    /// kernel backend) and records the preimage.
+    pub fn compute(data: &Dataset, net: &SampledNet) -> Self {
+        Self {
+            dim: net.dim,
+            m: net.m,
+            seed: net.seed,
+            n: data.len(),
+            values: db_max_of(data, &net.vectors),
+        }
+    }
+
+    /// Whether this vector was computed from exactly `(dim, m, seed)` over
+    /// an `n`-point dataset — the precondition for reuse being
+    /// bit-identical to recomputation.
+    pub fn matches(&self, dim: usize, m: usize, seed: u64, n: usize) -> bool {
+        self.dim == dim && self.m == m && self.seed == seed && self.n == n
+    }
+}
+
 /// Runs `BiGreedy` on `inst`. The returned [`Solution::mhr`] is the δ-net
 /// estimate `mhr(S|N)` (an upper bound on the true MHR within `δ`).
 pub fn bigreedy(inst: &FairHmsInstance, config: &BiGreedyConfig) -> Result<Solution, CoreError> {
@@ -201,23 +269,32 @@ pub fn bigreedy_on_net(
     config: &BiGreedyConfig,
 ) -> Result<(Solution, f64), CoreError> {
     config.validate()?;
+    let db_max = db_max_of(inst.data(), net);
+    bigreedy_on_net_with_db_max(inst, net, &db_max, config)
+}
+
+/// [`bigreedy_on_net`] with the `m × n` `db_max` setup pass supplied by
+/// the caller — the warm-start entry point. `db_max[u]` **must** equal
+/// `max_{p ∈ D} ⟨net[u], p⟩` over `inst`'s dataset (see [`CachedDbMax`]);
+/// callers verify the cached preimage before passing a reused vector.
+pub fn bigreedy_on_net_with_db_max(
+    inst: &FairHmsInstance,
+    net: &[Vec<f64>],
+    db_max: &[f64],
+    config: &BiGreedyConfig,
+) -> Result<(Solution, f64), CoreError> {
+    config.validate()?;
+    debug_assert_eq!(db_max.len(), net.len(), "db_max/net length mismatch");
     let data = inst.data();
     let m = net.len().max(1);
-    let epsilon = config.epsilon.clamp(1e-6, 0.999);
+    // validate() pins epsilon to exactly the range used here — no clamp.
+    let epsilon = config.epsilon;
     let gamma = match config.mode {
         BiGreedyMode::Feasible => 1,
         BiGreedyMode::Bicriteria => ((2.0 * m as f64 / epsilon).log2().ceil() as usize).max(1),
     };
 
-    let db_max: Vec<f64> = net
-        .iter()
-        .map(|u| {
-            (0..data.len())
-                .map(|i| dot(data.point(i), u))
-                .fold(0.0_f64, f64::max)
-        })
-        .collect();
-    let mut objective = TruncatedMhrObjective::new(data, net, &db_max, 1.0, true);
+    let mut objective = TruncatedMhrObjective::new(data, net, db_max, 1.0, true);
     let candidates: Vec<usize> = (0..data.len()).collect();
 
     // Geometric τ grid from 1 down to 1/m (Algorithm 3, lines 3–8).
@@ -309,11 +386,8 @@ pub fn bigreedy_on_net(
             let best = pool
                 .iter()
                 .filter(|(_, passed)| *passed)
-                .max_by(|a, b| rank(&a.0).partial_cmp(&rank(&b.0)).unwrap())
-                .or_else(|| {
-                    pool.iter()
-                        .max_by(|a, b| rank(&a.0).partial_cmp(&rank(&b.0)).unwrap())
-                });
+                .max_by(|a, b| rank(&a.0).total_cmp(&rank(&b.0)))
+                .or_else(|| pool.iter().max_by(|a, b| rank(&a.0).total_cmp(&rank(&b.0))));
             match best {
                 Some((union, _)) => union.clone(),
                 None => inst.complete_to_feasible(&[])?,
@@ -322,9 +396,7 @@ pub fn bigreedy_on_net(
         BiGreedyMode::Feasible => {
             // Every γ = 1 base is feasible: take the argmax over all of
             // them (paper line 9), pad only the degenerate empty fallback.
-            let best = pool
-                .iter()
-                .max_by(|a, b| rank(&a.0).partial_cmp(&rank(&b.0)).unwrap());
+            let best = pool.iter().max_by(|a, b| rank(&a.0).total_cmp(&rank(&b.0)));
             match best {
                 Some((union, _)) => inst.complete_to_feasible(union)?,
                 None => inst.complete_to_feasible(&[])?,
@@ -458,9 +530,12 @@ mod tests {
 
     #[test]
     fn non_finite_or_out_of_range_params_yield_typed_errors() {
-        // Regression: `epsilon.clamp(1e-6, 0.999)` propagates NaN, so a
-        // NaN ε used to run the whole solve with NaN thresholds. Now the
-        // config is validated up front with a typed error.
+        // Regression (PR 5): a NaN ε used to survive `clamp` and run the
+        // whole solve with NaN thresholds. Regression (PR 8): validated
+        // values like 1e-9 or 0.9999 used to pass `(0, 1)` validation and
+        // then run silently clamped to [1e-6, 0.999] — a *different* ε
+        // than requested. validate() now accepts exactly the range the
+        // solver runs at, and the clamp is gone.
         let inst = lsac_instance(2, true);
         for bad in [
             f64::NAN,
@@ -470,6 +545,8 @@ mod tests {
             -0.5,
             1.0,
             1.5,
+            1e-9,   // previously validated, then silently ran at 1e-6
+            0.9999, // previously validated, then silently ran at 0.999
         ] {
             let cfg = BiGreedyConfig {
                 epsilon: bad,
@@ -513,6 +590,50 @@ mod tests {
                 "delta = {bad} with explicit m"
             );
         }
+    }
+
+    #[test]
+    fn epsilon_boundaries_run_unclamped() {
+        // The accepted range *is* the range used: both boundary values run
+        // (no clamp can change them), and just-outside values error.
+        let inst = lsac_instance(2, true);
+        for eps in [BiGreedyConfig::EPSILON_MIN, BiGreedyConfig::EPSILON_MAX] {
+            let cfg = BiGreedyConfig {
+                epsilon: eps,
+                ..BiGreedyConfig::paper_default(2, 2)
+            };
+            let sol = bigreedy(&inst, &cfg).unwrap_or_else(|e| panic!("epsilon = {eps}: {e:?}"));
+            assert_eq!(sol.len(), 2);
+        }
+    }
+
+    #[test]
+    fn cached_db_max_reuse_is_bit_identical_to_recomputation() {
+        let inst = lsac_instance(3, true);
+        let cfg = BiGreedyConfig::paper_default(3, 2);
+        let net = SampledNet::generate(inst.dim(), cfg.resolve_m(inst.dim()), cfg.seed);
+        let cached = CachedDbMax::compute(inst.data(), &net);
+        assert!(cached.matches(net.dim, net.m, net.seed, inst.data().len()));
+        assert!(!cached.matches(net.dim, net.m, net.seed + 1, inst.data().len()));
+        assert!(!cached.matches(net.dim, net.m, net.seed, inst.data().len() + 1));
+        // Recomputation is deterministic…
+        let again = CachedDbMax::compute(inst.data(), &net);
+        let (ba, bb): (Vec<u64>, Vec<u64>) = (
+            cached.values.iter().map(|x| x.to_bits()).collect(),
+            again.values.iter().map(|x| x.to_bits()).collect(),
+        );
+        assert_eq!(ba, bb);
+        // …and the solver consuming a cached vector equals the
+        // compute-inline entry point to the bit.
+        let (with_cache, tau_a) =
+            bigreedy_on_net_with_db_max(&inst, &net.vectors, &cached.values, &cfg).unwrap();
+        let (inline, tau_b) = bigreedy_on_net(&inst, &net.vectors, &cfg).unwrap();
+        assert_eq!(with_cache.indices, inline.indices);
+        assert_eq!(
+            with_cache.mhr.map(f64::to_bits),
+            inline.mhr.map(f64::to_bits)
+        );
+        assert_eq!(tau_a.to_bits(), tau_b.to_bits());
     }
 
     #[test]

@@ -20,9 +20,7 @@ use fairhms_geometry::EPS;
 /// Happiness ratio `hr(u, S) = max_{p∈S}⟨u,p⟩ / max_{p∈D}⟨u,p⟩` for one
 /// utility. Returns 1 when the database maximum is 0 (every subset ties).
 pub fn hr_for_utility(data: &Dataset, sel: &[usize], u: &[f64]) -> f64 {
-    let db_max = (0..data.len())
-        .map(|i| dot(data.point(i), u))
-        .fold(0.0_f64, f64::max);
+    let db_max = data.max_dot(u);
     if db_max <= EPS {
         return 1.0;
     }
@@ -55,7 +53,7 @@ pub fn mhr_exact_2d(data: &Dataset, sel: &[usize]) -> f64 {
         lambdas.push(seg.from);
         lambdas.push(seg.to);
     }
-    lambdas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lambdas.sort_by(f64::total_cmp);
     lambdas.dedup_by(|a, b| (*a - *b).abs() <= EPS);
 
     let mut mhr = f64::INFINITY;
@@ -96,14 +94,10 @@ pub struct NetEvaluator {
 impl NetEvaluator {
     /// Builds the evaluator for `data` and the utility sample `net`.
     pub fn new(data: &Dataset, net: Vec<Vec<f64>>) -> Self {
-        let db_max = net
-            .iter()
-            .map(|u| {
-                (0..data.len())
-                    .map(|i| dot(data.point(i), u))
-                    .fold(0.0_f64, f64::max)
-            })
-            .collect();
+        // The m × n extreme-value pass, routed through the active kernel
+        // backend (bitwise-equal to the scalar fold — see
+        // fairhms_geometry::soa).
+        let db_max = crate::bigreedy::db_max_of(data, &net);
         Self { net, db_max }
     }
 

@@ -31,9 +31,7 @@ pub fn avg_happiness_ratio(data: &Dataset, sel: &[usize], net: &[Vec<f64>]) -> f
     }
     let mut total = 0.0;
     for u in net {
-        let db = (0..data.len())
-            .map(|i| dot(data.point(i), u))
-            .fold(0.0_f64, f64::max);
+        let db = data.max_dot(u);
         if db <= EPS {
             total += 1.0;
             continue;
@@ -67,9 +65,10 @@ impl KthNetEvaluator {
         let db_kth = net
             .iter()
             .map(|u| {
-                let mut scores: Vec<f64> = (0..data.len()).map(|i| dot(data.point(i), u)).collect();
+                let mut scores = vec![0.0; data.len()];
+                data.dot_batch(u, &mut scores);
                 // t-th largest via partial sort
-                scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                scores.sort_by(|a, b| b.total_cmp(a));
                 scores[t - 1]
             })
             .collect();

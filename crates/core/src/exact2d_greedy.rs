@@ -87,7 +87,7 @@ fn greedy_cover_at(lines: &[Line], env: &Envelope, tau: f64, k: usize) -> Option
         .enumerate()
         .filter_map(|(i, l)| env.tau_interval(l, tau).map(|(a, b)| (a, b, i)))
         .collect();
-    intervals.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let mut covered = 0.0_f64;
     let mut chosen: Vec<usize> = Vec::new();

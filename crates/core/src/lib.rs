@@ -47,7 +47,7 @@ pub mod streaming;
 pub mod types;
 
 pub use adaptive::{bigreedy_plus, BiGreedyPlusConfig};
-pub use bigreedy::{bigreedy, BiGreedyConfig, BiGreedyMode, SampledNet, TauSearch};
+pub use bigreedy::{bigreedy, BiGreedyConfig, BiGreedyMode, CachedDbMax, SampledNet, TauSearch};
 pub use intcov::{intcov, intcov_min_size};
 pub use registry::WarmStart;
 pub use streaming::{streaming_fairhms, StreamingFairHmsConfig};

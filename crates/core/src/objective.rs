@@ -8,6 +8,7 @@
 //! score computation unless the score matrix is cached).
 
 use fairhms_data::Dataset;
+use fairhms_geometry::soa::{kernel_backend, KernelBackend};
 use fairhms_geometry::vecmath::dot;
 use fairhms_geometry::EPS;
 use fairhms_submodular::IncrementalObjective;
@@ -43,13 +44,41 @@ impl<'a> TruncatedMhrObjective<'a> {
         let m = net.len();
         let n = data.len();
         let scores = if cache && n.saturating_mul(m) <= CACHE_LIMIT {
-            let mut s = Vec::with_capacity(n * m);
-            for i in 0..n {
-                let p = data.point(i);
-                for (u, &dbm) in net.iter().zip(db_max) {
-                    s.push(normalized_score(p, u, dbm));
+            let s = match kernel_backend() {
+                KernelBackend::Scalar => {
+                    let mut s = Vec::with_capacity(n * m);
+                    for i in 0..n {
+                        let p = data.point(i);
+                        for (u, &dbm) in net.iter().zip(db_max) {
+                            s.push(normalized_score(p, u, dbm));
+                        }
+                    }
+                    s
                 }
-            }
+                KernelBackend::Blocked => {
+                    // Tile-outer build: for each 64-row tile, sweep all
+                    // utilities while the tile (a few KB) and its slice of
+                    // the row-major cache (64 rows × m) stay cache-
+                    // resident — a utility-outer sweep would re-fetch the
+                    // whole n × m cache once per utility through the
+                    // stride-m scatter. Each raw dot is bitwise-equal to
+                    // the scalar loop (see fairhms_geometry::soa), so the
+                    // cache contents are identical across backends.
+                    let mut s = vec![0.0; n * m];
+                    let mut acc = [0.0; fairhms_geometry::soa::BLOCK];
+                    let soa = data.soa();
+                    for b in 0..soa.num_tiles() {
+                        let start = b * fairhms_geometry::soa::BLOCK;
+                        for (u_idx, (u, &dbm)) in net.iter().zip(db_max).enumerate() {
+                            let rows = soa.dot_tile(b, u, &mut acc);
+                            for (r, &raw) in acc[..rows].iter().enumerate() {
+                                s[(start + r) * m + u_idx] = normalize_raw(raw, dbm);
+                            }
+                        }
+                    }
+                    s
+                }
+            };
             Some(s)
         } else {
             None
@@ -98,10 +127,15 @@ impl<'a> TruncatedMhrObjective<'a> {
 
 #[inline]
 fn normalized_score(p: &[f64], u: &[f64], db_max: f64) -> f64 {
+    normalize_raw(dot(p, u), db_max)
+}
+
+#[inline]
+fn normalize_raw(raw: f64, db_max: f64) -> f64 {
     if db_max <= EPS {
         1.0 // the whole database scores 0: every subset is fully happy
     } else {
-        (dot(p, u) / db_max).clamp(0.0, 1.0)
+        (raw / db_max).clamp(0.0, 1.0)
     }
 }
 
@@ -201,6 +235,23 @@ mod tests {
         let st = a.empty_state();
         for item in 0..ds.len() {
             assert!((a.gain(&st, item) - b.gain(&st, item)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn score_cache_is_bitwise_identical_across_kernel_backends() {
+        use fairhms_geometry::soa::{kernel_backend, set_kernel_backend, KernelBackend};
+        let (ds, net, db_max) = setup();
+        let prev = kernel_backend();
+        set_kernel_backend(KernelBackend::Scalar);
+        let a = TruncatedMhrObjective::new(&ds, &net, &db_max, 0.8, true);
+        set_kernel_backend(KernelBackend::Blocked);
+        let b = TruncatedMhrObjective::new(&ds, &net, &db_max, 0.8, true);
+        set_kernel_backend(prev);
+        let (sa, sb) = (a.scores.as_ref().unwrap(), b.scores.as_ref().unwrap());
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(sb) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

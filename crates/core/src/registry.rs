@@ -12,7 +12,11 @@ use std::sync::{Arc, Mutex};
 use crate::adapt::{f_greedy, g_adapt, g_greedy};
 use crate::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
 use crate::baselines::{dmm, hitting_set, rdp_greedy, sphere, DmmConfig, HsConfig};
-use crate::bigreedy::{bigreedy, bigreedy_on_net, BiGreedyConfig, SampledNet};
+use fairhms_data::Dataset;
+
+use crate::bigreedy::{
+    bigreedy, bigreedy_on_net_with_db_max, BiGreedyConfig, CachedDbMax, SampledNet,
+};
 use crate::intcov::intcov;
 use crate::types::{CoreError, FairHmsInstance, Solution};
 
@@ -35,6 +39,11 @@ pub struct WarmStart {
     net: Mutex<Option<Arc<SampledNet>>>,
     /// Whether the last solve actually reused the seeded net.
     net_reused: AtomicBool,
+    /// Per-net `db_max` vector, tagged with its `(dim, m, seed, n)`
+    /// preimage — the `m × n` extreme-value setup pass.
+    db_max: Mutex<Option<Arc<CachedDbMax>>>,
+    /// Whether the last solve actually reused the seeded `db_max`.
+    db_max_reused: AtomicBool,
 }
 
 impl WarmStart {
@@ -45,9 +54,16 @@ impl WarmStart {
 
     /// A context seeded with a previously deposited net (if any).
     pub fn with_net(net: Option<Arc<SampledNet>>) -> Self {
+        Self::with_components(net, None)
+    }
+
+    /// A context seeded with previously deposited components (any subset).
+    pub fn with_components(net: Option<Arc<SampledNet>>, db_max: Option<Arc<CachedDbMax>>) -> Self {
         Self {
             net: Mutex::new(net),
             net_reused: AtomicBool::new(false),
+            db_max: Mutex::new(db_max),
+            db_max_reused: AtomicBool::new(false),
         }
     }
 
@@ -77,6 +93,35 @@ impl WarmStart {
     /// (for the caller's warm-hit accounting).
     pub fn net_was_reused(&self) -> bool {
         self.net_reused.load(Ordering::Relaxed)
+    }
+
+    /// The `db_max` vector for exactly `net` over `data`: the seeded
+    /// vector when its `(dim, m, seed, n)` preimage matches
+    /// (bit-identical to recomputation, so reuse cannot change answers),
+    /// otherwise freshly computed — the `m × n` extreme-value pass — and
+    /// deposited for the caller to cache.
+    pub fn db_max_for(&self, net: &SampledNet, data: &Dataset) -> Arc<CachedDbMax> {
+        let mut slot = self.db_max.lock().unwrap();
+        if let Some(cached) = slot.as_ref() {
+            if cached.matches(net.dim, net.m, net.seed, data.len()) {
+                self.db_max_reused.store(true, Ordering::Relaxed);
+                return Arc::clone(cached);
+            }
+        }
+        let fresh = Arc::new(CachedDbMax::compute(data, net));
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The currently deposited `db_max` (seeded or freshly computed).
+    pub fn db_max(&self) -> Option<Arc<CachedDbMax>> {
+        self.db_max.lock().unwrap().clone()
+    }
+
+    /// Whether the last [`WarmStart::db_max_for`] call reused the seeded
+    /// vector (for the caller's warm-hit accounting).
+    pub fn db_max_was_reused(&self) -> bool {
+        self.db_max_reused.load(Ordering::Relaxed)
     }
 }
 
@@ -159,15 +204,17 @@ impl Algorithm for BiGreedyAlg {
         bigreedy(inst, &self.config(inst))
     }
     /// Reuses the context's δ-net when its `(dim, m, seed)` preimage
-    /// matches this solve — the expensive sampling (`m = mult·k·d`
-    /// vectors plus the `m × n` extreme-value pass seeding) is the
-    /// dominant per-query setup cost. Bit-identical to [`Self::solve`]
-    /// because net generation is deterministic in the preimage.
+    /// matches this solve, and the per-net `db_max` vector when its
+    /// `(dim, m, seed, n)` preimage matches — together the dominant
+    /// per-query setup cost (`m = mult·k·d` vectors sampled, then an
+    /// `m × n` extreme-value pass). Bit-identical to [`Self::solve`]
+    /// because both artifacts are deterministic in their preimages.
     fn solve_with(&self, inst: &FairHmsInstance, warm: &WarmStart) -> Result<Solution, CoreError> {
         let cfg = self.config(inst);
         cfg.validate()?;
         let net = warm.net_for(inst.dim(), cfg.resolve_m(inst.dim()), cfg.seed);
-        bigreedy_on_net(inst, &net.vectors, &cfg).map(|(sol, _tau)| sol)
+        let db_max = warm.db_max_for(&net, inst.data());
+        bigreedy_on_net_with_db_max(inst, &net.vectors, &db_max.values, &cfg).map(|(sol, _tau)| sol)
     }
 }
 
@@ -701,6 +748,42 @@ mod tests {
         let d = seeded.net_for(3, 60, 42);
         assert!(std::sync::Arc::ptr_eq(&a, &d));
         assert!(seeded.net_was_reused());
+    }
+
+    #[test]
+    fn warm_start_db_max_reuse_and_preimage_verification() {
+        let inst = lsac_instance(4);
+        let data = inst.data();
+        let ctx = WarmStart::new();
+        assert!(ctx.db_max().is_none());
+        let net = ctx.net_for(inst.dim(), 60, 42);
+        let a = ctx.db_max_for(&net, data);
+        assert!(
+            !ctx.db_max_was_reused(),
+            "fresh computation counted as reuse"
+        );
+        assert_eq!(a.values.len(), net.vectors.len());
+        // Matching preimage: the same allocation comes back.
+        let b = ctx.db_max_for(&net, data);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(ctx.db_max_was_reused());
+        // Mismatched preimage (different net seed): recomputed, deposited.
+        let other_net = SampledNet::generate(inst.dim(), 60, 7);
+        let c = ctx.db_max_for(&other_net, data);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(ctx.db_max().unwrap().seed, 7);
+        // Mismatched preimage (different n, e.g. full vs skyline form):
+        // never reused, even for the same net.
+        let smaller = data.subset(&[0, 1, 2]);
+        let d = ctx.db_max_for(&other_net, &smaller);
+        assert!(!std::sync::Arc::ptr_eq(&c, &d));
+        assert_eq!(d.n, 3);
+
+        // Seeding a context from a cached vector short-circuits the pass.
+        let seeded = WarmStart::with_components(Some(std::sync::Arc::clone(&net)), Some(a.clone()));
+        let e = seeded.db_max_for(&net, data);
+        assert!(std::sync::Arc::ptr_eq(&a, &e));
+        assert!(seeded.db_max_was_reused());
     }
 
     #[test]

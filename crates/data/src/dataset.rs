@@ -2,7 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use fairhms_geometry::soa::{kernel_backend, KernelBackend, SoaMatrix};
+use fairhms_geometry::vecmath;
 
 /// Process-wide count of [`Dataset`] deep copies (`Clone::clone` calls).
 ///
@@ -78,6 +81,11 @@ pub struct Dataset {
     groups: Arc<[usize]>,
     num_groups: usize,
     group_names: Vec<String>,
+    /// Lazily built block-tiled SoA view of `points`, shared by every
+    /// consumer of this dataset (the serving stack holds `Arc<Dataset>`,
+    /// so one build serves all queries against a prepared form). Reset by
+    /// the in-place mutators ([`Dataset::normalize`]).
+    soa: OnceLock<SoaMatrix>,
 }
 
 /// Deep copy of the full point matrix (group labels stay shared).
@@ -95,6 +103,7 @@ impl Clone for Dataset {
             groups: Arc::clone(&self.groups),
             num_groups: self.num_groups,
             group_names: self.group_names.clone(),
+            soa: OnceLock::new(),
         }
     }
 }
@@ -147,6 +156,7 @@ impl Dataset {
             groups: groups.into(),
             num_groups,
             group_names,
+            soa: OnceLock::new(),
         })
     }
 
@@ -201,6 +211,64 @@ impl Dataset {
         &self.points
     }
 
+    /// The block-tiled SoA view of the point matrix, built on first use
+    /// and cached for the lifetime of this dataset (see
+    /// [`fairhms_geometry::soa::SoaMatrix`]).
+    pub fn soa(&self) -> &SoaMatrix {
+        self.soa
+            .get_or_init(|| SoaMatrix::from_rows(&self.points, self.dim))
+    }
+
+    /// `max_{p ∈ D} ⟨u, p⟩` through the active kernel backend.
+    ///
+    /// Bitwise-equal across backends: the blocked kernel performs each
+    /// row's multiply-adds and the `f64::max` fold in exactly the scalar
+    /// order (see [`fairhms_geometry::soa`]). Returns `0.0` on an empty
+    /// dataset.
+    pub fn max_dot(&self, u: &[f64]) -> f64 {
+        match kernel_backend() {
+            KernelBackend::Scalar => vecmath::max_utility(&self.points, self.dim, u),
+            KernelBackend::Blocked => self.soa().max_dot(u),
+        }
+    }
+
+    /// `max_{p ∈ D} ⟨u, p⟩` for every utility in `us` — the `m × n`
+    /// extreme-value sweep of BiGreedy setup, through the active kernel
+    /// backend.
+    ///
+    /// Under the blocked backend this is the cache-blocked batched form:
+    /// the point matrix streams through memory once for all utilities
+    /// instead of once per utility (see
+    /// [`fairhms_geometry::soa::SoaMatrix::max_dot_many`]). Bitwise-equal
+    /// to mapping [`Dataset::max_dot`] over `us` under either backend.
+    pub fn max_dot_many(&self, us: &[Vec<f64>]) -> Vec<f64> {
+        match kernel_backend() {
+            KernelBackend::Scalar => us
+                .iter()
+                .map(|u| vecmath::max_utility(&self.points, self.dim, u))
+                .collect(),
+            KernelBackend::Blocked => {
+                let mut out = vec![0.0; us.len()];
+                self.soa().max_dot_many(us, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Writes `⟨p_i, u⟩` for every row `i` into `out` through the active
+    /// kernel backend (bitwise-equal across backends).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn dot_batch(&self, u: &[f64], out: &mut [f64]) {
+        match kernel_backend() {
+            KernelBackend::Scalar => {
+                fairhms_geometry::soa::dot_batch_rows(&self.points, self.dim, u, out)
+            }
+            KernelBackend::Blocked => self.soa().dot_batch(u, out),
+        }
+    }
+
     /// Group label of row `i`.
     #[inline]
     pub fn group_of(&self, i: usize) -> usize {
@@ -241,6 +309,9 @@ impl Dataset {
     /// normalized and raw datasets have identical optima. Attributes that
     /// are identically zero are left unchanged.
     pub fn normalize(&mut self) -> Vec<f64> {
+        // In-place mutation: drop any previously built SoA view so the
+        // next kernel call re-tiles the rescaled matrix.
+        self.soa = OnceLock::new();
         let mut maxima = vec![0.0_f64; self.dim];
         for p in self.points.chunks_exact(self.dim) {
             for (m, &v) in maxima.iter_mut().zip(p) {
@@ -271,6 +342,7 @@ impl Dataset {
         if threads == 1 || n < 2 * threads {
             return self.normalize();
         }
+        self.soa = OnceLock::new();
         let dim = self.dim;
         let chunk_len = n.div_ceil(threads) * dim;
         let maxima = std::thread::scope(|s| {
@@ -329,6 +401,7 @@ impl Dataset {
             groups: groups.into(),
             num_groups: self.num_groups,
             group_names: self.group_names.clone(),
+            soa: OnceLock::new(),
         }
     }
 
@@ -347,6 +420,7 @@ impl Dataset {
             groups: Arc::clone(&self.groups),
             num_groups: self.num_groups,
             group_names: self.group_names.clone(),
+            soa: OnceLock::new(),
         }
     }
 }
@@ -496,6 +570,28 @@ mod tests {
         let scales = d.normalize();
         assert_eq!(scales[0], 0.0);
         assert_eq!(d.point(0), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn soa_view_matches_scalar_and_resets_on_normalize() {
+        let mut d = tiny();
+        let u = [0.3, 0.7];
+        // Build the tiled view, then check both dispatch paths agree with
+        // the scalar oracle bitwise.
+        let expect = vecmath::max_utility(d.points_flat(), d.dim(), &u);
+        assert_eq!(d.soa().max_dot(&u).to_bits(), expect.to_bits());
+        assert_eq!(d.max_dot(&u).to_bits(), expect.to_bits());
+        let mut out = vec![0.0; d.len()];
+        d.dot_batch(&u, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v.to_bits(), vecmath::dot(d.point(i), &u).to_bits());
+        }
+        // normalize mutates the matrix in place: the cached view must be
+        // rebuilt, not served stale.
+        d.normalize();
+        let expect = vecmath::max_utility(d.points_flat(), d.dim(), &u);
+        assert_eq!(d.soa().max_dot(&u).to_bits(), expect.to_bits());
+        assert_eq!(d.max_dot(&u).to_bits(), expect.to_bits());
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn groups_by_sum(points: &[f64], d: usize, c: usize) -> Vec<usize> {
     let n = points.len() / d;
     let mut order: Vec<usize> = (0..n).collect();
     let sum = |i: usize| -> f64 { points[i * d..(i + 1) * d].iter().sum() };
-    order.sort_by(|&a, &b| sum(a).partial_cmp(&sum(b)).unwrap());
+    order.sort_by(|&a, &b| sum(a).total_cmp(&sum(b)));
     let mut groups = vec![0usize; n];
     for (rank, &i) in order.iter().enumerate() {
         groups[i] = (rank * c / n).min(c - 1);

@@ -183,19 +183,46 @@ pub fn merge_shard_skylines<S: AsRef<[usize]>>(data: &Dataset, shard_skylines: &
 /// group — workers pull group buckets from a shared queue instead.
 pub const MAX_MERGE_THREADS: usize = 64;
 
+/// Rows per divide-and-conquer chunk in
+/// [`merge_shard_skylines_parallel`]. A skewed group distribution (in the
+/// extreme, one group holding the whole union) must not serialize the
+/// merge onto one thread, so buckets larger than this are split into
+/// chunks reduced in parallel first. 4096 rows keeps per-chunk work in
+/// the hundreds of microseconds — large enough to amortize task pulls,
+/// small enough that the costliest group fans out across all workers.
+pub const MERGE_CHUNK_ROWS: usize = 4096;
+
 /// [`merge_shard_skylines`] with the per-group reduction passes run on
-/// scoped std threads (groups are independent in a group skyline, so the
-/// merge parallelizes across them for free) — at most
-/// [`MAX_MERGE_THREADS`] workers draining a bucket queue. Output is
-/// identical to the sequential merge: per-group survivors don't depend
-/// on scheduling, and the final sort fixes the order.
+/// scoped std threads — at most [`MAX_MERGE_THREADS`] workers draining a
+/// shared task queue. Groups are independent in a group skyline, so the
+/// merge parallelizes across them for free; *within* a group the merge
+/// divides and conquers: buckets are split into [`MERGE_CHUNK_ROWS`]-row
+/// chunks, each chunk's skyline is reduced in parallel, and multi-chunk
+/// buckets get a second reduction over the (much smaller) chunk-survivor
+/// union. Exact by dominance transitivity — `skyline(A ∪ B) =
+/// skyline(skyline(A) ∪ skyline(B))`, the same lemma that justifies
+/// sharding itself — so wall-time is no longer bound by the costliest
+/// single group. Output is identical to the sequential merge: per-group
+/// survivors don't depend on scheduling, and the final sort fixes the
+/// order.
 pub fn merge_shard_skylines_parallel<S: AsRef<[usize]>>(
     data: &Dataset,
     shard_skylines: &[S],
 ) -> Vec<usize> {
+    merge_shard_skylines_chunked(data, shard_skylines, MERGE_CHUNK_ROWS)
+}
+
+/// [`merge_shard_skylines_parallel`] with an explicit chunk size (exposed
+/// so tests can force multi-chunk buckets on small data).
+pub fn merge_shard_skylines_chunked<S: AsRef<[usize]>>(
+    data: &Dataset,
+    shard_skylines: &[S],
+    chunk_rows: usize,
+) -> Vec<usize> {
     if shard_skylines.len() == 1 {
         return shard_skylines[0].as_ref().to_vec();
     }
+    let chunk_rows = chunk_rows.max(1);
     let mut union: Vec<usize> = shard_skylines
         .iter()
         .flat_map(|s| s.as_ref().iter().copied())
@@ -203,8 +230,16 @@ pub fn merge_shard_skylines_parallel<S: AsRef<[usize]>>(
     union.sort_unstable();
     let buckets = crate::skyline::bucket_rows_by_group(data, &union);
     let buckets: Vec<&Vec<usize>> = buckets.iter().filter(|b| !b.is_empty()).collect();
-    let workers = buckets.len().min(MAX_MERGE_THREADS);
-    if workers <= 1 {
+
+    // Round 1 task list: contiguous chunks of each bucket. Chunks inherit
+    // the bucket's ascending row order, so per-bucket reassembly in task
+    // order is ascending again.
+    let tasks: Vec<(usize, &[usize])> = buckets
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.chunks(chunk_rows).map(move |c| (bi, c)))
+        .collect();
+    if tasks.len() <= 1 {
         let mut out: Vec<usize> = buckets
             .iter()
             .flat_map(|b| crate::skyline::bucket_skyline(data, b))
@@ -212,29 +247,75 @@ pub fn merge_shard_skylines_parallel<S: AsRef<[usize]>>(
         out.sort_unstable();
         return out;
     }
+    let chunk_survivors = run_tasks(data, &tasks);
+
+    // Reassemble chunk survivors per bucket (ascending: tasks are emitted
+    // bucket-major in chunk order). Single-chunk buckets are done — their
+    // chunk *is* the bucket; multi-chunk buckets need a second reduction
+    // over the survivor union.
+    let mut per_bucket: Vec<Vec<usize>> = vec![Vec::new(); buckets.len()];
+    let mut chunk_count = vec![0usize; buckets.len()];
+    for ((bi, _), survivors) in tasks.iter().zip(&chunk_survivors) {
+        per_bucket[*bi].extend_from_slice(survivors);
+        chunk_count[*bi] += 1;
+    }
+    let reduced: Vec<(usize, Vec<usize>)> = {
+        let reduce_tasks: Vec<(usize, &[usize])> = per_bucket
+            .iter()
+            .enumerate()
+            .filter(|(bi, _)| chunk_count[*bi] > 1)
+            .map(|(bi, rows)| (bi, rows.as_slice()))
+            .collect();
+        let results = run_tasks(data, &reduce_tasks);
+        reduce_tasks
+            .iter()
+            .map(|(bi, _)| *bi)
+            .zip(results)
+            .collect()
+    };
+    for (bi, survivors) in reduced {
+        per_bucket[bi] = survivors;
+    }
+
+    let mut out: Vec<usize> = per_bucket.into_iter().flatten().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Runs `bucket_skyline` over every `(bucket, rows)` task on up to
+/// [`MAX_MERGE_THREADS`] scoped worker threads pulling from a shared
+/// atomic cursor; returns the survivors of task `i` at index `i`.
+fn run_tasks(data: &Dataset, tasks: &[(usize, &[usize])]) -> Vec<Vec<usize>> {
+    let workers = tasks.len().min(MAX_MERGE_THREADS);
+    if workers <= 1 {
+        return tasks
+            .iter()
+            .map(|(_, rows)| crate::skyline::bucket_skyline(data, rows))
+            .collect();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<usize> = std::thread::scope(|s| {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+    std::thread::scope(|s| {
         let next = &next;
-        let buckets = &buckets;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
-                    let mut acc: Vec<usize> = Vec::new();
+                    let mut acc: Vec<(usize, Vec<usize>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(bucket) = buckets.get(i) else { break };
-                        acc.extend(crate::skyline::bucket_skyline(data, bucket));
+                        let Some((_, rows)) = tasks.get(i) else { break };
+                        acc.push((i, crate::skyline::bucket_skyline(data, rows)));
                     }
                     acc
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
+        for h in handles {
+            for (i, survivors) in h.join().unwrap() {
+                out[i] = survivors;
+            }
+        }
     });
-    out.sort_unstable();
     out
 }
 
@@ -364,6 +445,30 @@ mod tests {
                 merge_shard_skylines(&d, &per_shard),
                 "shards={shards}"
             );
+        }
+    }
+
+    #[test]
+    fn chunked_merge_matches_sequential_even_with_one_huge_group() {
+        // A single group concentrates the whole union into one bucket —
+        // exactly the skew the divide-and-conquer pass exists for. Tiny
+        // chunk sizes force multi-chunk buckets and the second reduction.
+        for groups in [vec![0; 90], (0..90).map(|i| i % 4).collect::<Vec<_>>()] {
+            let d = toy(90, groups);
+            let plan = ShardPlan::build(&d, 3, PartitionStrategy::RoundRobin);
+            let per_shard: Vec<Vec<usize>> = plan
+                .assignments()
+                .iter()
+                .map(|rows| group_skyline_of_rows(&d, rows))
+                .collect();
+            let expect = merge_shard_skylines(&d, &per_shard);
+            for chunk in [1usize, 2, 5, 7, 64, MERGE_CHUNK_ROWS] {
+                assert_eq!(
+                    merge_shard_skylines_chunked(&d, &per_shard, chunk),
+                    expect,
+                    "chunk={chunk}"
+                );
+            }
         }
     }
 

@@ -43,7 +43,7 @@ pub fn skyline_of(points: &[f64], dim: usize) -> Vec<usize> {
     // sorted order with a window of current skyline members suffices.
     let mut order: Vec<usize> = (0..n).collect();
     let sum = |i: usize| -> f64 { points[i * dim..(i + 1) * dim].iter().sum() };
-    order.sort_by(|&a, &b| sum(b).partial_cmp(&sum(a)).unwrap());
+    order.sort_by(|&a, &b| sum(b).total_cmp(&sum(a)));
     let mut window: Vec<usize> = Vec::new();
     for &i in &order {
         let p = &points[i * dim..(i + 1) * dim];
@@ -66,9 +66,8 @@ fn skyline_2d(points: &[f64]) -> Vec<usize> {
     // duplicate first.
     order.sort_by(|&a, &b| {
         points[b * 2]
-            .partial_cmp(&points[a * 2])
-            .unwrap()
-            .then(points[b * 2 + 1].partial_cmp(&points[a * 2 + 1]).unwrap())
+            .total_cmp(&points[a * 2])
+            .then(points[b * 2 + 1].total_cmp(&points[a * 2 + 1]))
     });
     // Sweep x-descending in tie groups. A point is on the skyline iff it
     // has the maximal y within its x-tie group (same x, higher y dominates)
@@ -85,6 +84,10 @@ fn skyline_2d(points: &[f64]) -> Vec<usize> {
             tie_max = tie_max.max(points[order[j] * 2 + 1]);
             j += 1;
         }
+        // `==` is not reflexive for NaN: a NaN x produces an empty tie
+        // group, which would stall the sweep. Consume the row regardless
+        // (its tie_max stays -inf, so it is never emitted).
+        j = j.max(i + 1);
         if tie_max > best_y_strict {
             for &idx in &order[i..j] {
                 if points[idx * 2 + 1] == tie_max {
@@ -178,6 +181,21 @@ mod tests {
                 !(0..n).any(|j| dominates(&points[j * dim..(j + 1) * dim], p))
             })
             .collect()
+    }
+
+    #[test]
+    fn skyline_of_does_not_panic_on_nan() {
+        // Regression: skyline_of is a public API over raw &[f64] and used
+        // to panic inside partial_cmp(..).unwrap() sorts when fed NaN.
+        // Datasets constructed through Dataset::new never contain NaN, but
+        // a raw-slice caller may; the sort must stay total. (NaN rows sort
+        // via the total order; the dominance semantics of NaN coordinates
+        // are unspecified, only panic-freedom is promised.)
+        for dim in [2usize, 3] {
+            let mut pts = vec![0.5; 4 * dim];
+            pts[dim] = f64::NAN; // second row poisoned
+            let _ = skyline_of(&pts, dim); // must not panic
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   `S^{d−1}_+` and `δ`-net construction (Section 4.1 of the paper).
 //! * [`kernel`] — ε-kernel style direction sets used by the `Sphere`
 //!   baseline.
+//! * [`soa`] — cache-blocked structure-of-arrays evaluation kernels
+//!   (`SoaMatrix`), bitwise-equal to the scalar `vecmath` loops and the
+//!   backbone of the service's `m × n` utility-evaluation hot path.
 //!
 //! All floating-point comparisons go through the crate-level [`EPS`]
 //! tolerance; the algorithms in `fairhms-core` depend on the exact
@@ -26,6 +29,7 @@ pub mod envelope;
 pub mod hull2d;
 pub mod kernel;
 pub mod line;
+pub mod soa;
 pub mod sphere;
 pub mod vecmath;
 

@@ -379,11 +379,15 @@ impl QueryEngine {
         };
         let alg = registry::by_name(&q.alg, &params)?;
 
-        // Thread the cached δ-net (if any) through the solver; the
-        // context verifies the (dim, m, seed) preimage before reuse and
-        // deposits a freshly sampled net otherwise.
+        // Thread the cached δ-net and db_max vector (if any) through the
+        // solver; the context verifies the (dim, m, seed) preimage of the
+        // net and the (dim, m, seed, n) preimage of the db_max values
+        // before reuse, and deposits freshly computed state otherwise.
         let seeded_net = warm_entry.as_ref().and_then(|e| e.net.clone());
-        let warm_ctx = WarmStart::with_net(seeded_net.clone());
+        let seeded_db_max = warm_entry
+            .as_ref()
+            .and_then(|e| e.db_max(q.skyline).cloned());
+        let warm_ctx = WarmStart::with_components(seeded_net.clone(), seeded_db_max.clone());
         let t = Instant::now();
         let sol = alg.solve_with(&inst, &warm_ctx)?;
         // One clock read serves the (pre-existing) micros field, the
@@ -413,11 +417,25 @@ impl QueryEngine {
             } else if net_generated {
                 w.note_miss();
             }
-            if fresh_bounds || net_generated {
+            let deposited_db_max = warm_ctx.db_max();
+            let db_max_generated = match (&seeded_db_max, &deposited_db_max) {
+                (_, None) => false, // algorithm never consulted db_max
+                (Some(old), Some(new)) => !Arc::ptr_eq(old, new),
+                (None, Some(_)) => true,
+            };
+            if warm_ctx.db_max_was_reused() {
+                w.note_hit();
+            } else if db_max_generated {
+                w.note_miss();
+            }
+            if fresh_bounds || net_generated || db_max_generated {
                 let mut entry = warm_entry.as_deref().cloned().unwrap_or_default();
                 entry.set_bounds(q.skyline, Arc::clone(&bounds));
                 if let Some(net) = deposited_net {
                     entry.net = Some(net);
+                }
+                if let Some(d) = deposited_db_max {
+                    entry.set_db_max(q.skyline, d);
                 }
                 w.insert(warm_key, entry);
             }

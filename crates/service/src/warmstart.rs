@@ -15,7 +15,11 @@
 //!   [`SampledNet::matches`] before every reuse);
 //! * one [`PreparedBounds`] label scan per candidate form (full matrix /
 //!   skyline restriction) — reduces per-query matroid construction from
-//!   `O(n)` to `O(C)`.
+//!   `O(n)` to `O(C)`;
+//! * one [`CachedDbMax`] vector per candidate form — the `m × n`
+//!   per-utility database-maximum pass of BiGreedy setup, deterministic
+//!   in `(dim, m, seed, n)` and verified against that preimage before
+//!   every reuse (see [`fairhms_core::CachedDbMax::matches`]).
 //!
 //! **Invalidation contract:** the key folds in the dataset's registration
 //! epoch (like the solution cache), so replacing a dataset under the same
@@ -33,7 +37,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use fairhms_core::SampledNet;
+use fairhms_core::{CachedDbMax, SampledNet};
 use fairhms_matroid::PreparedBounds;
 
 /// Configuration of the warm-start tier.
@@ -104,6 +108,14 @@ pub struct WarmEntry {
     pub bounds_full: Option<Arc<PreparedBounds>>,
     /// Prepared label scan of the skyline restriction.
     pub bounds_skyline: Option<Arc<PreparedBounds>>,
+    /// Per-utility database maxima over the full dataset, tagged with the
+    /// `(dim, m, seed, n)` preimage of the net and matrix that produced
+    /// them. The `m × n` extreme-value pass is the costliest piece of
+    /// BiGreedy setup, so near-miss queries reuse it like the net itself.
+    pub db_max_full: Option<Arc<CachedDbMax>>,
+    /// Per-utility database maxima over the skyline restriction (the two
+    /// candidate forms have different `n`, hence different values).
+    pub db_max_skyline: Option<Arc<CachedDbMax>>,
 }
 
 impl WarmEntry {
@@ -124,15 +136,33 @@ impl WarmEntry {
             self.bounds_full = Some(bounds);
         }
     }
+
+    /// The cached `db_max` vector for the requested candidate form.
+    pub fn db_max(&self, skyline: bool) -> Option<&Arc<CachedDbMax>> {
+        if skyline {
+            self.db_max_skyline.as_ref()
+        } else {
+            self.db_max_full.as_ref()
+        }
+    }
+
+    /// Sets the cached `db_max` vector for the requested candidate form.
+    pub fn set_db_max(&mut self, skyline: bool, db_max: Arc<CachedDbMax>) {
+        if skyline {
+            self.db_max_skyline = Some(db_max);
+        } else {
+            self.db_max_full = Some(db_max);
+        }
+    }
 }
 
 /// Effectiveness counters of the warm-start tier (reported by the wire
 /// `STATS` verb as `warm_hits=… warm_misses=… warm_entries=…`).
 ///
 /// Counting is per *component* consulted on a cold solve — one hit or
-/// miss for the δ-net (BiGreedy-family queries only) and one for the
-/// prepared bounds — so the ratio reflects setup work actually saved,
-/// not just entry presence.
+/// miss each for the δ-net and the `db_max` vector (BiGreedy-family
+/// queries only) and one for the prepared bounds — so the ratio
+/// reflects setup work actually saved, not just entry presence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WarmStats {
     /// Components reused from the tier.

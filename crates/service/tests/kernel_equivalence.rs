@@ -1,0 +1,112 @@
+//! Kernel-backend equivalence suite: the cache-blocked SoA kernels must
+//! be **provably inert** — every registry algorithm returns bit-identical
+//! answers (`mhr` compared by bits) under the `Scalar` and `Blocked`
+//! backends, both on cold solves and when reusing warm-start state
+//! (δ-net + cached `db_max`). If any of these fail, the kernel layer is
+//! changing answers and must not ship.
+//!
+//! This is the service-level end of the bit-identity contract pinned at
+//! unit level in `fairhms_geometry::soa` and by
+//! `crates/geometry/tests/kernel_properties.rs`: one accumulator per row,
+//! dims ascending, max folded in row order — so switching backends can
+//! change speed, never bits. `scripts/ci.sh` additionally re-runs the
+//! whole service suite under `FAIRHMS_TEST_KERNEL=scalar`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fairhms_core::registry::ALGORITHM_NAMES;
+use fairhms_data::{gen, Dataset};
+use fairhms_geometry::soa::{set_kernel_backend, KernelBackend};
+use fairhms_service::{Catalog, Query, QueryEngine, WarmConfig};
+
+fn generated(name: &str, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = gen::anti_correlated(n, d, &mut rng);
+    let groups = gen::groups_by_sum(&points, d, c);
+    Dataset::new(
+        name,
+        d,
+        points,
+        groups,
+        (0..c).map(|g| format!("g{g}")).collect(),
+    )
+    .unwrap()
+}
+
+fn engine(data: Dataset, warm: bool) -> QueryEngine {
+    let cat = Arc::new(Catalog::new());
+    cat.insert_dataset(data).unwrap();
+    QueryEngine::with_warm_config(
+        cat,
+        1024,
+        WarmConfig {
+            enabled: warm,
+            capacity: 512,
+        },
+    )
+}
+
+/// One (indices, mhr bits, violations) fingerprint, or the typed error.
+type Outcome = Result<(Vec<usize>, Option<u64>, usize), String>;
+
+fn run_suite(backend: KernelBackend, warm: bool) -> Vec<(String, Outcome)> {
+    set_kernel_backend(backend);
+    // Fresh engine per backend: each builds its own SoA views and warm
+    // state under the backend being tested — nothing leaks across runs.
+    let eng = engine(generated("kq", 220, 3, 3, 17), warm);
+    let mut out = Vec::new();
+    for alg in ALGORITHM_NAMES {
+        for (k, skyline) in [(4usize, true), (3, false)] {
+            // Near-miss α pair: under `warm` the second solve reuses the
+            // deposited δ-net and db_max vector, so the warm reuse path
+            // itself is part of what must be backend-invariant.
+            for alpha in [0.1f64, 0.25] {
+                let mut q = Query::new("kq", k);
+                q.alg = alg.to_string();
+                q.skyline = skyline;
+                q.alpha = alpha;
+                let ctx = format!("alg={alg} k={k} skyline={skyline} α={alpha} warm={warm}");
+                let outcome = match eng.execute(&q) {
+                    Ok(r) => Ok((
+                        r.answer.indices.clone(),
+                        r.answer.mhr.map(f64::to_bits),
+                        r.answer.violations,
+                    )),
+                    Err(e) => Err(format!("{e:?}")),
+                };
+                out.push((ctx, outcome));
+            }
+        }
+    }
+    out
+}
+
+/// The headline contract: every registry algorithm × candidate form ×
+/// near-miss α pair × {warm, cold} gives identical indices and identical
+/// mhr bits under both kernel backends.
+#[test]
+fn served_answers_are_kernel_backend_invariant() {
+    // Remember the environment-selected backend and restore it at the
+    // end, so this test composes with the CI kernel matrix and with any
+    // concurrently configured test binaries.
+    let restore = KernelBackend::from_env();
+    for warm in [false, true] {
+        let scalar = run_suite(KernelBackend::Scalar, warm);
+        let blocked = run_suite(KernelBackend::Blocked, warm);
+        assert_eq!(scalar.len(), blocked.len());
+        for ((ctx_s, a), (ctx_b, b)) in scalar.iter().zip(&blocked) {
+            assert_eq!(ctx_s, ctx_b);
+            assert_eq!(a, b, "{ctx_s}: scalar vs blocked outcomes diverged");
+        }
+        // The sweep must actually have produced answers, not a wall of
+        // uniform rejections.
+        assert!(
+            scalar.iter().filter(|(_, o)| o.is_ok()).count() > scalar.len() / 2,
+            "most solves failed — the equivalence sweep is vacuous"
+        );
+    }
+    set_kernel_backend(restore);
+}

@@ -61,6 +61,13 @@ FAIRHMS_TEST_TELEMETRY=0 cargo test -p fairhms-service -q
 echo "==> service tests, event-driven front end (FAIRHMS_TEST_FRONTEND=event)"
 FAIRHMS_TEST_FRONTEND=event cargo test -p fairhms-service -q
 
+# …and once on the scalar kernel backend: FAIRHMS_TEST_KERNEL routes all
+# hot-path evaluation through the row-major scalar loops instead of the
+# blocked SoA kernels — answers are contractually bit-identical (see
+# crates/service/tests/kernel_equivalence.rs and fairhms_geometry::soa).
+echo "==> service tests, scalar kernel backend (FAIRHMS_TEST_KERNEL=scalar)"
+FAIRHMS_TEST_KERNEL=scalar cargo test -p fairhms-service -q
+
 # Overload smoke: the admission-control contract (bounded-queue sheds
 # with retry advice, exact gauges, 500-connection idle fan-out) and the
 # fault-injection matrix on both front ends.
@@ -84,7 +91,13 @@ assert d['warm_hit_overhead_ns'] < 1000 and d['queries_per_sec'] > 0 \
 and d['metrics']['histograms'], 'BENCH_service.json failed sanity checks'; \
 f = d['idle_fanout']; \
 assert f['connections'] >= 500 and f['threads_grown'] <= 16 \
-and f['ping_us_under_fanout'] > 0, 'idle fan-out failed sanity checks'" \
+and f['ping_us_under_fanout'] > 0, 'idle fan-out failed sanity checks'; \
+s = d['solver']; \
+assert s['dataset_points'] > 0 and s['net_size'] > 0 \
+and s['points_per_sec'] > 0 and s['points_per_sec_scalar'] > 0 \
+and s['db_max_ms_scalar'] > 0 and s['db_max_ms_blocked'] > 0 \
+and s['bigreedy_cold_ms'] > 0 and s['bigreedy_cold_ms_scalar'] > 0, \
+'solver kernel section failed sanity checks'" \
   || { echo "BENCH_service.json missing or malformed"; exit 1; }
 
 echo "CI OK"
