@@ -16,6 +16,7 @@
 //! --bench telemetry` runs it; CI treats a failed overhead assertion as
 //! a regression.
 
+#![allow(clippy::disallowed_methods)] // benchmarks measure wall time by design (R5 governs the serving stack, not the harness)
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -3,6 +3,7 @@
 //!
 //! `cargo run --release -p fairhms-bench --bin fig10_11 [--full]`
 
+#![allow(clippy::disallowed_methods)] // figure reproduction measures wall time by design
 use std::time::Instant;
 
 use fairhms_bench::harness::{evaluate_mhr, full_mode, print_table, save_csv};

@@ -4,6 +4,7 @@
 //!
 //! `cargo run --release -p fairhms-bench --bin fig8_9 [--full]`
 
+#![allow(clippy::disallowed_methods)] // figure reproduction measures wall time by design
 use std::time::Instant;
 
 use rand::rngs::StdRng;

@@ -34,7 +34,7 @@ pub fn distribute_quota(inst: &FairHmsInstance) -> Vec<usize> {
             .max_by(|&a, &b| {
                 let da = inst.k() as f64 * sizes[a] as f64 / n as f64 - quota[a] as f64;
                 let db = inst.k() as f64 * sizes[b] as f64 / n as f64 - quota[b] as f64;
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             });
         match next {
             Some(g) => {

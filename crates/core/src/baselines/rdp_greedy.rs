@@ -28,11 +28,7 @@ pub fn rdp_greedy(data: &Dataset, k: usize) -> Result<Vec<usize>, CoreError> {
     // Seed: the best point for the uniform utility.
     let uniform = vec![1.0 / dim as f64; dim];
     let seed = (0..n)
-        .max_by(|&a, &b| {
-            dot(data.point(a), &uniform)
-                .partial_cmp(&dot(data.point(b), &uniform))
-                .unwrap()
-        })
+        .max_by(|&a, &b| dot(data.point(a), &uniform).total_cmp(&dot(data.point(b), &uniform)))
         .expect("non-empty");
     let mut sel: Vec<usize> = vec![seed];
     let mut sel_flat: Vec<f64> = data.point(seed).to_vec();

@@ -47,7 +47,7 @@ pub fn candidate_mhrs(data: &Dataset) -> Vec<f64> {
             }
         }
     }
-    h.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    h.sort_by(|a, b| a.total_cmp(b));
     h.dedup_by(|a, b| (*a - *b).abs() <= EPS);
     h
 }

@@ -158,7 +158,7 @@ fn decide(
         }
     }
     for g in &mut groups {
-        g.ivs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        g.ivs.sort_by(|x, y| x.0.total_cmp(&y.0));
         let mut best = 0usize;
         g.prefix_best = (0..g.ivs.len())
             .map(|i| {

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use fairhms_obs::sync::lock_or_recover;
+
 use crate::adapt::{f_greedy, g_adapt, g_greedy};
 use crate::adaptive::{bigreedy_plus, BiGreedyPlusConfig};
 use crate::baselines::{dmm, hitting_set, rdp_greedy, sphere, DmmConfig, HsConfig};
@@ -72,9 +74,11 @@ impl WarmStart {
     /// change answers), otherwise freshly sampled and deposited for the
     /// caller to cache.
     pub fn net_for(&self, dim: usize, m: usize, seed: u64) -> Arc<SampledNet> {
-        let mut slot = self.net.lock().unwrap();
+        let mut slot = lock_or_recover(&self.net);
         if let Some(net) = slot.as_ref() {
             if net.matches(dim, m, seed) {
+                // ordering: reuse flag is read by the same caller after the
+                // solve returns; the slot mutex already ordered the data.
                 self.net_reused.store(true, Ordering::Relaxed);
                 return Arc::clone(net);
             }
@@ -86,12 +90,13 @@ impl WarmStart {
 
     /// The currently deposited net (seeded or freshly generated).
     pub fn net(&self) -> Option<Arc<SampledNet>> {
-        self.net.lock().unwrap().clone()
+        lock_or_recover(&self.net).clone()
     }
 
     /// Whether the last [`WarmStart::net_for`] call reused the seeded net
     /// (for the caller's warm-hit accounting).
     pub fn net_was_reused(&self) -> bool {
+        // ordering: caller-local accounting read, no data published via it.
         self.net_reused.load(Ordering::Relaxed)
     }
 
@@ -101,9 +106,11 @@ impl WarmStart {
     /// otherwise freshly computed — the `m × n` extreme-value pass — and
     /// deposited for the caller to cache.
     pub fn db_max_for(&self, net: &SampledNet, data: &Dataset) -> Arc<CachedDbMax> {
-        let mut slot = self.db_max.lock().unwrap();
+        let mut slot = lock_or_recover(&self.db_max);
         if let Some(cached) = slot.as_ref() {
             if cached.matches(net.dim, net.m, net.seed, data.len()) {
+                // ordering: reuse flag is read by the same caller after the
+                // solve returns; the slot mutex already ordered the data.
                 self.db_max_reused.store(true, Ordering::Relaxed);
                 return Arc::clone(cached);
             }
@@ -115,12 +122,13 @@ impl WarmStart {
 
     /// The currently deposited `db_max` (seeded or freshly computed).
     pub fn db_max(&self) -> Option<Arc<CachedDbMax>> {
-        self.db_max.lock().unwrap().clone()
+        lock_or_recover(&self.db_max).clone()
     }
 
     /// Whether the last [`WarmStart::db_max_for`] call reused the seeded
     /// vector (for the caller's warm-hit accounting).
     pub fn db_max_was_reused(&self) -> bool {
+        // ordering: caller-local accounting read, no data published via it.
         self.db_max_reused.load(Ordering::Relaxed)
     }
 }

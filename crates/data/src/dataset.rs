@@ -21,6 +21,8 @@ static DEEP_CLONES: AtomicUsize = AtomicUsize::new(0);
 /// Monotone; sample it before and after a code path to assert the path
 /// performed no full-matrix copies.
 pub fn deep_clone_count() -> usize {
+    // ordering: test probe; SeqCst so before/after samples taken around
+    // a code path observe every clone from every thread, exactly.
     DEEP_CLONES.load(Ordering::SeqCst)
 }
 
@@ -95,6 +97,8 @@ pub struct Dataset {
 /// `Arc::clone` on an already-shared dataset wherever possible.
 impl Clone for Dataset {
     fn clone(&self) -> Self {
+        // ordering: test probe increment; SeqCst pairs with the sampling
+        // loads in deep_clone_count().
         DEEP_CLONES.fetch_add(1, Ordering::SeqCst);
         Self {
             name: self.name.clone(),

@@ -302,6 +302,8 @@ fn run_tasks(data: &Dataset, tasks: &[(usize, &[usize])]) -> Vec<Vec<usize>> {
                 s.spawn(move || {
                     let mut acc: Vec<(usize, Vec<usize>)> = Vec::new();
                     loop {
+                        // ordering: work-claim index; fetch_add uniqueness
+                        // is all that is needed, shards are disjoint.
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some((_, rows)) = tasks.get(i) else { break };
                         acc.push((i, crate::skyline::bucket_skyline(data, rows)));

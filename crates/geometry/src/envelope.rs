@@ -59,9 +59,8 @@ impl Envelope {
         order.sort_by(|&a, &b| {
             lines[a]
                 .slope
-                .partial_cmp(&lines[b].slope)
-                .unwrap()
-                .then(lines[a].intercept.partial_cmp(&lines[b].intercept).unwrap())
+                .total_cmp(&lines[b].slope)
+                .then(lines[a].intercept.total_cmp(&lines[b].intercept))
         });
         let mut dedup: Vec<usize> = Vec::with_capacity(order.len());
         for id in order {

@@ -25,9 +25,12 @@ pub fn convex_hull(points: &[[f64; 2]]) -> Vec<usize> {
     }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
-        points[a]
-            .partial_cmp(&points[b])
-            .expect("NaN coordinate in convex_hull")
+        // Lexicographic (x, y) with total_cmp: total over NaN inputs, and
+        // identical to the PartialOrd order for the finite coordinates
+        // every caller feeds (validated at dataset construction).
+        points[a][0]
+            .total_cmp(&points[b][0])
+            .then(points[a][1].total_cmp(&points[b][1]))
     });
     idx.dedup_by(|&mut a, &mut b| {
         (points[a][0] - points[b][0]).abs() <= EPS && (points[a][1] - points[b][1]).abs() <= EPS
@@ -83,9 +86,8 @@ pub fn maxima_chain(points: &[[f64; 2]]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).collect();
     idx.sort_by(|&a, &b| {
         points[b][0]
-            .partial_cmp(&points[a][0])
-            .unwrap()
-            .then(points[b][1].partial_cmp(&points[a][1]).unwrap())
+            .total_cmp(&points[a][0])
+            .then(points[b][1].total_cmp(&points[a][1]))
     });
     let mut chain: Vec<usize> = Vec::new();
     for &i in &idx {

@@ -85,6 +85,8 @@ static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
 /// backends are bitwise-equal by contract, a concurrent flip is harmless —
 /// any interleaving of backends produces the same answers.
 pub fn kernel_backend() -> KernelBackend {
+    // ordering: standalone backend flag; no data is published through
+    // it (both kernels read the same immutable matrix).
     match BACKEND.load(Ordering::Relaxed) {
         BACKEND_SCALAR => KernelBackend::Scalar,
         BACKEND_BLOCKED => KernelBackend::Blocked,
@@ -104,6 +106,7 @@ pub fn set_kernel_backend(backend: KernelBackend) {
         KernelBackend::Scalar => BACKEND_SCALAR,
         KernelBackend::Blocked => BACKEND_BLOCKED,
     };
+    // ordering: standalone backend flag; see kernel_backend().
     BACKEND.store(v, Ordering::Relaxed);
 }
 

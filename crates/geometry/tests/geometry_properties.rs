@@ -67,7 +67,7 @@ proptest! {
         for dir in [[1.0, 0.0], [0.0, 1.0], [0.7, 0.3], [-1.0, 0.2]] {
             let best = (0..points.len())
                 .max_by(|&a, &b| {
-                    dot(&points[a], &dir).partial_cmp(&dot(&points[b], &dir)).unwrap()
+                    dot(&points[a], &dir).total_cmp(&dot(&points[b], &dir))
                 })
                 .unwrap();
             let best_val = dot(&points[best], &dir);

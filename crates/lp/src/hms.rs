@@ -47,7 +47,7 @@ pub fn point_regret_with_witness(dim: usize, sel: &[f64], p: &[f64]) -> RegretWi
         let arg = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
         u[arg] = 1.0 / p[arg];

@@ -14,6 +14,10 @@
 //!   so the disabled cost is a single branch.
 //! - [`json`] — a tiny hand-rolled JSON writer so snapshot export needs
 //!   no external dependency.
+//! - [`sync`] — poison-recovering lock/condvar helpers with a
+//!   process-wide recovery counter (`locks.recovered` on `METRICS`), so
+//!   one panicking worker cannot wedge every thread behind a poisoned
+//!   mutex.
 //!
 //! # Histogram bucketing and error bound
 //!
@@ -41,6 +45,8 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
+pub mod sync;
+
 /// Sub-bucket resolution: `2^SUB_BITS` sub-buckets per power of two.
 pub const SUB_BITS: u32 = 5;
 /// Number of sub-buckets per octave (`2^SUB_BITS`).
@@ -66,18 +72,21 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: stat read; snapshots tolerate torn cross-bucket views.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -95,18 +104,21 @@ impl Gauge {
     /// Raises the level by one.
     #[inline]
     pub fn inc(&self) {
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lowers the level by one.
     #[inline]
     pub fn dec(&self) {
+        // ordering: independent gauge cell; readers tolerate staleness.
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> i64 {
+        // ordering: stat read; snapshots tolerate torn cross-bucket views.
         self.0.load(Ordering::Relaxed)
     }
 
@@ -225,24 +237,31 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: independent monotonic cell; merges/readers tolerate staleness.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: running max cell; no cross-variable ordering needed.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ordering: stat read; snapshots tolerate torn cross-bucket views.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded observations (wraps only past `u64::MAX` total).
     pub fn sum(&self) -> u64 {
+        // ordering: stat read; snapshots tolerate torn cross-bucket views.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest recorded observation (exact, not bucketed).
     pub fn max(&self) -> u64 {
+        // ordering: stat read; snapshots tolerate torn cross-bucket views.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -251,16 +270,21 @@ impl Histogram {
     /// same distribution as recording the union of both input streams.
     pub fn merge_from(&self, other: &Histogram) {
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            // ordering: stat read; snapshots tolerate torn cross-bucket views.
             let n = src.load(Ordering::Relaxed);
             if n != 0 {
+                // ordering: independent monotonic cell; merges/readers tolerate staleness.
                 dst.fetch_add(n, Ordering::Relaxed);
             }
         }
         self.count
+            // ordering: independent monotonic cell; merges/readers tolerate staleness.
             .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum
+            // ordering: independent monotonic cell; merges/readers tolerate staleness.
             .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
+            // ordering: running max cell; no cross-variable ordering needed.
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
@@ -273,13 +297,16 @@ impl Histogram {
         let buckets: Vec<u64> = self
             .buckets
             .iter()
+            // ordering: stat read; snapshots tolerate torn cross-bucket views.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = buckets.iter().sum();
         HistogramSnapshot {
             buckets,
             count,
+            // ordering: stat read; snapshots tolerate torn cross-bucket views.
             sum: self.sum.load(Ordering::Relaxed),
+            // ordering: stat read; snapshots tolerate torn cross-bucket views.
             max: self.max.load(Ordering::Relaxed),
         }
     }
@@ -384,6 +411,7 @@ impl Recorder {
     /// when dropped (or [`SpanTimer::stop`]ped). When the recorder is
     /// disabled this never reads the clock.
     #[inline]
+    #[allow(clippy::disallowed_methods)] // the one sanctioned clock read: gated spans
     pub fn span<'a>(&self, hist: &'a Histogram) -> SpanTimer<'a> {
         if self.enabled {
             SpanTimer(Some((hist, Instant::now())))

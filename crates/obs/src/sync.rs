@@ -1,0 +1,171 @@
+//! Poison-recovering synchronization helpers shared by every crate.
+//!
+//! A worker thread that panics while holding a `Mutex`/`RwLock` poisons
+//! it; with the std default, every later `lock().unwrap()` on the same
+//! lock then panics too, so one bad query can wedge the whole server.
+//! Every lock in this workspace guards data that is structurally valid
+//! at each instruction boundary a panic can interrupt — cache maps, LRU
+//! tick indexes, queue `VecDeque`s, warm-start slots — because no
+//! multi-step invariant spans an unwind point (the maps are updated with
+//! single `insert`/`remove` calls). Recovery is therefore safe: take the
+//! guard anyway and keep serving.
+//!
+//! Every recovery increments a process-wide counter surfaced as
+//! `locks.recovered` on the service `METRICS` verb, so a panicking
+//! worker is visible to operators instead of silently absorbed.
+//!
+//! The `fairhms-lint` R4 rule bans bare `lock().unwrap()` in non-test
+//! service code; these helpers are the sanctioned replacement, and the
+//! lint's lock-order graph recognizes their call sites as acquisitions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Process-wide count of poisoned-lock recoveries (all lock kinds).
+static RECOVERED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of poisoned locks recovered by this process so far.
+///
+/// Monotone; nonzero means some thread panicked while holding a lock
+/// (the panic itself is reported through the panic hook — this counter
+/// is the durable trace once the stderr scrollback is gone).
+pub fn recovered_lock_count() -> u64 {
+    // ordering: monotonic stat counter; readers tolerate staleness and
+    // need no ordering against the recovered data itself.
+    RECOVERED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_recovered() {
+    // ordering: monotonic stat counter; increment needs no ordering
+    // with respect to the lock state it describes.
+    RECOVERED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Locks `m`, recovering (and counting) a poisoned guard instead of
+/// propagating the poison panic.
+#[inline]
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            note_recovered();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Read-locks `rw`, recovering (and counting) a poisoned guard instead
+/// of propagating the poison panic.
+#[inline]
+pub fn read_or_recover<T>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match rw.read() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            note_recovered();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Write-locks `rw`, recovering (and counting) a poisoned guard instead
+/// of propagating the poison panic.
+#[inline]
+pub fn write_or_recover<T>(rw: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match rw.write() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            note_recovered();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Waits on `cv` releasing `guard`, recovering (and counting) a
+/// poisoned reacquired guard instead of propagating the poison panic.
+///
+/// Spurious wakeups are *not* filtered — callers keep their usual
+/// `while`-condition loop around the wait.
+#[inline]
+pub fn wait_or_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => {
+            note_recovered();
+            poisoned.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_a_poisoned_mutex_and_counts_it() {
+        let m = Arc::new(Mutex::new(7u32));
+        let before = recovered_lock_count();
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // A bare lock().unwrap() would panic here; the helper recovers.
+        {
+            let mut g = lock_or_recover(&m);
+            *g += 1;
+        }
+        assert_eq!(*lock_or_recover(&m), 8);
+        assert!(recovered_lock_count() > before);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_rwlock_both_ways() {
+        let rw = Arc::new(RwLock::new(1u32));
+        let rw2 = Arc::clone(&rw);
+        let _ = std::thread::spawn(move || {
+            let _g = rw2.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert!(rw.is_poisoned());
+        let before = recovered_lock_count();
+        assert_eq!(*read_or_recover(&rw), 1);
+        *write_or_recover(&rw) = 2;
+        assert_eq!(*read_or_recover(&rw), 2);
+        assert!(recovered_lock_count() >= before + 3);
+    }
+
+    #[test]
+    fn unpoisoned_path_does_not_count() {
+        let m = Mutex::new(0u8);
+        let before = recovered_lock_count();
+        drop(lock_or_recover(&m));
+        let rw = RwLock::new(0u8);
+        drop(read_or_recover(&rw));
+        drop(write_or_recover(&rw));
+        assert_eq!(recovered_lock_count(), before);
+    }
+
+    #[test]
+    fn wait_or_recover_passes_through_notifications() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = lock_or_recover(m);
+            while !*done {
+                done = wait_or_recover(cv, done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *lock_or_recover(m) = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

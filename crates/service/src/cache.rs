@@ -10,6 +10,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use fairhms_obs::sync::lock_or_recover;
+
 use crate::engine::Answer;
 use crate::query::Query;
 
@@ -116,10 +118,12 @@ impl SolutionCache {
     pub fn get(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
         match self.peek(key, epoch, query) {
             Some(v) => {
+                // ordering: independent stat counter, no cross-variable sync.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             None => {
+                // ordering: independent stat counter, no cross-variable sync.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -131,7 +135,7 @@ impl SolutionCache {
     /// (the engine looks up more than once per query around the
     /// single-flight claim, but must record exactly one hit or miss).
     pub fn peek(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_or_recover(self.shard(key));
         let found = match shard.map.get(&key) {
             Some((e, _)) if e.epoch == epoch && e.query == *query => Some(Arc::clone(&e.value)),
             _ => None,
@@ -144,11 +148,13 @@ impl SolutionCache {
 
     /// Records one served-from-cache query (see [`SolutionCache::peek`]).
     pub fn note_hit(&self) {
+        // ordering: independent stat counter, no cross-variable sync.
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one cold-solved query (see [`SolutionCache::peek`]).
     pub fn note_miss(&self) {
+        // ordering: independent stat counter, no cross-variable sync.
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -156,7 +162,7 @@ impl SolutionCache {
     /// used entry if the shard is full. A colliding entry under the same
     /// key (different stored preimage) is overwritten — last writer wins.
     pub fn insert(&self, key: u64, epoch: u64, query: Query, value: Arc<Answer>) {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_or_recover(self.shard(key));
         if let Some((e, _)) = shard.map.get_mut(&key) {
             *e = Entry {
                 epoch,
@@ -170,6 +176,7 @@ impl SolutionCache {
             if let Some((&oldest_tick, &oldest_key)) = shard.lru.iter().next() {
                 shard.lru.remove(&oldest_tick);
                 shard.map.remove(&oldest_key);
+                // ordering: independent stat counter, no cross-variable sync.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -193,7 +200,7 @@ impl SolutionCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            .map(|s| lock_or_recover(s).map.len())
             .sum()
     }
 
@@ -205,7 +212,7 @@ impl SolutionCache {
     /// Drops every entry (counters are preserved).
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut s = s.lock().unwrap();
+            let mut s = lock_or_recover(s);
             s.map.clear();
             s.lru.clear();
         }
@@ -214,9 +221,12 @@ impl SolutionCache {
     /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: stat reads; a snapshot tolerates torn counters.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: stat reads; a snapshot tolerates torn counters.
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            // ordering: stat reads; a snapshot tolerates torn counters.
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }

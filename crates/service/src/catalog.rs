@@ -18,6 +18,8 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
+
+use fairhms_obs::sync::{read_or_recover, write_or_recover};
 use std::time::Instant;
 
 use fairhms_data::csv;
@@ -172,6 +174,7 @@ impl PreparedDataset {
     /// group skyline, so the resulting `skyline_rows`/`skyline_data` are
     /// **bit-identical for every shard count and strategy** — pinned by
     /// the shard-equivalence test suite.
+    #[allow(clippy::disallowed_methods)] // prep-stage timing; see R5 waivers inside
     pub fn prepare_with(
         name: impl Into<String>,
         mut data: Dataset,
@@ -180,12 +183,15 @@ impl PreparedDataset {
         if data.is_empty() {
             return Err(ServiceError::Dataset("dataset has no rows".into()));
         }
+        // fairhms-lint: allow(R5) one-time prep-stage wall clock; feeds
+        // the STATS prep_micros field, not a per-query hot path.
         let t = Instant::now();
         let plan = ShardPlan::build(&data, cfg.shards.clamp(1, MAX_SHARDS), cfg.strategy);
         let strategy = plan.strategy();
         data.normalize_parallel(plan.num_shards());
         let shards = prepare_shards(&data, plan);
         let per_shard: Vec<&[usize]> = shards.iter().map(|s| s.skyline_rows.as_slice()).collect();
+        // fairhms-lint: allow(R5) one-time prep-stage wall clock (merge).
         let tm = Instant::now();
         let skyline_rows: Arc<[usize]> = merge_shard_skylines_parallel(&data, &per_shard).into();
         let merge_micros = tm.elapsed().as_micros() as u64;
@@ -228,8 +234,11 @@ impl PreparedDataset {
 /// Runs every shard's group-skyline pass — on scoped std threads when the
 /// plan has more than one shard. Each thread reads the shared matrix
 /// through `&Dataset`; only row-index lists are moved, nothing is copied.
+#[allow(clippy::disallowed_methods)] // prep-stage timing; see R5 waiver inside
 fn prepare_shards(data: &Dataset, plan: ShardPlan) -> Vec<ShardPrep> {
     let prep_one = |rows: Vec<usize>| -> ShardPrep {
+        // fairhms-lint: allow(R5) per-shard prep-stage wall clock; feeds
+        // the catalog.shard_prep span, recorded only when enabled.
         let t = Instant::now();
         let skyline_rows = group_skyline_of_rows(data, &rows);
         let mut group_sizes = vec![0usize; data.num_groups()];
@@ -305,12 +314,12 @@ impl Catalog {
     /// Links the telemetry surface preparation spans record into.
     /// Called by the engine that owns this catalog; idempotent.
     pub fn set_metrics(&self, metrics: Arc<crate::metrics::ServiceMetrics>) {
-        *self.metrics.write().unwrap() = Some(metrics);
+        *write_or_recover(&self.metrics) = Some(metrics);
     }
 
     /// The current preparation config.
     pub fn config(&self) -> CatalogConfig {
-        *self.config.read().unwrap()
+        *read_or_recover(&self.config)
     }
 
     /// Sets the shard count for *future* registrations (already-prepared
@@ -318,7 +327,7 @@ impl Catalog {
     /// shard count anyway). Clamped to `1..=`[`MAX_SHARDS`].
     pub fn set_shards(&self, shards: usize) -> usize {
         let clamped = shards.clamp(1, MAX_SHARDS);
-        self.config.write().unwrap().shards = clamped;
+        write_or_recover(&self.config).shards = clamped;
         clamped
     }
 
@@ -354,12 +363,14 @@ impl Catalog {
         let mut prepared = PreparedDataset::prepare_with(name.clone(), data, &self.config())?;
         prepared.epoch = 1 + self
             .next_epoch
+            // ordering: epoch tickets only need uniqueness; fetch_add
+            // provides it without ordering other memory.
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Preparation telemetry: one `catalog.shard_prep` observation per
         // shard plus one `catalog.merge` — derived from the wall-clock
         // numbers the prepare pipeline already measures, so this costs no
         // extra clock reads on any path.
-        if let Some(m) = self.metrics.read().unwrap().as_ref() {
+        if let Some(m) = read_or_recover(&self.metrics).as_ref() {
             if m.enabled() {
                 for s in &prepared.shards {
                     m.shard_prep.record(s.prep_micros.saturating_mul(1000));
@@ -368,10 +379,7 @@ impl Catalog {
             }
         }
         let prepared = Arc::new(prepared);
-        self.inner
-            .write()
-            .unwrap()
-            .insert(name, Arc::clone(&prepared));
+        write_or_recover(&self.inner).insert(name, Arc::clone(&prepared));
         Ok(prepared)
     }
 
@@ -390,7 +398,7 @@ impl Catalog {
 
     /// The prepared dataset registered under `name`.
     pub fn get(&self, name: &str) -> Option<Arc<PreparedDataset>> {
-        self.inner.read().unwrap().get(name).cloned()
+        read_or_recover(&self.inner).get(name).cloned()
     }
 
     /// Like [`Catalog::get`] but with a typed error for the engine.
@@ -436,19 +444,19 @@ pub fn resolve_under_root(
 impl Catalog {
     /// Sorted catalog keys.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
+        let mut v: Vec<String> = read_or_recover(&self.inner).keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        read_or_recover(&self.inner).len()
     }
 
     /// True when no dataset is registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().unwrap().is_empty()
+        read_or_recover(&self.inner).is_empty()
     }
 }
 

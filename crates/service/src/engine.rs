@@ -6,6 +6,7 @@ use std::time::Instant;
 use fairhms_core::registry::{self, AlgorithmParams, WarmStart};
 use fairhms_core::types::{CandidateSet, CoreError, FairHmsInstance};
 use fairhms_matroid::{balanced_bounds, proportional_bounds, PreparedBounds};
+use fairhms_obs::sync::{lock_or_recover, wait_or_recover};
 
 use crate::cache::{CacheStats, SolutionCache};
 use crate::catalog::Catalog;
@@ -103,7 +104,7 @@ struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        self.engine.in_flight.lock().unwrap().remove(&self.key);
+        lock_or_recover(&self.engine.in_flight).remove(&self.key);
         self.engine.in_flight_done.notify_all();
     }
 }
@@ -223,7 +224,10 @@ impl QueryEngine {
     /// `note_hit` for every `cached=true` response, one `note_miss` per
     /// cold solve attempt — so `hit_rate` reflects solves saved even
     /// though the single-flight path may consult the cache several times.
+    #[allow(clippy::disallowed_methods)] // see the R5 waivers below
     pub fn execute(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        // fairhms-lint: allow(R5) always-on execute EWMA: retry_after_ms
+        // back-off advice must price worker time with telemetry off too.
         let t = Instant::now();
         self.metrics.total_queries.inc();
         let _exec_note = ExecTimeNote {
@@ -257,13 +261,13 @@ impl QueryEngine {
                 return hit(answer, stages);
             }
             // Claim the solve or wait for whoever holds the claim.
-            let mut in_flight = self.in_flight.lock().unwrap();
+            let mut in_flight = lock_or_recover(&self.in_flight);
             if in_flight.insert(key) {
                 break;
             }
             let waited = rec.span(&self.metrics.flight_wait);
             while in_flight.contains(&key) {
-                in_flight = self.in_flight_done.wait(in_flight).unwrap();
+                in_flight = wait_or_recover(&self.in_flight_done, in_flight);
             }
             stages.flight_wait_ns += waited.stop().unwrap_or(0);
             // Re-check the cache: the claim holder either published an
@@ -301,6 +305,7 @@ impl QueryEngine {
     /// (the δ-net inside [`WarmStart::net_for`], the bounds scan against
     /// the candidate shape below), so a warm solve is bit-identical to a
     /// cold one — pinned by `tests/warmstart_equivalence.rs`.
+    #[allow(clippy::disallowed_methods)] // see the R5 waiver inside
     fn solve_cold(
         &self,
         q: &Query,
@@ -388,6 +393,8 @@ impl QueryEngine {
             .as_ref()
             .and_then(|e| e.db_max(q.skyline).cloned());
         let warm_ctx = WarmStart::with_components(seeded_net.clone(), seeded_db_max.clone());
+        // fairhms-lint: allow(R5) solve_micros is a pre-telemetry wire
+        // response field; this read serves it plus the gated span below.
         let t = Instant::now();
         let sol = alg.solve_with(&inst, &warm_ctx)?;
         // One clock read serves the (pre-existing) micros field, the

@@ -402,6 +402,7 @@ impl Conn {
 
     /// Admits one single `QUERY`: per-connection quota, then the bounded
     /// solve queue; either refusal sheds with typed retry advice.
+    #[allow(clippy::disallowed_methods)] // queue-age stamp; see R5 waiver inside
     fn admit_single(&mut self, q: Box<Query>, sh: &Shared) {
         let m = &*sh.metrics;
         if self.inflight_singles >= sh.opts.max_inflight_queries {
@@ -423,6 +424,8 @@ impl Conn {
             ticket,
             batch_index: None,
             work: WorkItem::Solve(q),
+            // fairhms-lint: allow(R5) admission-control deadline stamp:
+            // queue-age shedding must work with telemetry off.
             enqueued: Instant::now(),
         };
         match sh.queue.try_push(job) {
@@ -446,6 +449,7 @@ impl Conn {
     /// thread. The job bypasses the queue bound (control verbs are never
     /// shed) and raises the connection's input barrier
     /// ([`Conn::control_inflight`]) until it completes.
+    #[allow(clippy::disallowed_methods)] // queue-age stamp; see R5 waiver inside
     fn admit_load(&mut self, name: String, path: String, sh: &Shared) {
         let ticket = self.take_ticket();
         let job = SolveJob {
@@ -454,6 +458,8 @@ impl Conn {
             ticket,
             batch_index: None,
             work: WorkItem::Load { name, path },
+            // fairhms-lint: allow(R5) admission-control deadline stamp:
+            // queue-age shedding must work with telemetry off.
             enqueued: Instant::now(),
         };
         match sh.queue.push_control(job) {
@@ -481,6 +487,7 @@ impl Conn {
     /// quota, stream gate (streamed only), then per-slot queue admission
     /// — a full queue sheds individual slots, never the whole batch, so
     /// the client always receives exactly `n` answer frames.
+    #[allow(clippy::disallowed_methods)] // queue-age stamp; see R5 waiver inside
     fn finish_batch(&mut self, c: BatchCollect, sh: &Shared) {
         let m = &*sh.metrics;
         let queries = match server::parse_batch_lines(&c.lines) {
@@ -538,6 +545,8 @@ impl Conn {
                 ticket,
                 batch_index: Some(i),
                 work: WorkItem::Solve(Box::new(q)),
+                // fairhms-lint: allow(R5) admission-control deadline stamp:
+                // queue-age shedding must work with telemetry off.
                 enqueued: Instant::now(),
             };
             if sh.queue.try_push(job).is_err() {
@@ -762,6 +771,7 @@ fn accept_ready(
 /// signalled through the waker, or by a client `SHUTDOWN`); on exit it
 /// closes the solve queue and joins the worker pool.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::disallowed_methods)] // shutdown drain deadline; see R5 waiver inside
 pub(crate) fn run(
     listener: TcpListener,
     engine: Arc<QueryEngine>,
@@ -801,6 +811,8 @@ pub(crate) fn run(
     let mut fds: Vec<PollFd> = Vec::new();
     let mut slots: Vec<usize> = Vec::new();
 
+    // ordering: stop flag is a rare, correctness-critical edge; SeqCst
+    // keeps shutdown visible without reasoning about weaker pairs.
     while !stop.load(Ordering::SeqCst) {
         // (Re)build the poll set: wake pipe, listener, then every open
         // connection — read interest unless closing, write interest when
@@ -838,6 +850,7 @@ pub(crate) fn run(
         if fds[0].ready(POLLIN) {
             pipe.drain();
         }
+        // ordering: stop flag re-check after a wake; SeqCst as above.
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -916,7 +929,10 @@ pub(crate) fn run(
             // frame is tiny; one bounded POLLOUT wait covers a full
             // socket buffer), then stop.
             if let Some(conn) = conns[slot].as_mut() {
+                // fairhms-lint: allow(R5) bounded shutdown drain: makes
+                // sure `OK bye` reaches the client, once per process exit.
                 let deadline = Instant::now() + std::time::Duration::from_secs(2);
+                // fairhms-lint: allow(R5) bounded shutdown drain (see above).
                 while conn.has_output() && Instant::now() < deadline {
                     let mut w = [PollFd::new(conn.stream.as_raw_fd(), POLLOUT)];
                     let _ = poll(&mut w, 50);
@@ -925,6 +941,7 @@ pub(crate) fn run(
                     }
                 }
             }
+            // ordering: stop flag store; SeqCst pairs with the loop loads.
             stop.store(true, Ordering::SeqCst);
             break;
         }

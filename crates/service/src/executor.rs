@@ -19,6 +19,8 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use fairhms_obs::sync::{lock_or_recover, wait_or_recover};
 use std::time::Instant;
 
 use crate::engine::{QueryEngine, QueryResponse};
@@ -82,6 +84,7 @@ impl BatchExecutor {
     ///
     /// Individual failures are per-slot `Err`s; one bad query never poisons
     /// the batch.
+    #[allow(clippy::disallowed_methods)] // Instant::now is recorder-gated here (R5)
     pub fn execute_all(
         &self,
         engine: &QueryEngine,
@@ -109,6 +112,8 @@ impl BatchExecutor {
                 let tx = tx.clone();
                 let next = &next;
                 scope.spawn(move || loop {
+                    // ordering: work-claim index; fetch_add uniqueness is all that is
+                    // needed, results are written to disjoint slots.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= queries.len() {
                         break;
@@ -140,6 +145,7 @@ impl BatchExecutor {
     /// delivered for each index does not — reassembling by index yields
     /// exactly [`BatchExecutor::execute_all`]'s output (pinned by tests),
     /// which is why the wire protocol tags streamed frames with `seq`.
+    #[allow(clippy::disallowed_methods)] // Instant::now is recorder-gated here (R5)
     pub fn execute_streaming<F>(&self, engine: &QueryEngine, queries: &[Query], mut deliver: F)
     where
         F: FnMut(usize, Result<QueryResponse, ServiceError>),
@@ -163,6 +169,8 @@ impl BatchExecutor {
                 let tx = tx.clone();
                 let next = &next;
                 scope.spawn(move || loop {
+                    // ordering: work-claim index; fetch_add uniqueness is all that is
+                    // needed, results are written to disjoint slots.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= queries.len() {
                         break;
@@ -274,7 +282,7 @@ impl SolveQueue {
 
     /// Admits `job`, or hands it back when the queue is full or closed.
     pub fn try_push(&self, job: SolveJob) -> Result<(), SolveJob> {
-        let mut st = self.state.lock().expect("solve queue poisoned");
+        let mut st = lock_or_recover(&self.state);
         if st.closed || st.jobs.len() >= self.cap {
             return Err(job);
         }
@@ -289,7 +297,7 @@ impl SolveQueue {
     /// never shed. Hands the job back only once the queue is closed
     /// (server teardown), when the caller must answer it itself.
     pub fn push_control(&self, job: SolveJob) -> Result<(), SolveJob> {
-        let mut st = self.state.lock().expect("solve queue poisoned");
+        let mut st = lock_or_recover(&self.state);
         if st.closed {
             return Err(job);
         }
@@ -303,7 +311,7 @@ impl SolveQueue {
     /// Blocks for the next job; `None` once the queue is closed and
     /// drained (the worker's exit signal).
     pub fn pop(&self) -> Option<SolveJob> {
-        let mut st = self.state.lock().expect("solve queue poisoned");
+        let mut st = lock_or_recover(&self.state);
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 self.metrics.queue_depth.dec();
@@ -312,19 +320,19 @@ impl SolveQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("solve queue poisoned");
+            st = wait_or_recover(&self.ready, st);
         }
     }
 
     /// Jobs currently waiting.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("solve queue poisoned").jobs.len()
+        lock_or_recover(&self.state).jobs.len()
     }
 
     /// Stops admission and wakes every blocked worker; queued jobs still
     /// drain before workers exit.
     pub fn close(&self) {
-        self.state.lock().expect("solve queue poisoned").closed = true;
+        lock_or_recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 }
@@ -423,6 +431,7 @@ impl WorkerPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests stamp queue deadlines directly
 mod tests {
     use super::*;
     use crate::catalog::Catalog;

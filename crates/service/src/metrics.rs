@@ -29,7 +29,9 @@
 //! queue). Counters: `queries.total` (engine executions) and
 //! `shed.total` (requests refused by admission control). The admission
 //! instruments and `queries.total` record even when telemetry is
-//! disabled, because `STATS` reports them.
+//! disabled, because `STATS` reports them. `locks.recovered` exports
+//! [`fairhms_obs::sync::recovered_lock_count`]: nonzero means a worker
+//! panicked while holding a lock and the poison was absorbed.
 //!
 //! Telemetry is gated by [`TelemetryConfig`]: when disabled, spans never
 //! read the clock (a single branch per span site) and answers are
@@ -210,6 +212,10 @@ impl ServiceMetrics {
             ("queries.total".into(), self.total_queries.get()),
             ("queue.depth".into(), self.queue_depth.get().max(0) as u64),
             ("shed.total".into(), self.shed_total.get()),
+            (
+                "locks.recovered".into(),
+                fairhms_obs::sync::recovered_lock_count(),
+            ),
         ]
     }
 
@@ -219,12 +225,15 @@ impl ServiceMetrics {
     /// telemetry off).
     pub fn note_execute_micros(&self, micros: u64) {
         use std::sync::atomic::Ordering;
+        // ordering: EWMA cell; a racing lost update only skews back-off
+        // advice by one sample, no data is published through it.
         let prev = self.avg_execute_us.load(Ordering::Relaxed);
         let next = if prev == 0 {
             micros.max(1)
         } else {
             ((prev * 7 + micros) / 8).max(1)
         };
+        // ordering: see the load above — advisory EWMA cell.
         self.avg_execute_us.store(next, Ordering::Relaxed);
     }
 
@@ -232,6 +241,7 @@ impl ServiceMetrics {
     /// first query completes).
     pub fn avg_execute_micros(&self) -> u64 {
         self.avg_execute_us
+            // ordering: advisory EWMA read; staleness only skews advice.
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 

@@ -89,6 +89,13 @@ mod sys {
 /// ready entries. `EINTR` is retried internally — callers never see it.
 pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
     loop {
+        // SAFETY: `fds` is a live, exclusively borrowed slice for the whole
+        // call, so the pointer is valid and unaliased; `PollFd` is
+        // `#[repr(C)]` with the exact `pollfd` layout (fd: c_int, events/
+        // revents: c_short), so the kernel writes `revents` in bounds; the
+        // length is passed as the platform `nfds_t`, never exceeding the
+        // slice; poll(2) has no other preconditions (it tolerates closed
+        // and invalid fds by reporting POLLNVAL rather than faulting).
         let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);

@@ -220,6 +220,8 @@ impl StreamGate {
         &self,
         metrics: &Arc<ServiceMetrics>,
     ) -> Result<StreamPermit, (usize, usize)> {
+        // ordering: permit count is cold control-plane state; SeqCst keeps
+        // the acquire/release reasoning trivial at no measurable cost.
         let mut cur = self.active.load(Ordering::SeqCst);
         loop {
             if cur >= self.max {
@@ -227,6 +229,7 @@ impl StreamGate {
             }
             match self
                 .active
+                // ordering: see the load above — SeqCst for simplicity.
                 .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
             {
                 Ok(_) => {
@@ -247,6 +250,7 @@ impl StreamGate {
 
 impl Drop for StreamPermit {
     fn drop(&mut self) {
+        // ordering: permit release; SeqCst pairs with the acquire CAS.
         self.active.fetch_sub(1, Ordering::SeqCst);
         if let Some(m) = &self.metrics {
             m.streams_active.dec();
@@ -290,6 +294,7 @@ impl Server {
     }
 
     /// [`Server::spawn`] with explicit protocol-v2 [`ServeOptions`].
+    #[allow(clippy::disallowed_methods)] // uptime birth stamp; see R5 waiver inside
     pub fn spawn_with(
         engine: Arc<QueryEngine>,
         cfg: ServerConfig,
@@ -304,6 +309,8 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let loop_stop = Arc::clone(&stop);
         let opts = Arc::new(opts);
+        // fairhms-lint: allow(R5) server birth stamp: feeds the STATS
+        // uptime_secs wire field, read once per STATS — not a hot path.
         let started = Instant::now();
         match opts.frontend {
             FrontendKind::Threaded => {
@@ -347,6 +354,8 @@ impl Server {
     /// On the event front end the stop is observed immediately (self-pipe
     /// wake); the threaded front end notices within its poll interval.
     pub fn shutdown(self) {
+        // ordering: stop flag is a rare, correctness-critical edge; SeqCst
+        // keeps shutdown visible to every loop without case analysis.
         self.stop.store(true, Ordering::SeqCst);
         if let Some(w) = &self.waker {
             w.wake();
@@ -388,6 +397,7 @@ fn accept_loop(
 ) {
     let gate = StreamGate::new(opts.max_stream_batches);
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    // ordering: stop flag; SeqCst mirrors the store in shutdown().
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -461,6 +471,7 @@ fn read_line_or_stop(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ordering: stop flag; SeqCst mirrors the store in shutdown().
                 if stop.load(Ordering::SeqCst) {
                     return Ok(0);
                 }
@@ -681,6 +692,8 @@ fn serve_connection(
             Ok(Request::Shutdown) => {
                 send(&mut writer, codec.as_ref(), &mut frame, &Response::Bye, m)?;
                 writer.flush()?;
+                // ordering: stop flag is a rare, correctness-critical edge;
+                // SeqCst keeps the SHUTDOWN handshake trivially ordered.
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }

@@ -37,6 +37,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use fairhms_obs::sync::lock_or_recover;
+
 use fairhms_core::{CachedDbMax, SampledNet};
 use fairhms_matroid::PreparedBounds;
 
@@ -216,7 +218,7 @@ impl WarmStartCache {
     /// / [`WarmStartCache::note_miss`] after verifying each component's
     /// preimage.
     pub fn get(&self, key: &WarmKey) -> Option<Arc<WarmEntry>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let Inner { map, lru, .. } = &mut *inner;
@@ -230,7 +232,7 @@ impl WarmStartCache {
     /// Inserts (or replaces) the entry under `key`, evicting the least
     /// recently used entry when full.
     pub fn insert(&self, key: WarmKey, entry: WarmEntry) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let Inner { map, lru, .. } = &mut *inner;
@@ -253,17 +255,19 @@ impl WarmStartCache {
 
     /// Records one component reused from the tier.
     pub fn note_hit(&self) {
+        // ordering: independent stat counter, no cross-variable sync.
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one component computed fresh.
     pub fn note_miss(&self) {
+        // ordering: independent stat counter, no cross-variable sync.
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock_or_recover(&self.inner).map.len()
     }
 
     /// True when nothing is cached.
@@ -274,7 +278,9 @@ impl WarmStartCache {
     /// Current counters.
     pub fn stats(&self) -> WarmStats {
         WarmStats {
+            // ordering: stat reads; a snapshot tolerates torn counters.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: stat reads; a snapshot tolerates torn counters.
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
         }

@@ -17,6 +17,7 @@
 //! accounting identities (`observed busy == shed_total`,
 //! `answered + shed == burst`) hold under any scheduling.
 
+#![allow(clippy::disallowed_methods)] // tests bound waits with deadlines (R5 exempts test code)
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;

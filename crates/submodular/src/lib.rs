@@ -125,9 +125,11 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp keeps the heap's Ord contract total even if a NaN
+        // gain ever slips in (partial_cmp + unwrap_or silently broke
+        // transitivity instead).
         self.gain
-            .partial_cmp(&other.gain)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.gain)
             // prefer smaller item index on ties, like the eager greedy
             .then_with(|| other.item.cmp(&self.item))
     }

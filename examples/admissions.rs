@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example admissions`
 
+#![allow(clippy::disallowed_methods)] // examples print wall-clock timings for the reader
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example scalability`
 
+#![allow(clippy::disallowed_methods)] // examples print wall-clock timings for the reader
 use std::time::Instant;
 
 use rand::rngs::StdRng;

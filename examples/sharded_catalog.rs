@@ -9,6 +9,7 @@
 //!
 //! Run with: `cargo run --release --example sharded_catalog`
 
+#![allow(clippy::disallowed_methods)] // examples print wall-clock timings for the reader
 use std::sync::Arc;
 
 use rand::rngs::StdRng;

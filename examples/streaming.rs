@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example streaming`
 
+#![allow(clippy::disallowed_methods)] // examples print wall-clock timings for the reader
 use std::sync::Arc;
 use std::time::Instant;
 

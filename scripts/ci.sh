@@ -9,6 +9,18 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+# Repo-invariant static analysis (rules R1–R6: total_cmp comparators,
+# documented/confined unsafe, justified atomic orderings, acyclic
+# lock-order graph + poison-recovering locks, clock-free hot paths,
+# newline-safe wire literals — see docs/ARCHITECTURE.md, "Static
+# analysis & enforced invariants"). Runs before the test matrix: a
+# contract violation fails fast, without waiting on seven test passes.
+# The waiver baseline is pinned; adding a `fairhms-lint: allow(..)`
+# waiver requires bumping it here with a justification in the diff.
+FAIRHMS_LINT_WAIVER_BASELINE=11
+echo "==> fairhms-lint --deny-all (waiver baseline: $FAIRHMS_LINT_WAIVER_BASELINE)"
+cargo run -q -p fairhms-lint -- --deny-all --max-waivers "$FAIRHMS_LINT_WAIVER_BASELINE"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -12,6 +12,7 @@
 //! Algorithms: `intcov` (exact, 2D only), `bigreedy`, `bigreedy+`,
 //! `f-greedy`, `g-greedy`, `g-dmm`, `g-hs`, `g-sphere`, `streaming`.
 
+#![allow(clippy::disallowed_methods)] // the CLI reports wall-clock solve time to the user by design
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -1,0 +1,422 @@
+//! A string/char/comment-aware scanner for Rust source.
+//!
+//! This is deliberately *not* a parser: the rules in [`crate::rules`]
+//! are token-pattern checks, and everything they need is (a) the source
+//! with every comment and literal body blanked out — so `unsafe` inside
+//! a doc comment or `"partial_cmp"` inside a string can never fire a
+//! rule — plus (b) the comment text per line (for the `// SAFETY:` /
+//! `// ordering:` / waiver discipline), (c) every string literal with
+//! its byte range (for the wire-safety rule), and (d) which lines sit
+//! inside `#[cfg(test)]` regions or test-only files.
+//!
+//! Masking replaces each skipped byte with a space, so byte offsets and
+//! line numbers in the masked text equal those in the original file —
+//! diagnostics point at real positions without any mapping table.
+
+/// One string literal found in the source.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte offset of the opening delimiter in the file.
+    pub start: usize,
+    /// The literal's body (escapes left as written; no unescaping).
+    pub content: String,
+}
+
+/// A lexed source file: masked code plus the comment/literal side tables.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Path as registered by the caller (repo-relative, `/`-separated).
+    pub path: String,
+    /// Source with comments, string/char bodies replaced by spaces.
+    /// Identical length and line structure to the original.
+    pub masked: String,
+    /// Comment text per 1-based line (both `//` and `/* */` parts that
+    /// touch the line), concatenated in order of appearance.
+    pub comments: Vec<String>,
+    /// Whether each 1-based line has any non-comment, non-blank code.
+    pub has_code: Vec<bool>,
+    /// Whether each 1-based line is inside a `#[cfg(test)]` region (or
+    /// the whole file is test-only: under `tests/`, `benches/`,
+    /// `examples/`, or `fixtures/`).
+    pub is_test: Vec<bool>,
+    /// Every string literal (regular, raw, byte) with its position.
+    pub strings: Vec<StrLit>,
+    /// Byte offset of each line start (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+}
+
+impl LexedFile {
+    /// 1-based line containing byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Comment text attached to 1-based `line` (empty if none).
+    pub fn comment(&self, line: usize) -> &str {
+        self.comments
+            .get(line - 1)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether 1-based `line` is test code.
+    pub fn test_line(&self, line: usize) -> bool {
+        self.is_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The comment text of `line` plus every *contiguous* comment-only
+    /// line directly above it — the region a `// SAFETY:`/`// ordering:`
+    /// justification or waiver may live in. A blank line or a line with
+    /// code breaks the chain (attribute-only lines do not).
+    pub fn comment_block(&self, line: usize) -> String {
+        let mut text = String::new();
+        let mut l = line;
+        // Walk up over comment-only and attribute-only lines.
+        while l >= 2 {
+            let above = l - 1;
+            let idx = above - 1;
+            let above_comment = !self.comments[idx].is_empty();
+            let above_attr_only = !self.comments[idx].is_empty() || {
+                let s = line_text(&self.masked, &self.line_starts, above).trim();
+                !s.is_empty() && s.starts_with("#[") && !self.has_real_code(above)
+            };
+            if (above_comment && !self.has_real_code(above)) || above_attr_only {
+                l = above;
+            } else {
+                break;
+            }
+        }
+        for cur in l..=line {
+            text.push_str(self.comment(cur));
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Whether `line` has code other than attributes.
+    fn has_real_code(&self, line: usize) -> bool {
+        let s = line_text(&self.masked, &self.line_starts, line).trim();
+        !s.is_empty() && !s.starts_with("#[") && !s.starts_with("#![")
+    }
+
+    /// The masked text of 1-based `line`.
+    pub fn masked_line(&self, line: usize) -> &str {
+        line_text(&self.masked, &self.line_starts, line)
+    }
+}
+
+fn line_text<'a>(text: &'a str, starts: &[usize], line: usize) -> &'a str {
+    let begin = starts[line - 1];
+    let end = starts.get(line).copied().unwrap_or(text.len());
+    text[begin..end].trim_end_matches('\n')
+}
+
+/// Lexes `src`, attributing it to `path` (repo-relative). `whole_file_test`
+/// marks every line as test code regardless of `#[cfg(test)]` regions.
+pub fn lex(path: &str, src: &str, whole_file_test: bool) -> LexedFile {
+    let bytes = src.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut line = 1usize;
+
+    // Push `b` through to the mask (newlines always survive so the line
+    // structure is preserved inside comments and literals).
+    macro_rules! keep {
+        ($b:expr) => {{
+            masked.push($b);
+            if $b == b'\n' {
+                line += 1;
+                line_starts.push(masked.len());
+                comments.push(String::new());
+            }
+        }};
+    }
+    macro_rules! blank {
+        ($b:expr) => {{
+            if $b == b'\n' {
+                keep!(b'\n');
+            } else {
+                masked.push(b' ');
+            }
+        }};
+    }
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: record text, blank it from the code view.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments[line - 1].push_str(&src[start..i]);
+                comments[line - 1].push(' ');
+                for &cb in &bytes[start..i] {
+                    blank!(cb);
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, nesting per Rust rules.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut seg_start = i;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                for k in i..j {
+                    if bytes[k] == b'\n' {
+                        comments[line - 1].push_str(src[seg_start..k].trim());
+                        comments[line - 1].push(' ');
+                        seg_start = k + 1;
+                    }
+                    blank!(bytes[k]);
+                }
+                comments[line - 1].push_str(src[seg_start..j].trim());
+                comments[line - 1].push(' ');
+                i = j;
+            }
+            b'"' => {
+                i = scan_string(src, i, line, &mut strings, |b| blank!(b));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                // Emit the prefix letters as blanks too, then the string.
+                let mut j = i;
+                while bytes[j] != b'"' && bytes[j] != b'#' {
+                    blank!(bytes[j]);
+                    j += 1;
+                }
+                if src[j..].starts_with('#') || bytes[j] == b'"' {
+                    i = scan_raw_or_plain(src, j, line, &mut strings, |b| blank!(b));
+                } else {
+                    i = j;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal is 'x', '\…', or
+                // '\u{…}'; a lifetime is 'ident not followed by a quote.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    for &cb in &bytes[i..end] {
+                        blank!(cb);
+                    }
+                    i = end;
+                } else {
+                    keep!(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                keep!(b);
+                i += 1;
+            }
+        }
+    }
+
+    let masked = String::from_utf8(masked).expect("mask preserves UTF-8 via space substitution");
+    let n_lines = line_starts.len();
+    let mut has_code = vec![false; n_lines];
+    for (idx, _) in line_starts.iter().enumerate() {
+        let text = line_text(&masked, &line_starts, idx + 1);
+        has_code[idx] = !text.trim().is_empty();
+    }
+    let is_test = if whole_file_test {
+        vec![true; n_lines]
+    } else {
+        mark_test_regions(&masked, &line_starts, n_lines)
+    };
+
+    LexedFile {
+        path: path.to_string(),
+        masked,
+        comments,
+        has_code,
+        is_test,
+        strings,
+        line_starts,
+    }
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` at `i`?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    let after_prefix = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+        2
+    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+        1
+    } else {
+        return false;
+    };
+    // Identifier continuation means this `r`/`b` is part of a name.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = after_prefix;
+    while j < rest.len() && rest[j] == b'#' {
+        j += 1;
+    }
+    j < rest.len() && rest[j] == b'"'
+}
+
+/// Scans a plain `"…"` string starting at the quote; records the literal
+/// and blanks its body. Returns the index one past the closing quote.
+fn scan_string(
+    src: &str,
+    start: usize,
+    line: usize,
+    strings: &mut Vec<StrLit>,
+    mut blank: impl FnMut(u8),
+) -> usize {
+    let bytes = src.as_bytes();
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    strings.push(StrLit {
+        line,
+        start,
+        content: src[start + 1..j.saturating_sub(1).max(start + 1)].to_string(),
+    });
+    for &cb in &bytes[start..j] {
+        blank(cb);
+    }
+    j
+}
+
+/// Scans either a raw string (`#…#"…"#…#`) or, if no hashes, a plain
+/// string, starting at the first `#` or the quote.
+fn scan_raw_or_plain(
+    src: &str,
+    at: usize,
+    line: usize,
+    strings: &mut Vec<StrLit>,
+    mut blank: impl FnMut(u8),
+) -> usize {
+    let bytes = src.as_bytes();
+    let mut hashes = 0usize;
+    let mut j = at;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if hashes == 0 {
+        return scan_string(src, at, line, strings, blank);
+    }
+    debug_assert_eq!(bytes[j], b'"');
+    let body_start = j + 1;
+    let closer: String = format!("\"{}", "#".repeat(hashes));
+    let end = src[body_start..]
+        .find(&closer)
+        .map(|p| body_start + p)
+        .unwrap_or(src.len());
+    let stop = (end + closer.len()).min(src.len());
+    strings.push(StrLit {
+        line,
+        start: at,
+        content: src[body_start..end].to_string(),
+    });
+    for &cb in &bytes[at..stop] {
+        blank(cb);
+    }
+    stop
+}
+
+/// End index (exclusive) of a char literal at `i`, or `None` if `'` is a
+/// lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // 'x' (any single byte or UTF-8 char) followed by a quote.
+    let mut j = i + 1;
+    // Advance one UTF-8 character.
+    j += 1;
+    while j < bytes.len() && (bytes[j] & 0b1100_0000) == 0b1000_0000 {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` item's brace block.
+fn mark_test_regions(masked: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+    let mut is_test = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    let mut line = 1usize;
+    let mut pending_attr = false;
+    // Depth at which each active test region's block opened.
+    let mut region_stack: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if masked[i..].starts_with("#[cfg(test)]") {
+            pending_attr = true;
+            i += "#[cfg(test)]".len();
+            continue;
+        }
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                if pending_attr {
+                    region_stack.push(depth);
+                    pending_attr = false;
+                }
+            }
+            b'}' => {
+                if region_stack.last() == Some(&depth) {
+                    region_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            b'\n' => {
+                line += 1;
+            }
+            _ => {}
+        }
+        if !region_stack.is_empty() && line <= n_lines {
+            is_test[line - 1] = true;
+        }
+        i += 1;
+    }
+    // The attribute lines themselves (and the `mod tests {` opener) are
+    // conservatively marked test only from the opening brace onward; the
+    // attribute line itself stays non-test, which is the strict choice.
+    let _ = line_starts;
+    is_test
+}

@@ -1,0 +1,223 @@
+//! fairhms-lint — repo-invariant static analysis for the fairhms
+//! workspace.
+//!
+//! Mechanically enforces the contracts earlier PRs established by
+//! convention: bit-identity of float comparators (R1), documented and
+//! confined `unsafe` (R2), justified atomic orderings with SeqCst
+//! deny-by-default (R3), an acyclic lock-order graph plus
+//! poison-recovering lock discipline (R4), clock-free and clone-free
+//! hot paths (R5), and newline-safe wire literals (R6).
+//!
+//! Std-only by design: the scanner is a masking lexer
+//! ([`lexer`]), not a parser, so the tool builds in the same
+//! no-external-deps envelope as the rest of the workspace and runs in
+//! CI as `cargo run -p fairhms-lint -- --deny-all`.
+
+pub mod lexer;
+pub mod lockgraph;
+pub mod rules;
+
+use lockgraph::LockGraph;
+use rules::Diagnostic;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Full scan result for one repo.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, waived or not, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The lock-order graph across all scanned files.
+    pub lock_graph: LockGraph,
+    /// Lock-order cycles (each a lock-name loop). Non-empty fails.
+    pub cycles: Vec<Vec<String>>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by an inline waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.waived)
+    }
+
+    /// Number of inline waivers in effect.
+    pub fn waiver_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.waived).count()
+    }
+
+    /// True when the repo passes under `--deny-all`.
+    pub fn clean(&self) -> bool {
+        self.unwaived().next().is_none() && self.cycles.is_empty()
+    }
+
+    /// Serializes the report as JSON (hand-rolled; std-only crate).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"waived\": {}, \
+                 \"message\": \"{}\"}}{}\n",
+                d.rule,
+                json_escape(&d.path),
+                d.line,
+                d.waived,
+                json_escape(&d.message),
+                if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"waivers\": {},\n  \"files_scanned\": {},\n",
+            self.waiver_count(),
+            self.files_scanned
+        ));
+        let locks = self.lock_graph.locks();
+        s.push_str(&format!(
+            "  \"lock_sites\": {},\n  \"locks\": [{}],\n",
+            self.lock_graph.sites.len(),
+            locks
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        let mut edges: Vec<String> = self
+            .lock_graph
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "\"{} -> {}\"",
+                    json_escape(&e.held),
+                    json_escape(&e.acquired)
+                )
+            })
+            .collect();
+        edges.sort();
+        edges.dedup();
+        s.push_str(&format!("  \"lock_edges\": [{}],\n", edges.join(", ")));
+        s.push_str(&format!(
+            "  \"cycles\": [{}]\n}}\n",
+            self.cycles
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(&c.join(" -> "))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Scans the repo rooted at `root`: `src/`, `examples/`, and every
+/// `crates/*/{src,tests,benches}` tree. `vendor/` stand-ins and
+/// `target/` are never scanned.
+pub fn scan_repo(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<(PathBuf, bool)> = Vec::new(); // (path, whole_file_test)
+    collect_rs(&root.join("src"), false, &mut files)?;
+    collect_rs(&root.join("examples"), true, &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), false, &mut files)?;
+            collect_rs(&member.join("tests"), true, &mut files)?;
+            collect_rs(&member.join("benches"), true, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut lock_graph = LockGraph::default();
+    let files_scanned = files.len();
+    for (path, whole_file_test) in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_path(root, &path);
+        let lx = lexer::lex(&rel, &src, whole_file_test);
+        rules::r1_partial_cmp(&lx, &mut diagnostics);
+        rules::r2_unsafe(&lx, &mut diagnostics);
+        rules::r3_ordering(&lx, &mut diagnostics);
+        rules::r4_bare_lock(&lx, &mut diagnostics);
+        rules::r5_hot_path(&lx, &mut diagnostics);
+        rules::r6_wire_literals(&lx, &mut diagnostics);
+        lockgraph::scan_file(&lx, &mut lock_graph);
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let cycles = lock_graph.cycles();
+    Ok(Report {
+        diagnostics,
+        lock_graph,
+        cycles,
+        files_scanned,
+    })
+}
+
+/// Lexes and checks a single source string (fixture tests use this).
+pub fn scan_source(rel_path: &str, src: &str, whole_file_test: bool) -> Vec<Diagnostic> {
+    let lx = lexer::lex(rel_path, src, whole_file_test);
+    let mut diagnostics = Vec::new();
+    rules::r1_partial_cmp(&lx, &mut diagnostics);
+    rules::r2_unsafe(&lx, &mut diagnostics);
+    rules::r3_ordering(&lx, &mut diagnostics);
+    rules::r4_bare_lock(&lx, &mut diagnostics);
+    rules::r5_hot_path(&lx, &mut diagnostics);
+    rules::r6_wire_literals(&lx, &mut diagnostics);
+    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diagnostics
+}
+
+/// Builds a lock graph from a single source string (fixture tests).
+pub fn scan_source_locks(rel_path: &str, src: &str) -> LockGraph {
+    let lx = lexer::lex(rel_path, src, false);
+    let mut g = LockGraph::default();
+    lockgraph::scan_file(&lx, &mut g);
+    g
+}
+
+fn collect_rs(
+    dir: &Path,
+    whole_file_test: bool,
+    out: &mut Vec<(PathBuf, bool)>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, whole_file_test, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            // Binaries live under src/bin; mark them by path, not as test.
+            out.push((path, whole_file_test));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

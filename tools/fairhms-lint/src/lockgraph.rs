@@ -1,0 +1,295 @@
+//! Static lock-order graph (rule R4a).
+//!
+//! Scans non-test code for lock acquisitions — the sanctioned
+//! `lock_or_recover` / `read_or_recover` / `write_or_recover` helpers
+//! plus raw `.lock(` / `.read(` / `.write(` receiver calls with empty
+//! argument lists — and tracks which acquisitions happen while another
+//! guard is still in scope. Each such pair is a directed edge
+//! `held → acquired`; a cycle in the edge set means two code paths can
+//! take the same two locks in opposite orders, i.e. a potential
+//! deadlock, and the lint fails.
+//!
+//! Guard scope is approximated the way the borrow checker sees it for
+//! `let`-bound guards: alive from the binding until the enclosing brace
+//! closes or an explicit `drop(ident)`. Un-bound (temporary) guards die
+//! at end of statement and only pair with acquisitions on the same
+//! statement. This over-approximates neither often nor dangerously: the
+//! repo's style is `let guard = lock_or_recover(..)`.
+//!
+//! Lock identity is `file-stem.field`: the last field identifier of the
+//! receiver/argument (`self.inner.write()` in catalog.rs → `catalog.inner`).
+//! Two locks with the same field name in different files are distinct
+//! nodes, which keeps the graph honest without whole-program alias
+//! analysis.
+
+use crate::lexer::LexedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One acquisition site found in the scan.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub path: String,
+    pub line: usize,
+    /// Canonical lock name (`file-stem.field`).
+    pub lock: String,
+}
+
+/// A held→acquired ordering edge with one witness site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub held: String,
+    pub acquired: String,
+    pub path: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub sites: Vec<LockSite>,
+    pub edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    /// Distinct lock names seen.
+    pub fn locks(&self) -> BTreeSet<&str> {
+        self.sites.iter().map(|s| s.lock.as_str()).collect()
+    }
+
+    /// Cycles in the ordering graph, each as the list of lock names on
+    /// the cycle. Empty means the acquisition order is consistent.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(&e.held).or_default().insert(&e.acquired);
+        }
+        let mut cycles = Vec::new();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        for &start in adj.keys() {
+            if done.contains(start) {
+                continue;
+            }
+            // Iterative DFS with an explicit path stack for cycle recovery.
+            let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+            while let Some((node, path)) = stack.pop() {
+                if let Some(nexts) = adj.get(node) {
+                    for &next in nexts {
+                        if let Some(pos) = path.iter().position(|&p| p == next) {
+                            let mut cyc: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            cyc.push(next.to_string());
+                            if !cycles.contains(&cyc) {
+                                cycles.push(cyc);
+                            }
+                        } else if path.len() < 32 {
+                            let mut p = path.clone();
+                            p.push(next);
+                            stack.push((next, p));
+                        }
+                    }
+                }
+            }
+            done.insert(start);
+        }
+        cycles
+    }
+}
+
+/// A live guard binding.
+struct Guard {
+    name: String,
+    lock: String,
+    /// Brace depth at the binding; dies when depth drops below this.
+    depth: usize,
+}
+
+/// Scans one lexed file, appending its acquisition sites and edges.
+pub fn scan_file(lx: &LexedFile, graph: &mut LockGraph) {
+    let stem = file_stem(&lx.path);
+    let mut depth: usize = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    let n_lines = lx.line_starts.len();
+    for line_no in 1..=n_lines {
+        let text = lx.masked_line(line_no);
+        if lx.test_line(line_no) {
+            // Still track braces so depth stays consistent across
+            // test regions embedded in lib files.
+            for b in text.bytes() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| g.depth <= depth);
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+
+        // Explicit drops end a guard's life early.
+        for name in drop_targets(text) {
+            guards.retain(|g| g.name != name);
+        }
+
+        // Acquisitions on this line, in textual order.
+        let acqs = acquisitions_on(text, &stem);
+        let bound = let_binding(text);
+        for (idx, lock) in acqs.iter().enumerate() {
+            graph.sites.push(LockSite {
+                path: lx.path.clone(),
+                line: line_no,
+                lock: lock.clone(),
+            });
+            for held in &guards {
+                if held.lock != *lock {
+                    graph.edges.push(LockEdge {
+                        held: held.lock.clone(),
+                        acquired: lock.clone(),
+                        path: lx.path.clone(),
+                        line: line_no,
+                    });
+                }
+            }
+            // Same-statement second acquisition pairs with the first.
+            if idx > 0 && acqs[0] != *lock {
+                graph.edges.push(LockEdge {
+                    held: acqs[0].clone(),
+                    acquired: lock.clone(),
+                    path: lx.path.clone(),
+                    line: line_no,
+                });
+            }
+        }
+
+        // Walk braces *after* recording acquisitions at the current
+        // depth, then register any let-bound guard at the new depth of
+        // its binding statement (same line: binding depth = depth before
+        // trailing closers; good enough for rustfmt-formatted code).
+        let mut line_depth = depth;
+        for b in text.bytes() {
+            match b {
+                b'{' => line_depth += 1,
+                b'}' => {
+                    line_depth = line_depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        if let (Some(name), false) = (bound, acqs.is_empty()) {
+            guards.push(Guard {
+                name,
+                lock: acqs[0].clone(),
+                depth,
+            });
+        }
+        depth = line_depth;
+        guards.retain(|g| g.depth <= depth);
+    }
+}
+
+fn file_stem(path: &str) -> String {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// `let <mut>? IDENT = …` → IDENT.
+fn let_binding(text: &str) -> Option<String> {
+    let t = text.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let ident: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() || ident == "_" {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Identifiers passed to `drop(...)` on this line.
+fn drop_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find("drop(") {
+        let at = from + p;
+        from = at + 5;
+        // Word boundary on the left.
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            continue;
+        }
+        let arg: String = text[from..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !arg.is_empty() && text[from + arg.len()..].starts_with(')') {
+            out.push(arg);
+        }
+    }
+    out
+}
+
+/// Canonical lock names acquired on this masked line, in order.
+fn acquisitions_on(text: &str, stem: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // Helper calls: name is the last field of the `&…` argument.
+    for helper in ["lock_or_recover(", "read_or_recover(", "write_or_recover("] {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(helper) {
+            let at = from + p + helper.len();
+            from = at;
+            if let Some(name) = last_field_of_arg(&text[at..]) {
+                out.push(format!("{stem}.{name}"));
+            }
+        }
+    }
+    // Raw receiver calls with empty parens: `recv.lock()`, `recv.read()`,
+    // `recv.write()` — the method-style acquisitions R4b also polices.
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(method) {
+            let at = from + p;
+            from = at + method.len();
+            if let Some(name) = last_field_before(text, at) {
+                out.push(format!("{stem}.{name}"));
+            }
+        }
+    }
+    out
+}
+
+/// For `&self.cache.inner)` (a helper argument) → `inner`.
+fn last_field_of_arg(rest: &str) -> Option<String> {
+    let end = rest.find([')', ','])?;
+    let arg = rest[..end].trim().trim_start_matches('&');
+    let last = arg.rsplit('.').next()?.trim();
+    let ident: String = last
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// For `self.state.lock()` with `at` pointing at `.lock()` → `state`.
+fn last_field_before(text: &str, at: usize) -> Option<String> {
+    let head = &text[..at];
+    let ident_rev: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident_rev.is_empty() {
+        return None;
+    }
+    Some(ident_rev.chars().rev().collect())
+}

@@ -1,0 +1,134 @@
+//! CLI front end for fairhms-lint. See `--help`.
+
+use fairhms_lint::scan_repo;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+fairhms-lint: repo-invariant static analysis for the fairhms workspace
+
+Enforced rules (see docs/ARCHITECTURE.md, \"Static analysis & enforced
+invariants\", for the full table and waiver policy):
+
+  R1  float comparators use f64::total_cmp, never partial_cmp().unwrap()
+  R2  every `unsafe` carries a // SAFETY: comment and sits in an
+      allowlisted kernel file
+  R3  every Ordering::X use carries an // ordering: justification;
+      SeqCst is deny-by-default outside the allowlist
+  R4  the static lock-order graph is acyclic, and non-test code never
+      calls bare lock()/read()/write()/wait() + unwrap (use the
+      fairhms_obs::sync::*_or_recover helpers)
+  R5  serving paths never read the clock (telemetry-gated reads and
+      waived functional uses excepted) and never deep-clone a Dataset
+  R6  \"OK …\"/\"ERR …\" wire literals never embed \\n or \\r
+
+A site is waived inline with `// fairhms-lint: allow(RX) <reason>`; the
+reason is mandatory and waivers are counted in the report.
+
+USAGE:
+  fairhms-lint [--root PATH] [--json] [--deny-all] [--max-waivers N]
+
+OPTIONS:
+  --root PATH       repo root to scan (default: .)
+  --json            emit the machine-readable report on stdout
+  --deny-all        exit 1 on any unwaived diagnostic or lock cycle
+  --max-waivers N   additionally exit 1 if more than N waivers are in
+                    effect (CI pins this to the recorded baseline so new
+                    waivers need a deliberate bump)
+  -h, --help        this text
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny_all = false;
+    let mut max_waivers: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root needs a path"),
+            },
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--max-waivers" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_waivers = Some(n),
+                None => return usage_error("--max-waivers needs an integer"),
+            },
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match scan_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fairhms-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in report.unwaived() {
+            println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+        }
+        for cyc in &report.cycles {
+            println!("lock-order cycle: [R4] {}", cyc.join(" -> "));
+        }
+        let unwaived = report.unwaived().count();
+        println!(
+            "fairhms-lint: {} files, {} lock sites across {} locks, {} edges; \
+             {} unwaived diagnostics, {} waivers, {} lock cycles",
+            report.files_scanned,
+            report.lock_graph.sites.len(),
+            report.lock_graph.locks().len(),
+            {
+                let mut e: Vec<_> = report
+                    .lock_graph
+                    .edges
+                    .iter()
+                    .map(|e| (e.held.as_str(), e.acquired.as_str()))
+                    .collect();
+                e.sort();
+                e.dedup();
+                e.len()
+            },
+            unwaived,
+            report.waiver_count(),
+            report.cycles.len()
+        );
+    }
+
+    let mut fail = false;
+    if deny_all && !report.clean() {
+        fail = true;
+    }
+    if let Some(cap) = max_waivers {
+        if report.waiver_count() > cap {
+            eprintln!(
+                "fairhms-lint: waiver count {} exceeds the recorded baseline {}; either \
+                 remove a waiver or bump the baseline in scripts/ci.sh with a justification",
+                report.waiver_count(),
+                cap
+            );
+            fail = true;
+        }
+    }
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("fairhms-lint: {msg}\n\n{HELP}");
+    ExitCode::FAILURE
+}

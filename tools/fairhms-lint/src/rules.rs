@@ -1,0 +1,476 @@
+//! The rule set R1–R6. Every check runs over a [`LexedFile`] — masked
+//! code plus comment/literal side tables — so commented-out code and
+//! string contents can never fire a rule.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1 | float comparators use `f64::total_cmp`, never `partial_cmp().unwrap()` |
+//! | R2 | every `unsafe` carries a `// SAFETY:` comment and sits in an allowlisted file |
+//! | R3 | every `Ordering::X` use carries an `// ordering:` justification; `SeqCst` deny-by-default |
+//! | R4 | lock-order graph is acyclic; no bare `lock().unwrap()` in non-test code |
+//! | R5 | no clock reads or Dataset deep-clones outside sanctioned sites |
+//! | R6 | wire literals (`"OK …"` / `"ERR …"`) never embed `\n` / `\r` |
+//!
+//! A diagnostic at line L is waived by `// fairhms-lint: allow(RX) <reason>`
+//! on the same line or in the contiguous comment block above it; a bare
+//! `allow(RX)` with no reason does **not** waive. Waivers are counted
+//! and reported so CI can hold the line on their number.
+
+use crate::lexer::LexedFile;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule ID: "R1".."R6" (lock-graph cycles report as "R4").
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+    /// True when an inline waiver covers this site.
+    pub waived: bool,
+    /// The waiver reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+/// Files allowed to contain `unsafe` at all (R2). Everything else fails
+/// even with a SAFETY comment — widening this list is a reviewed change
+/// to the lint, not a per-site waiver.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/service/src/reactor.rs",
+    "crates/geometry/src/soa.rs",
+    "crates/geometry/src/kernel.rs",
+    "tools/fairhms-lint",
+];
+
+/// Files allowed to use `Ordering::SeqCst` (R3): stop flags and the
+/// stream-gate permits, where the full fence is the documented intent,
+/// plus the dataset deep-clone test probe.
+pub const SEQCST_ALLOWLIST: &[&str] = &[
+    "crates/service/src/server.rs",
+    "crates/service/src/event.rs",
+    "crates/data/src/dataset.rs",
+    "tools/fairhms-lint",
+];
+
+/// Directories whose files may read the clock freely (R5): the
+/// telemetry crate owns time, the bench harness measures it, binaries
+/// and examples report it to humans.
+pub const CLOCK_FREE_PREFIXES: &[&str] = &[
+    "crates/obs/",
+    "crates/bench/",
+    "src/bin/",
+    "examples/",
+    "tools/",
+];
+
+/// Checks whether `line` in `lx` carries a waiver for `rule`, returning
+/// the reason when it does.
+fn waiver_for(lx: &LexedFile, line: usize, rule: &str) -> Option<String> {
+    let block = lx.comment_block(line);
+    let needle = format!("fairhms-lint: allow({rule})");
+    let at = block.find(&needle)?;
+    let reason = block[at + needle.len()..]
+        .lines()
+        .next()
+        .unwrap_or("")
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        None // a waiver without a reason is not a waiver
+    } else {
+        Some(reason)
+    }
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    lx: &LexedFile,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) {
+    let waiver = waiver_for(lx, line, rule);
+    out.push(Diagnostic {
+        rule,
+        path: lx.path.clone(),
+        line,
+        waived: waiver.is_some(),
+        waiver_reason: waiver,
+        message,
+    });
+}
+
+/// Is byte `i` at a word boundary start of `word` in `text`?
+fn word_at(text: &str, i: usize, word: &str) -> bool {
+    if !text[i..].starts_with(word) {
+        return false;
+    }
+    let bytes = text.as_bytes();
+    let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    let after = i + word.len();
+    let after_ok =
+        after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+    before_ok && after_ok
+}
+
+/// All word-boundary occurrences of `word` in the masked text.
+fn word_offsets(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find(word) {
+        let at = from + p;
+        from = at + word.len();
+        if word_at(text, at, word) {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// R1 — no `partial_cmp(..).unwrap()` (or `.expect`/`.unwrap_or*`) float
+/// comparators. Applies everywhere, tests included: a NaN-panicking sort
+/// in a test is still a flaky test. `f64::total_cmp` is the sanctioned
+/// comparator (identical order for finite values; total over NaN).
+pub fn r1_partial_cmp(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    for at in word_offsets(&lx.masked, "partial_cmp") {
+        // `fn partial_cmp(` is the trait impl itself, not a use.
+        let head = lx.masked[..at].trim_end();
+        if head.ends_with("fn") {
+            continue;
+        }
+        // Walk the balanced argument list, then look at the next chained call.
+        let bytes = lx.masked.as_bytes();
+        let mut j = at + "partial_cmp".len();
+        if bytes.get(j) != Some(&b'(') {
+            continue; // a bare path mention, e.g. in a re-export
+        }
+        let mut depth = 0i32;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let rest = lx.masked[j..].trim_start();
+        if rest.starts_with(".unwrap") || rest.starts_with(".expect") {
+            let line = lx.line_of(at);
+            push(
+                out,
+                lx,
+                "R1",
+                line,
+                "partial_cmp().unwrap() float comparator: panics on NaN and is not a total \
+                 order; use f64::total_cmp"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R2 — `unsafe` needs a `// SAFETY:` comment on the same line or in the
+/// contiguous comment block above, and the file must be on the unsafe
+/// allowlist.
+pub fn r2_unsafe(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let offsets = word_offsets(&lx.masked, "unsafe");
+    if offsets.is_empty() {
+        return;
+    }
+    let allowed = UNSAFE_ALLOWLIST.iter().any(|p| lx.path.starts_with(p));
+    for at in offsets {
+        let line = lx.line_of(at);
+        if !allowed {
+            push(
+                out,
+                lx,
+                "R2",
+                line,
+                format!(
+                    "unsafe outside the allowlist ({}); move the code into an allowlisted \
+                     kernel file or find a safe formulation",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            );
+            continue;
+        }
+        if !lx.comment_block(line).contains("SAFETY:") {
+            push(
+                out,
+                lx,
+                "R2",
+                line,
+                "unsafe without a `// SAFETY:` comment stating the invariants that make it \
+                 sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R3 — every `Ordering::X` memory-ordering use in non-test code needs
+/// an `// ordering:` justification; `SeqCst` additionally requires the
+/// file to be on the SeqCst allowlist.
+pub fn r3_ordering(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    for variant in ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"] {
+        let needle = format!("Ordering::{variant}");
+        for at in word_offsets(&lx.masked, &needle) {
+            let line = lx.line_of(at);
+            if lx.test_line(line) {
+                continue;
+            }
+            // `cmp::Ordering` has no such variants, so no disambiguation
+            // against comparison orderings is needed.
+            if variant == "SeqCst" && !SEQCST_ALLOWLIST.iter().any(|p| lx.path.starts_with(p)) {
+                push(
+                    out,
+                    lx,
+                    "R3",
+                    line,
+                    "Ordering::SeqCst outside the allowlist: SeqCst is deny-by-default; use \
+                     Acquire/Release/Relaxed with a justification, or add the file to the \
+                     allowlist in a reviewed lint change"
+                        .to_string(),
+                );
+                continue;
+            }
+            if !lx.comment_block(line).contains("ordering:") {
+                push(
+                    out,
+                    lx,
+                    "R3",
+                    line,
+                    format!(
+                        "Ordering::{variant} without an `// ordering:` comment justifying the \
+                         memory-ordering choice"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R4b — bare `lock()/read()/write().unwrap()` (or `.expect`) and
+/// `Condvar::wait(..).unwrap()` in non-test code. The sanctioned calls
+/// are the `fairhms_obs::sync::*_or_recover` helpers, which recover
+/// poisoned guards and count the recovery on METRICS.
+pub fn r4_bare_lock(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let text = &lx.masked;
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut from = 0usize;
+        while let Some(p) = text[from..].find(method) {
+            let at = from + p;
+            from = at + method.len();
+            let line = lx.line_of(at);
+            if lx.test_line(line) {
+                continue;
+            }
+            let rest = text[at + method.len()..].trim_start();
+            if rest.starts_with(".unwrap") || rest.starts_with(".expect") {
+                push(
+                    out,
+                    lx,
+                    "R4",
+                    line,
+                    format!(
+                        "bare `{}` + unwrap/expect propagates lock poison and wedges the \
+                         server; use fairhms_obs::sync::{}",
+                        method.trim_start_matches('.'),
+                        match method {
+                            ".read()" => "read_or_recover",
+                            ".write()" => "write_or_recover",
+                            _ => "lock_or_recover",
+                        }
+                    ),
+                );
+            }
+        }
+    }
+    // Condvar waits: `.wait(guard).unwrap()`.
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find(".wait(") {
+        let at = from + p;
+        from = at + ".wait(".len();
+        let line = lx.line_of(at);
+        if lx.test_line(line) {
+            continue;
+        }
+        // Balanced argument list, then the chained call.
+        let bytes = text.as_bytes();
+        let mut j = at + ".wait".len();
+        let mut depth = 0i32;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let rest = text[j..].trim_start();
+        if rest.starts_with(".unwrap") || rest.starts_with(".expect") {
+            push(
+                out,
+                lx,
+                "R4",
+                line,
+                "bare Condvar::wait().unwrap() propagates lock poison; use \
+                 fairhms_obs::sync::wait_or_recover"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R5 — hot paths don't read the clock and don't deep-clone datasets.
+///
+/// Clock reads (`Instant::now`, `SystemTime::now`) are free inside the
+/// telemetry crate, the bench harness, binaries, and examples; anywhere
+/// else they must be telemetry-gated (the line runs through an
+/// `enabled()` guard, e.g. `recorder.enabled().then(Instant::now)`) or
+/// carry an explicit waiver naming the functional reason.
+///
+/// `Dataset` deep-clones outside the instrumented `Clone` impl in
+/// `crates/data/src/dataset.rs` hide O(n·d) copies on the serving path;
+/// they must go through `Arc` sharing instead.
+pub fn r5_hot_path(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let clock_free = CLOCK_FREE_PREFIXES.iter().any(|p| lx.path.starts_with(p));
+    if !clock_free {
+        for needle in ["Instant::now", "SystemTime::now"] {
+            for at in word_offsets(&lx.masked, needle) {
+                let line = lx.line_of(at);
+                if lx.test_line(line) {
+                    continue;
+                }
+                if lx.masked_line(line).contains("enabled()") {
+                    continue; // telemetry-gated: only runs when spans are on
+                }
+                push(
+                    out,
+                    lx,
+                    "R5",
+                    line,
+                    format!(
+                        "{needle} on a serving path: gate it behind the telemetry recorder \
+                         (`enabled().then(Instant::now)`) or waive with the functional reason"
+                    ),
+                );
+            }
+        }
+    }
+    // Dataset deep-clones: `Dataset::clone(..)` or `<data|dataset>.clone()`.
+    if lx.path == "crates/data/src/dataset.rs" || lx.path.starts_with("crates/bench/") {
+        return;
+    }
+    for at in word_offsets(&lx.masked, "Dataset::clone") {
+        let line = lx.line_of(at);
+        if !lx.test_line(line) {
+            push(
+                out,
+                lx,
+                "R5",
+                line,
+                "Dataset deep-clone outside the instrumented Clone impl; share via Arc<Dataset>"
+                    .to_string(),
+            );
+        }
+    }
+    let mut from = 0usize;
+    while let Some(p) = lx.masked[from..].find(".clone()") {
+        let at = from + p;
+        from = at + ".clone()".len();
+        let head = &lx.masked[..at];
+        let recv: String = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if recv == "data" || recv == "dataset" {
+            let line = lx.line_of(at);
+            if !lx.test_line(line) {
+                push(
+                    out,
+                    lx,
+                    "R5",
+                    line,
+                    format!(
+                        "`{recv}.clone()` looks like a Dataset deep-clone; share via \
+                         Arc<Dataset> (clone the Arc, not the rows)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R6 — wire safety of protocol literals. The text protocol is
+/// newline-framed, so an `"OK …"` / `"ERR …"` literal that embeds `\n`
+/// or `\r` would split one response into two frames. Checked in
+/// `crates/service/src` only (where the wire format lives). A trailing
+/// `\<newline>` line-continuation is legal rustfmt wrapping, not a
+/// frame break.
+pub fn r6_wire_literals(lx: &LexedFile, out: &mut Vec<Diagnostic>) {
+    if !lx.path.starts_with("crates/service/src") {
+        return;
+    }
+    for lit in &lx.strings {
+        if !(lit.content.starts_with("OK ") || lit.content.starts_with("ERR ")) {
+            continue;
+        }
+        if embeds_frame_break(&lit.content) {
+            push(
+                out,
+                lx,
+                "R6",
+                lit.line,
+                "wire literal embeds \\n or \\r: the protocol is newline-framed and this \
+                 would split the response into two frames"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Does a literal body (escapes as written) contain an `\n`/`\r` escape
+/// or a raw CR/LF that is not a line-continuation?
+fn embeds_frame_break(content: &str) -> bool {
+    let bytes = content.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                match bytes.get(i + 1) {
+                    Some(b'n') | Some(b'r') => return true,
+                    Some(b'\n') => {
+                        // Line-continuation: backslash-newline plus the
+                        // following indentation is stripped by rustc.
+                        i += 2;
+                        while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    _ => i += 2,
+                }
+            }
+            b'\n' | b'\r' => return true,
+            _ => i += 1,
+        }
+    }
+    false
+}

@@ -1,0 +1,22 @@
+// R1 fixture: sanctioned total-order comparators; must scan clean.
+use std::cmp::Ordering as CmpOrdering;
+
+fn sort_scores(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+// The trait impl itself mentions partial_cmp but is not a call site.
+struct Score(f64);
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+// Mentions in comments and strings never fire: partial_cmp().unwrap()
+const DOC: &str = "partial_cmp(x).unwrap() is banned";

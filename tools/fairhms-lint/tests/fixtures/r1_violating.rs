@@ -1,0 +1,10 @@
+// R1 fixture: NaN-panicking float comparators the lint must flag.
+fn sort_scores(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn best(xs: &[(usize, f64)]) -> Option<usize> {
+    xs.iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("nan"))
+        .map(|(i, _)| *i)
+}

@@ -1,0 +1,6 @@
+// R2 fixture: documented unsafe in an allowlisted file; must scan clean.
+fn peek(xs: &[f64]) -> f64 {
+    // SAFETY: callers guarantee xs is non-empty (checked at the public
+    // entry point), so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

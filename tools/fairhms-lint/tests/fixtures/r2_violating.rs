@@ -1,0 +1,6 @@
+// R2 fixture: unsafe without a SAFETY comment (scanned as if it lived
+// in an allowlisted kernel file; the same source scanned under a
+// non-allowlisted path must flag every unsafe, commented or not).
+fn peek(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

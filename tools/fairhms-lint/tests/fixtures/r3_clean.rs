@@ -1,0 +1,18 @@
+// R3 fixture: justified orderings; must scan clean.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn bump() {
+    // ordering: independent stat counter, no cross-variable sync.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn test_code_is_exempt() {
+        HITS.store(0, Ordering::Relaxed);
+    }
+}

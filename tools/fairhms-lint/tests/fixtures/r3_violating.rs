@@ -1,0 +1,13 @@
+// R3 fixture: unjustified atomic orderings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+fn fence_everything() {
+    // ordering: justified, but SeqCst outside the allowlist still fails.
+    HITS.store(0, Ordering::SeqCst);
+}

@@ -1,0 +1,20 @@
+// R4 fixture: the sanctioned recover-and-count helpers; must scan clean.
+use fairhms_obs::sync::{lock_or_recover, wait_or_recover};
+use std::sync::{Condvar, Mutex};
+
+fn sanctioned(m: &Mutex<u32>, cv: &Condvar) {
+    let mut g = lock_or_recover(m);
+    while *g == 0 {
+        g = wait_or_recover(cv, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn tests_may_unwrap() {
+        let m = Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+// R4 fixture: two paths acquire the same pair of locks in opposite
+// orders — the lock-order graph must contain a cycle.
+use fairhms_obs::sync::lock_or_recover;
+use std::sync::Mutex;
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = lock_or_recover(&self.beta);
+        let a = lock_or_recover(&self.alpha);
+        *a - *b
+    }
+}

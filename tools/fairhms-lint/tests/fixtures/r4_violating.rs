@@ -1,0 +1,10 @@
+// R4 fixture: bare poison-propagating lock calls.
+use std::sync::{Condvar, Mutex, RwLock};
+
+fn bare(m: &Mutex<u32>, rw: &RwLock<u32>, cv: &Condvar) {
+    let g = m.lock().unwrap();
+    let r = rw.read().expect("poisoned");
+    let w = rw.write().unwrap();
+    let g2 = cv.wait(g).unwrap();
+    drop((r, w, g2));
+}

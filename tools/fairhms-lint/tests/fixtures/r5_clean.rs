@@ -1,0 +1,16 @@
+// R5 fixture: gated and waived time reads; must scan clean.
+use std::time::Instant;
+
+fn gated_span(rec: &Recorder) -> Option<Instant> {
+    rec.enabled().then(Instant::now)
+}
+
+fn deadline() -> Instant {
+    // fairhms-lint: allow(R5) admission-control deadline stamp: queue
+    // age must be priced with telemetry off too.
+    Instant::now()
+}
+
+fn share(data: &std::sync::Arc<Dataset>) -> std::sync::Arc<Dataset> {
+    std::sync::Arc::clone(data)
+}

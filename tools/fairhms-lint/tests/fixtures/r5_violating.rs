@@ -1,0 +1,11 @@
+// R5 fixture: clock reads and Dataset deep-clones on a serving path.
+use std::time::Instant;
+
+fn timed_solve() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_micros() as u64
+}
+
+fn copy_rows(data: &Dataset) -> Dataset {
+    data.clone()
+}

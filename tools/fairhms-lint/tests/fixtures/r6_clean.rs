@@ -1,0 +1,16 @@
+// R6 fixture: frame-safe wire literals; must scan clean.
+fn render() -> String {
+    "OK pong".to_string()
+}
+
+fn render_long() -> String {
+    // A rustfmt line-continuation is not a frame break.
+    "OK hits=0 misses=0 entries=0 evictions=0 \
+     hit_rate=0"
+        .to_string()
+}
+
+fn not_wire() -> String {
+    // Doesn't start with "OK "/"ERR ", so framing rules don't apply.
+    "payload\nwith\nlines".to_string()
+}

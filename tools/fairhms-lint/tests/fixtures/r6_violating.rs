@@ -1,0 +1,8 @@
+// R6 fixture: wire literals that would split a newline-framed response.
+fn render() -> String {
+    "OK pong\nextra".to_string()
+}
+
+fn render_err() -> String {
+    "ERR bad\rframe".to_string()
+}
