@@ -95,6 +95,7 @@ fn bench_codecs(c: &mut Criterion) {
             queue_depth: 3,
             shed_total: 42,
             conns_open: 512,
+            mutations_total: 9,
         },
         answer_frame(5, None),
     ];

@@ -169,6 +169,102 @@ fn solver_kernels() -> ((f64, f64), (f64, f64), (f64, f64), u64) {
     )
 }
 
+/// Mutation-path measurement for the `mutation` section of
+/// `BENCH_service.json`: incremental APPEND/DELETE latency, the
+/// delta-invalidation fan-out over a populated solution cache (entries
+/// dropped by a dominated append vs. a skyline-changing one), and the
+/// from-scratch re-preparation cost the incremental path avoids.
+struct MutationProfile {
+    append_us: f64,
+    delete_us: f64,
+    cached_before: u64,
+    dropped_dominated: u64,
+    dropped_sky_change: u64,
+    full_reprep_ms: f64,
+}
+
+fn mutation_profile() -> MutationProfile {
+    let eng = engine(true);
+
+    // Populate the solution cache across both query forms (skyline and
+    // full-table) and two algorithm families, so the invalidation sweep
+    // has a realistic mixed population to walk.
+    let populate = |eng: &QueryEngine| -> u64 {
+        let mut cached = 0u64;
+        for k in [3usize, 4, 5] {
+            for alg in ["bigreedy", "f-greedy"] {
+                for skyline in [true, false] {
+                    let mut q = Query::new("telbench", k);
+                    q.alg = alg.to_string();
+                    q.skyline = skyline;
+                    if eng.execute(&q).is_ok() {
+                        cached += 1;
+                    }
+                }
+            }
+        }
+        cached
+    };
+    let cached_before = populate(&eng);
+
+    // Dominated append: every per-group skyline is provably unchanged,
+    // so only full-table entries for the touched group's digest drop.
+    let rep = eng.append_row("telbench", &[0.0, 0.0, 0.0], 0).unwrap();
+    assert!(!rep.sky_changed && !rep.rebuilt);
+    let dropped_dominated = rep.cache_dropped;
+
+    // Skyline-changing append: (1,1,1) dominates the whole dataset, so
+    // both query forms drop.
+    populate(&eng);
+    let rep = eng.append_row("telbench", &[1.0, 1.0, 1.0], 0).unwrap();
+    assert!(rep.sky_changed);
+    let dropped_sky_change = rep.cache_dropped;
+    let mut rows = rep.rows;
+
+    // Incremental latency: dominated appends and tail deletes exercise
+    // the cheapest repair path (skyline test + derived-state rebuild).
+    const REPS: usize = 32;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        rows = eng
+            .append_row("telbench", &[0.0, 0.0, 0.0], 1)
+            .unwrap()
+            .rows;
+    }
+    let append_us = t.elapsed().as_micros() as f64 / REPS as f64;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        rows = eng.delete_row("telbench", rows - 1).unwrap().rows;
+    }
+    let delete_us = t.elapsed().as_micros() as f64 / REPS as f64;
+
+    // The alternative the incremental path replaces: a from-scratch
+    // re-preparation of the mutated dataset (normalize + group partition
+    // + group-skyline index).
+    let live = eng.catalog().get("telbench").unwrap();
+    let data = Dataset::new(
+        "reprep",
+        live.dataset.dim(),
+        live.dataset.points_flat().to_vec(),
+        live.dataset.groups().to_vec(),
+        live.dataset.group_names().to_vec(),
+    )
+    .unwrap();
+    let t = Instant::now();
+    let fresh = fairhms_service::PreparedDataset::prepare("reprep", data).unwrap();
+    let full_reprep_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fresh.skyline_rows.len(), live.skyline_rows.len());
+
+    MutationProfile {
+        append_us,
+        delete_us,
+        cached_before,
+        dropped_dominated,
+        dropped_sky_change,
+        full_reprep_ms,
+    }
+}
+
 /// OS threads in this process (`/proc/self/status`; 0 where unavailable).
 fn thread_count() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -256,6 +352,19 @@ fn main() {
          ms blocked"
     );
 
+    let mp = mutation_profile();
+    println!(
+        "mutation: append {:.1} µs, delete {:.1} µs; invalidation fan-out \
+         {}/{} entries (dominated) vs {}/{} (sky change); full re-prep {:.2} ms",
+        mp.append_us,
+        mp.delete_us,
+        mp.dropped_dominated,
+        mp.cached_before,
+        mp.dropped_sky_change,
+        mp.cached_before,
+        mp.full_reprep_ms
+    );
+
     let snapshot = eng.metrics().snapshot();
     let out = json::Obj::new()
         .str("bench", "service")
@@ -287,6 +396,18 @@ fn main() {
                 .f64("points_per_sec", evals_blocked)
                 .f64("bigreedy_cold_ms_scalar", bg_scalar)
                 .f64("bigreedy_cold_ms", bg_blocked)
+                .build(),
+        )
+        .raw(
+            "mutation",
+            &json::Obj::new()
+                .u64("dataset_points", DATASET_N as u64)
+                .f64("append_us", mp.append_us)
+                .f64("delete_us", mp.delete_us)
+                .u64("cached_entries_before", mp.cached_before)
+                .u64("dropped_by_dominated_append", mp.dropped_dominated)
+                .u64("dropped_by_skyline_append", mp.dropped_sky_change)
+                .f64("full_reprep_ms", mp.full_reprep_ms)
                 .build(),
         )
         .raw("metrics", &snapshot.to_json())

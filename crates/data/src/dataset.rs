@@ -47,6 +47,11 @@ pub enum DatasetError {
     },
     /// Requested categorical attribute does not exist on the table.
     UnknownAttribute(String),
+    /// A row index is past the end of the dataset.
+    RowOutOfRange {
+        /// Offending row.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for DatasetError {
@@ -61,6 +66,7 @@ impl std::fmt::Display for DatasetError {
                 write!(f, "negative or non-finite coordinate at ({row}, {col})")
             }
             DatasetError::UnknownAttribute(a) => write!(f, "unknown categorical attribute {a:?}"),
+            DatasetError::RowOutOfRange { row } => write!(f, "row {row} out of range"),
         }
     }
 }
@@ -409,6 +415,69 @@ impl Dataset {
         }
     }
 
+    /// A new dataset with `coords` appended as the last row, labeled
+    /// `group` (which must be an existing group index — mutation never
+    /// invents groups). Like [`Dataset::subset`], this is a derivation
+    /// constructor — a new dataset, not a copy — so it is not counted by
+    /// [`deep_clone_count`], and the derived SoA view starts cold.
+    pub fn with_appended_row(&self, coords: &[f64], group: usize) -> Result<Dataset, DatasetError> {
+        if coords.len() != self.dim {
+            return Err(DatasetError::RaggedMatrix);
+        }
+        if group >= self.num_groups {
+            return Err(DatasetError::GroupOutOfRange { row: self.len() });
+        }
+        for (col, &v) in coords.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(DatasetError::InvalidCoordinate {
+                    row: self.len(),
+                    col,
+                });
+            }
+        }
+        let mut points = Vec::with_capacity(self.points.len() + self.dim);
+        points.extend_from_slice(&self.points);
+        points.extend_from_slice(coords);
+        let mut groups = Vec::with_capacity(self.groups.len() + 1);
+        groups.extend_from_slice(&self.groups);
+        groups.push(group);
+        Ok(Dataset {
+            name: self.name.clone(),
+            dim: self.dim,
+            points,
+            groups: groups.into(),
+            num_groups: self.num_groups,
+            group_names: self.group_names.clone(),
+            soa: OnceLock::new(),
+        })
+    }
+
+    /// A new dataset with `row` removed; every later row shifts down by
+    /// one (the compacted id space mutation consumers expect). The group
+    /// count is preserved even when the removed row was its group's last
+    /// member. A derivation constructor like [`Dataset::with_appended_row`]
+    /// — not counted by [`deep_clone_count`].
+    pub fn with_removed_row(&self, row: usize) -> Result<Dataset, DatasetError> {
+        if row >= self.len() {
+            return Err(DatasetError::RowOutOfRange { row });
+        }
+        let mut points = Vec::with_capacity(self.points.len() - self.dim);
+        points.extend_from_slice(&self.points[..row * self.dim]);
+        points.extend_from_slice(&self.points[(row + 1) * self.dim..]);
+        let mut groups = Vec::with_capacity(self.groups.len() - 1);
+        groups.extend_from_slice(&self.groups[..row]);
+        groups.extend_from_slice(&self.groups[row + 1..]);
+        Ok(Dataset {
+            name: self.name.clone(),
+            dim: self.dim,
+            points,
+            groups: groups.into(),
+            num_groups: self.num_groups,
+            group_names: self.group_names.clone(),
+            soa: OnceLock::new(),
+        })
+    }
+
     /// A copy of this dataset restricted to the first `dim_keep` attributes.
     pub fn project(&self, dim_keep: usize) -> Dataset {
         assert!(dim_keep >= 1 && dim_keep <= self.dim);
@@ -614,6 +683,53 @@ mod tests {
         let p = d.project(1);
         assert_eq!(p.dim(), 1);
         assert_eq!(p.point(1), &[0.0]);
+    }
+
+    #[test]
+    fn appended_and_removed_rows_derive_new_datasets() {
+        let d = tiny();
+        let before = deep_clone_count();
+        let a = d.with_appended_row(&[3.0, 3.0], 1).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.point(3), &[3.0, 3.0]);
+        assert_eq!(a.group_of(3), 1);
+        assert_eq!(a.num_groups(), 2);
+        let r = a.with_removed_row(1).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.point(1), &[1.0, 1.0]); // old row 2 shifted down
+        assert_eq!(r.point(2), &[3.0, 3.0]);
+        assert_eq!(r.group_sizes(), vec![2, 1]);
+        // Derivations, not copies: the clone probe must not move.
+        assert_eq!(deep_clone_count(), before);
+        // Removing a group's last member keeps the group around (empty).
+        let only_b_gone = tiny().with_removed_row(1).unwrap();
+        assert_eq!(only_b_gone.num_groups(), 2);
+        assert_eq!(only_b_gone.group_sizes(), vec![2, 0]);
+    }
+
+    #[test]
+    fn row_mutation_validation_errors() {
+        let d = tiny();
+        assert_eq!(
+            d.with_appended_row(&[1.0], 0).unwrap_err(),
+            DatasetError::RaggedMatrix
+        );
+        assert_eq!(
+            d.with_appended_row(&[1.0, 1.0], 9).unwrap_err(),
+            DatasetError::GroupOutOfRange { row: 3 }
+        );
+        assert_eq!(
+            d.with_appended_row(&[1.0, -0.5], 0).unwrap_err(),
+            DatasetError::InvalidCoordinate { row: 3, col: 1 }
+        );
+        assert_eq!(
+            d.with_appended_row(&[1.0, f64::NAN], 0).unwrap_err(),
+            DatasetError::InvalidCoordinate { row: 3, col: 1 }
+        );
+        assert_eq!(
+            d.with_removed_row(3).unwrap_err(),
+            DatasetError::RowOutOfRange { row: 3 }
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Shard {
 struct Entry {
     /// Dataset registration epoch the answer was computed against.
     epoch: u64,
-    /// The canonical query (fingerprint preimage, with `epoch`).
+    /// Group-generation digest of the dataset form the answer was solved
+    /// on (`sky_digest`/`full_digest` per `query.skyline`) at solve time.
+    digest: u64,
+    /// The canonical query (fingerprint preimage, with `epoch` + `digest`).
     query: Query,
     value: Arc<Answer>,
 }
@@ -110,13 +113,13 @@ impl SolutionCache {
         &self.shards[(key as usize) % Self::SHARDS]
     }
 
-    /// Looks up `key`, refreshing its recency on a hit. `(epoch, query)`
-    /// must be the canonical key preimage; an entry whose stored preimage
-    /// differs (a fingerprint collision, including across dataset
-    /// replacement) is treated as a miss rather than served as a wrong
-    /// answer.
-    pub fn get(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
-        match self.peek(key, epoch, query) {
+    /// Looks up `key`, refreshing its recency on a hit. `(epoch, digest,
+    /// query)` must be the canonical key preimage; an entry whose stored
+    /// preimage differs (a fingerprint collision, including across
+    /// dataset replacement or mutation) is treated as a miss rather than
+    /// served as a wrong answer.
+    pub fn get(&self, key: u64, epoch: u64, digest: u64, query: &Query) -> Option<Arc<Answer>> {
+        match self.peek(key, epoch, digest, query) {
             Some(v) => {
                 // ordering: independent stat counter, no cross-variable sync.
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -134,10 +137,12 @@ impl SolutionCache {
     /// counters — for callers that do their own per-query accounting
     /// (the engine looks up more than once per query around the
     /// single-flight claim, but must record exactly one hit or miss).
-    pub fn peek(&self, key: u64, epoch: u64, query: &Query) -> Option<Arc<Answer>> {
+    pub fn peek(&self, key: u64, epoch: u64, digest: u64, query: &Query) -> Option<Arc<Answer>> {
         let mut shard = lock_or_recover(self.shard(key));
         let found = match shard.map.get(&key) {
-            Some((e, _)) if e.epoch == epoch && e.query == *query => Some(Arc::clone(&e.value)),
+            Some((e, _)) if e.epoch == epoch && e.digest == digest && e.query == *query => {
+                Some(Arc::clone(&e.value))
+            }
             _ => None,
         };
         if found.is_some() {
@@ -161,11 +166,12 @@ impl SolutionCache {
     /// Inserts (or refreshes) `key`, evicting the shard's least recently
     /// used entry if the shard is full. A colliding entry under the same
     /// key (different stored preimage) is overwritten — last writer wins.
-    pub fn insert(&self, key: u64, epoch: u64, query: Query, value: Arc<Answer>) {
+    pub fn insert(&self, key: u64, epoch: u64, digest: u64, query: Query, value: Arc<Answer>) {
         let mut shard = lock_or_recover(self.shard(key));
         if let Some((e, _)) = shard.map.get_mut(&key) {
             *e = Entry {
                 epoch,
+                digest,
                 query,
                 value,
             };
@@ -187,6 +193,7 @@ impl SolutionCache {
             (
                 Entry {
                     epoch,
+                    digest,
                     query,
                     value,
                 },
@@ -194,6 +201,46 @@ impl SolutionCache {
             ),
         );
         shard.lru.insert(tick, key);
+    }
+
+    /// Delta invalidation after a mutation of `dataset`: drops exactly the
+    /// entries for that dataset whose stored preimage no longer matches
+    /// the live catalog — a different epoch (re-registration) or a
+    /// form digest the mutation moved (`sky_digest` for skyline-restricted
+    /// answers, `full_digest` for full-dataset answers). Entries for other
+    /// datasets, and entries whose form digest the mutation left alone
+    /// (e.g. every skyline answer after a dominated append), survive as
+    /// future hits. Returns the number of entries dropped.
+    pub fn invalidate_stale(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        sky_digest: u64,
+        full_digest: u64,
+    ) -> u64 {
+        let mut dropped = 0;
+        for s in &self.shards {
+            let mut s = lock_or_recover(s);
+            let dead: Vec<(u64, u64)> = s
+                .map
+                .iter()
+                .filter(|(_, (e, _))| {
+                    let live = if e.query.skyline {
+                        sky_digest
+                    } else {
+                        full_digest
+                    };
+                    e.query.dataset == dataset && (e.epoch != epoch || e.digest != live)
+                })
+                .map(|(&k, &(_, tick))| (k, tick))
+                .collect();
+            for (k, tick) in dead {
+                s.map.remove(&k);
+                s.lru.remove(&tick);
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Number of resident entries.
@@ -256,9 +303,9 @@ mod tests {
     fn get_after_insert_and_stats() {
         let cache = SolutionCache::new(32);
         let q = query(7);
-        assert!(cache.get(7, 0, &q).is_none());
-        cache.insert(7, 0, q.clone(), answer(1));
-        let got = cache.get(7, 0, &q).expect("hit");
+        assert!(cache.get(7, 0, 0, &q).is_none());
+        cache.insert(7, 0, 0, q.clone(), answer(1));
+        let got = cache.get(7, 0, 0, &q).expect("hit");
         assert_eq!(got.indices, vec![1]);
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
@@ -271,18 +318,26 @@ mod tests {
         // equality check must refuse to serve the other query's answer.
         let cache = SolutionCache::new(32);
         let (qa, qb) = (query(1), query(2));
-        cache.insert(99, 1, qa.clone(), answer(1));
+        cache.insert(99, 1, 5, qa.clone(), answer(1));
         assert!(
-            cache.get(99, 1, &qb).is_none(),
+            cache.get(99, 1, 5, &qb).is_none(),
             "collision served wrong answer"
         );
         // same query, different dataset epoch: also a miss
-        assert!(cache.get(99, 2, &qa).is_none(), "stale-epoch answer served");
-        assert_eq!(cache.get(99, 1, &qa).unwrap().indices, vec![1]);
+        assert!(
+            cache.get(99, 2, 5, &qa).is_none(),
+            "stale-epoch answer served"
+        );
+        // same query and epoch, moved generation digest: also a miss
+        assert!(
+            cache.get(99, 1, 6, &qa).is_none(),
+            "stale-digest answer served"
+        );
+        assert_eq!(cache.get(99, 1, 5, &qa).unwrap().indices, vec![1]);
         // last-writer-wins on overwrite
-        cache.insert(99, 1, qb.clone(), answer(2));
-        assert!(cache.get(99, 1, &qa).is_none());
-        assert_eq!(cache.get(99, 1, &qb).unwrap().indices, vec![2]);
+        cache.insert(99, 1, 5, qb.clone(), answer(2));
+        assert!(cache.get(99, 1, 5, &qa).is_none());
+        assert_eq!(cache.get(99, 1, 5, &qb).unwrap().indices, vec![2]);
     }
 
     #[test]
@@ -290,33 +345,33 @@ mod tests {
         let cache = SolutionCache::new(1); // 1 entry per shard
                                            // Keys in the same shard: congruent mod SHARDS.
         let s = SolutionCache::SHARDS as u64;
-        cache.insert(s, 0, query(1), answer(1));
-        cache.insert(2 * s, 0, query(2), answer(2)); // evicts key `s`
-        assert!(cache.get(s, 0, &query(1)).is_none());
-        assert!(cache.get(2 * s, 0, &query(2)).is_some());
+        cache.insert(s, 0, 0, query(1), answer(1));
+        cache.insert(2 * s, 0, 0, query(2), answer(2)); // evicts key `s`
+        assert!(cache.get(s, 0, 0, &query(1)).is_none());
+        assert!(cache.get(2 * s, 0, 0, &query(2)).is_some());
         assert_eq!(cache.stats().evictions, 1);
 
         // Recency refresh: touch `2s`, insert `3s`, so `2s` survives…
-        cache.insert(3 * s, 0, query(3), answer(3));
-        assert!(cache.get(3 * s, 0, &query(3)).is_some());
+        cache.insert(3 * s, 0, 0, query(3), answer(3));
+        assert!(cache.get(3 * s, 0, 0, &query(3)).is_some());
     }
 
     #[test]
     fn refresh_on_get_protects_entry() {
         let cache = SolutionCache::new(2 * SolutionCache::SHARDS);
         let s = SolutionCache::SHARDS as u64;
-        cache.insert(s, 0, query(1), answer(1));
-        cache.insert(2 * s, 0, query(2), answer(2));
+        cache.insert(s, 0, 0, query(1), answer(1));
+        cache.insert(2 * s, 0, 0, query(2), answer(2));
         // shard full (2 per shard); touching the older key makes the
         // newer one the eviction victim.
-        assert!(cache.get(s, 0, &query(1)).is_some());
-        cache.insert(3 * s, 0, query(3), answer(3));
+        assert!(cache.get(s, 0, 0, &query(1)).is_some());
+        cache.insert(3 * s, 0, 0, query(3), answer(3));
         assert!(
-            cache.get(s, 0, &query(1)).is_some(),
+            cache.get(s, 0, 0, &query(1)).is_some(),
             "recently used entry evicted"
         );
         assert!(
-            cache.get(2 * s, 0, &query(2)).is_none(),
+            cache.get(2 * s, 0, 0, &query(2)).is_none(),
             "LRU entry survived"
         );
     }
@@ -350,8 +405,8 @@ mod tests {
                                 let key = ((t * 31 + i * 7) as u64) % key_space;
                                 let q = query(key);
                                 if i % 3 == 0 {
-                                    cache.insert(key, 0, q, answer(key as usize));
-                                } else if cache.get(key, 0, &q).is_some() {
+                                    cache.insert(key, 0, 0, q, answer(key as usize));
+                                } else if cache.get(key, 0, 0, &q).is_some() {
                                     hits += 1;
                                 } else {
                                     misses += 1;
@@ -389,10 +444,42 @@ mod tests {
     #[test]
     fn clear_keeps_counters() {
         let cache = SolutionCache::new(8);
-        cache.insert(1, 0, query(1), answer(1));
-        let _ = cache.get(1, 0, &query(1));
+        cache.insert(1, 0, 0, query(1), answer(1));
+        let _ = cache.get(1, 0, 0, &query(1));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_stale_drops_only_disturbed_forms() {
+        let cache = SolutionCache::new(64);
+        // Dataset "t": a skyline answer at sky digest 10 and a full-form
+        // answer at full digest 20. Dataset "other": untouched bystander.
+        let mut q_sky = query(1);
+        q_sky.skyline = true;
+        let mut q_full = query(2);
+        q_full.skyline = false;
+        let mut q_other = query(3);
+        q_other.dataset = "other".into();
+        cache.insert(1, 4, 10, q_sky.clone(), answer(1));
+        cache.insert(2, 4, 20, q_full.clone(), answer(2));
+        cache.insert(3, 9, 77, q_other.clone(), answer(3));
+
+        // A mutation that moved only the full digest (20 → 21): the
+        // skyline answer and the other dataset's entry both survive.
+        assert_eq!(cache.invalidate_stale("t", 4, 10, 21), 1);
+        assert!(cache.get(1, 4, 10, &q_sky).is_some());
+        assert!(cache.get(2, 4, 20, &q_full).is_none());
+        assert!(cache.get(3, 9, 77, &q_other).is_some());
+
+        // A mutation that also moved the sky digest drops the rest of
+        // "t" but still never touches "other".
+        assert_eq!(cache.invalidate_stale("t", 4, 11, 21), 1);
+        assert!(cache.get(1, 4, 10, &q_sky).is_none());
+        assert!(cache.get(3, 9, 77, &q_other).is_some());
+        // Sweeping with everything current is a no-op.
+        assert_eq!(cache.invalidate_stale("other", 9, 77, 77), 0);
+        assert!(cache.get(3, 9, 77, &q_other).is_some());
     }
 }

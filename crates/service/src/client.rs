@@ -121,6 +121,48 @@ impl WireClient {
         self.recv_answer()
     }
 
+    /// Sends `APPEND name=… row=… group=…` and returns the server's
+    /// [`Response::Mutated`] frame; `ERR`/busy frames become typed `Err`s.
+    pub fn append(
+        &mut self,
+        name: &str,
+        row: &[f64],
+        group: usize,
+    ) -> Result<Response, ServiceError> {
+        let row_csv = row
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.send_line(&format!("APPEND name={name} row={row_csv} group={group}"))?;
+        self.recv_mutated()
+    }
+
+    /// Sends `DELETE name=… row=…` and returns the server's
+    /// [`Response::Mutated`] frame; `ERR`/busy frames become typed `Err`s.
+    pub fn delete(&mut self, name: &str, row: usize) -> Result<Response, ServiceError> {
+        self.send_line(&format!("DELETE name={name} row={row}"))?;
+        self.recv_mutated()
+    }
+
+    fn recv_mutated(&mut self) -> Result<Response, ServiceError> {
+        match self.recv()? {
+            m @ Response::Mutated { .. } => Ok(m),
+            Response::Busy {
+                retry_after_ms,
+                message,
+                ..
+            } => Err(ServiceError::Busy {
+                reason: message,
+                retry_after_ms,
+            }),
+            Response::Error { message, .. } => Err(ServiceError::Protocol(message)),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a MUTATED response, got {other:?}"
+            ))),
+        }
+    }
+
     /// Sends `METRICS` and returns the decoded telemetry snapshot as
     /// `(enabled, counters, histograms)`.
     #[allow(clippy::type_complexity)]

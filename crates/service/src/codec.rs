@@ -157,6 +157,7 @@ mod tag {
     pub const ERROR: u8 = 12;
     pub const METRICS: u8 = 13;
     pub const BUSY: u8 = 14;
+    pub const MUTATED: u8 = 15;
 }
 
 /// Protocol v2: length-prefixed binary frames (see the module docs for
@@ -347,6 +348,7 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             queue_depth,
             shed_total,
             conns_open,
+            mutations_total,
         } => {
             out.push(tag::STATS);
             put_varint(out, *hits);
@@ -362,6 +364,7 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *queue_depth);
             put_varint(out, *shed_total);
             put_varint(out, *conns_open);
+            put_varint(out, *mutations_total);
         }
         Response::Info {
             shards,
@@ -448,6 +451,24 @@ fn encode_binary_payload(resp: &Response, out: &mut Vec<u8>) {
             put_varint(out, *groups as u64);
             put_varint(out, *skyline as u64);
         }
+        Response::Mutated {
+            name,
+            op,
+            rows,
+            skyline,
+            sky_changed,
+            cache_dropped,
+            warm_dropped,
+        } => {
+            out.push(tag::MUTATED);
+            put_str(out, name);
+            put_str(out, op);
+            put_varint(out, *rows as u64);
+            put_varint(out, *skyline as u64);
+            out.push(u8::from(*sky_changed));
+            put_varint(out, *cache_dropped);
+            put_varint(out, *warm_dropped);
+        }
         Response::Bye => out.push(tag::BYE),
         Response::Busy {
             seq,
@@ -521,6 +542,13 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
                     r.varint("conns_open")?,
                 )
             };
+            // Fourth appended tier (mutable catalog): the mutation counter
+            // defaults to 0 when the peer predates APPEND/DELETE.
+            let mutations_total = if r.at_end() {
+                0
+            } else {
+                r.varint("mutations_total")?
+            };
             Response::Stats {
                 hits,
                 misses,
@@ -535,6 +563,7 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
                 queue_depth,
                 shed_total,
                 conns_open,
+                mutations_total,
             }
         }
         tag::INFO => {
@@ -613,6 +642,15 @@ pub fn decode_binary_payload(payload: &[u8]) -> Result<Response, ServiceError> {
             dim: r.usize("dim")?,
             groups: r.usize("groups")?,
             skyline: r.usize("skyline")?,
+        },
+        tag::MUTATED => Response::Mutated {
+            name: r.str("name")?,
+            op: r.str("op")?,
+            rows: r.usize("rows")?,
+            skyline: r.usize("skyline")?,
+            sky_changed: r.u8("sky_changed")? != 0,
+            cache_dropped: r.varint("cache_dropped")?,
+            warm_dropped: r.varint("warm_dropped")?,
         },
         tag::BYE => Response::Bye,
         tag::BUSY => Response::Busy {
@@ -747,6 +785,7 @@ mod tests {
                 queue_depth: 6,
                 shed_total: 11,
                 conns_open: 3,
+                mutations_total: 4,
             },
             Response::Info {
                 shards: 4,
@@ -821,6 +860,24 @@ mod tests {
                 dim: 3,
                 groups: 3,
                 skyline: 940,
+            },
+            Response::Mutated {
+                name: "extra".into(),
+                op: "append".into(),
+                rows: 2001,
+                skyline: 941,
+                sky_changed: true,
+                cache_dropped: 3,
+                warm_dropped: 1,
+            },
+            Response::Mutated {
+                name: "toy".into(),
+                op: "delete".into(),
+                rows: 7,
+                skyline: 4,
+                sky_changed: false,
+                cache_dropped: 0,
+                warm_dropped: 0,
             },
             Response::Error {
                 seq: Some(2),
@@ -1103,6 +1160,43 @@ mod tests {
         put_varint(&mut payload, 4); // queue_depth present…
         put_varint(&mut payload, 2); // …shed_total present, conns_open missing
         assert!(decode_binary_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn pre_mutation_binary_frames_still_decode() {
+        // Peers from the admission era emit every tier through conns_open
+        // but end before the mutation counter; it defaults to 0.
+        let mut payload = vec![tag::STATS];
+        put_varint(&mut payload, 2); // hits
+        put_varint(&mut payload, 1); // misses
+        put_varint(&mut payload, 1); // entries
+        put_varint(&mut payload, 0); // evictions
+        payload.extend_from_slice(&(2.0f64 / 3.0).to_bits().to_le_bytes());
+        put_varint(&mut payload, 7); // warm_hits
+        put_varint(&mut payload, 3); // warm_misses
+        put_varint(&mut payload, 2); // warm_entries
+        put_varint(&mut payload, 60); // uptime_secs
+        put_varint(&mut payload, 9); // total_queries
+        put_varint(&mut payload, 4); // queue_depth
+        put_varint(&mut payload, 2); // shed_total
+        put_varint(&mut payload, 1); // conns_open
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Stats {
+                conns_open,
+                mutations_total,
+                ..
+            } => assert_eq!((conns_open, mutations_total), (1, 0)),
+            other => panic!("{other:?}"),
+        }
+
+        // With the counter appended the same frame round-trips it.
+        put_varint(&mut payload, 13); // mutations_total
+        match decode_binary_payload(&payload).unwrap() {
+            Response::Stats {
+                mutations_total, ..
+            } => assert_eq!(mutations_total, 13),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

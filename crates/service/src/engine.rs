@@ -71,6 +71,28 @@ pub struct QueryResponse {
     pub stages: Option<StageTimings>,
 }
 
+/// What one catalog mutation did, as reported to the wire `MUTATED`
+/// response: the post-mutation dataset shape plus the invalidation
+/// fan-out (how many cached entries the delta sweep actually dropped —
+/// the observable difference between delta and flat-epoch invalidation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Rows in the dataset after the mutation.
+    pub rows: usize,
+    /// Rows on the group skyline after the mutation.
+    pub skyline: usize,
+    /// Whether the group skyline changed (membership or row ids).
+    pub sky_changed: bool,
+    /// Whether the mutation fell back to a full re-prep (a normalization
+    /// invariant broke — e.g. an appended coordinate above the current
+    /// column max); answers are identical either way.
+    pub rebuilt: bool,
+    /// Answer-cache entries dropped by the delta sweep.
+    pub cache_dropped: u64,
+    /// Warm-start entries dropped by the delta sweep.
+    pub warm_dropped: u64,
+}
+
 /// Catalog + cache + algorithm registry, shared by all workers.
 ///
 /// `&QueryEngine` is `Sync`: the catalog is behind a `RwLock`, the cache
@@ -211,6 +233,57 @@ impl QueryEngine {
         self.catalog.load_csv(name, path)
     }
 
+    /// Appends one row to a cataloged dataset — the engine seam the wire
+    /// `APPEND` verb lands on. The catalog applies incremental skyline
+    /// maintenance and publishes the new prepared snapshot; this seam
+    /// then runs the *delta* invalidation sweeps: only cached answers and
+    /// warm-start state whose form digest the mutation moved are dropped
+    /// (see [`SolutionCache::invalidate_stale`] /
+    /// [`WarmStartCache::invalidate_stale`]); everything else keeps
+    /// hitting.
+    pub fn append_row(
+        &self,
+        name: &str,
+        coords: &[f64],
+        group: usize,
+    ) -> Result<MutationReport, ServiceError> {
+        let out = self.catalog.append_row(name, coords, group)?;
+        Ok(self.finish_mutation(name, out))
+    }
+
+    /// Deletes one row (by current 0-based id) from a cataloged dataset —
+    /// the engine seam for the wire `DELETE` verb. Same invalidation
+    /// contract as [`QueryEngine::append_row`]; note row ids above the
+    /// deleted one shift down by one, exactly as a re-load of the edited
+    /// CSV would renumber them.
+    pub fn delete_row(&self, name: &str, row: usize) -> Result<MutationReport, ServiceError> {
+        let out = self.catalog.delete_row(name, row)?;
+        Ok(self.finish_mutation(name, out))
+    }
+
+    /// Post-mutation bookkeeping shared by append/delete: count the
+    /// mutation, sweep both cache tiers by digest delta, report.
+    fn finish_mutation(&self, name: &str, out: crate::catalog::MutationOutcome) -> MutationReport {
+        self.metrics.mutations_total.inc();
+        let prep = &out.prep;
+        let cache_dropped =
+            self.cache
+                .invalidate_stale(name, prep.epoch, prep.sky_digest, prep.full_digest);
+        let warm_dropped = self.warm.as_ref().map_or(0, |w| {
+            w.invalidate_stale(prep.epoch, prep.sky_digest, prep.full_digest)
+        });
+        self.metrics.cache_invalidated.add(cache_dropped);
+        self.metrics.warm_invalidated.add(warm_dropped);
+        MutationReport {
+            rows: prep.dataset.len(),
+            skyline: prep.skyline_rows.len(),
+            sky_changed: out.sky_changed,
+            rebuilt: out.rebuilt,
+            cache_dropped,
+            warm_dropped,
+        }
+    }
+
     /// Executes one query: canonicalize, consult the cache, otherwise
     /// dispatch through [`registry::by_name`] and cache the answer.
     ///
@@ -241,7 +314,11 @@ impl QueryEngine {
         // registration epoch, so answers cached against a replaced
         // dataset of the same name can never be served.
         let prep = self.catalog.get_required(&q.dataset)?;
-        let key = q.fingerprint_for_epoch(prep.epoch);
+        // The key folds the registration epoch *and* the group-generation
+        // digest of the form this query solves on, so mutations re-key
+        // exactly the answers they could have changed.
+        let digest = prep.digest_for(q.skyline);
+        let key = q.fingerprint_keyed(prep.epoch, digest);
         let hit = |answer, stages: StageTimings| {
             self.cache.note_hit();
             Ok(QueryResponse {
@@ -255,7 +332,7 @@ impl QueryEngine {
         // span; re-check iterations accumulate into the same stages.
         loop {
             let lookup = rec.span(&self.metrics.cache_lookup);
-            let peeked = self.cache.peek(key, prep.epoch, &q);
+            let peeked = self.cache.peek(key, prep.epoch, digest, &q);
             stages.cache_lookup_ns += lookup.stop().unwrap_or(0);
             if let Some(answer) = peeked {
                 return hit(answer, stages);
@@ -278,14 +355,15 @@ impl QueryEngine {
         // miss and our claim; without this re-check we would re-solve an
         // already-cached query cold.
         let lookup = rec.span(&self.metrics.cache_lookup);
-        let peeked = self.cache.peek(key, prep.epoch, &q);
+        let peeked = self.cache.peek(key, prep.epoch, digest, &q);
         stages.cache_lookup_ns += lookup.stop().unwrap_or(0);
         if let Some(answer) = peeked {
             return hit(answer, stages);
         }
         self.cache.note_miss();
         let answer = Arc::new(self.solve_cold(&q, &prep, &mut stages)?);
-        self.cache.insert(key, prep.epoch, q, Arc::clone(&answer));
+        self.cache
+            .insert(key, prep.epoch, digest, q, Arc::clone(&answer));
         Ok(QueryResponse {
             answer,
             cached: false,
@@ -337,10 +415,14 @@ impl QueryEngine {
         };
 
         // Warm-start lookup. `q` is canonicalized by `execute`, so
-        // `q.alg` is the canonical family name; the key folds the
-        // dataset epoch, making state for replaced datasets unreachable.
+        // `q.alg` is the canonical family name; the key folds the dataset
+        // epoch (state for replaced datasets is unreachable) and the
+        // per-form generation digest (state for a mutated form is
+        // unreachable the instant the mutation publishes, while the
+        // other form's state keeps hitting).
         let warm_key = WarmKey {
             epoch: prep.epoch,
+            digest: prep.digest_for(q.skyline),
             k: q.k,
             family: q.alg.clone(),
         };
@@ -545,6 +627,81 @@ mod tests {
         let prep = eng.catalog().get("toy").unwrap();
         assert!(fresh.answer.indices.iter().all(|&i| i < prep.dataset.len()));
         assert!(eng.execute(&q).unwrap().cached, "new answer not cached");
+    }
+
+    #[test]
+    fn mutations_invalidate_by_delta_not_by_dataset() {
+        let eng = engine();
+        let mut q_sky = Query::new("toy", 3);
+        q_sky.alg = "intcov".into();
+        let mut q_full = q_sky.clone();
+        q_full.skyline = false;
+        assert!(!eng.execute(&q_sky).unwrap().cached);
+        assert!(!eng.execute(&q_full).unwrap().cached);
+
+        // Dominated append: the skyline form is untouched, so the
+        // skyline-restricted answer must still hit; the full-form answer
+        // (whose candidate set grew) must not.
+        let rep = eng.append_row("toy", &[0.01, 0.01], 0).unwrap();
+        assert!(!rep.sky_changed && !rep.rebuilt);
+        assert_eq!(rep.cache_dropped, 1, "only the full-form answer drops");
+        assert!(eng.execute(&q_sky).unwrap().cached, "skyline hit lost");
+        assert!(!eng.execute(&q_full).unwrap().cached);
+
+        // Deleting that trailing dominated row: same delta.
+        let rows = eng.catalog().get("toy").unwrap().dataset.len();
+        let rep = eng.delete_row("toy", rows - 1).unwrap();
+        assert!(!rep.sky_changed);
+        assert_eq!(rep.cache_dropped, 1);
+        assert!(eng.execute(&q_sky).unwrap().cached, "skyline hit lost");
+
+        // A skyline-changing append drops both forms.
+        let rep = eng.append_row("toy", &[1.0, 1.0], 1).unwrap();
+        assert!(rep.sky_changed);
+        assert!(!eng.execute(&q_sky).unwrap().cached);
+        let m = eng.metrics();
+        assert_eq!(m.mutations_total.get(), 3);
+        assert!(m.cache_invalidated.get() >= 3);
+    }
+
+    #[test]
+    fn mutated_answers_match_a_fresh_engine() {
+        // After a mutation sequence, every algorithm's answer through the
+        // live engine equals a fresh engine built over the same rows.
+        let eng = engine();
+        eng.append_row("toy", &[0.85, 0.85], 0).unwrap();
+        eng.append_row("toy", &[0.05, 0.6], 1).unwrap();
+        eng.delete_row("toy", 2).unwrap();
+        let prep = eng.catalog().get("toy").unwrap();
+        let fresh_cat = Arc::new(Catalog::new());
+        fresh_cat
+            .insert_dataset(
+                Dataset::new(
+                    "toy",
+                    prep.dataset.dim(),
+                    prep.dataset.points_flat().to_vec(),
+                    prep.dataset.groups().to_vec(),
+                    prep.dataset.group_names().to_vec(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let fresh = QueryEngine::new(fresh_cat, 64);
+        for alg in ["intcov", "bigreedy", "f-greedy"] {
+            for skyline in [true, false] {
+                let mut q = Query::new("toy", 3);
+                q.alg = alg.into();
+                q.skyline = skyline;
+                let a = eng.execute(&q).unwrap();
+                let b = fresh.execute(&q).unwrap();
+                assert_eq!(a.answer.indices, b.answer.indices, "{alg} sky={skyline}");
+                assert_eq!(
+                    a.answer.mhr.map(f64::to_bits),
+                    b.answer.mhr.map(f64::to_bits),
+                    "{alg} sky={skyline}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -365,7 +365,15 @@ impl Conn {
                 return Ok(Outcome::Shutdown);
             }
             Ok(Request::Query(q)) => self.admit_single(q, sh),
-            Ok(Request::Load { name, path }) => self.admit_load(name, path, sh),
+            Ok(Request::Load { name, path }) => {
+                self.admit_control(WorkItem::Load { name, path }, sh)
+            }
+            Ok(Request::Append { name, row, group }) => {
+                self.admit_control(WorkItem::Append { name, row, group }, sh)
+            }
+            Ok(Request::Delete { name, row }) => {
+                self.admit_control(WorkItem::Delete { name, row }, sh)
+            }
             Ok(Request::Batch { n, stream }) => {
                 if n > MAX_BATCH {
                     let e =
@@ -444,20 +452,21 @@ impl Conn {
         }
     }
 
-    /// Admits the `LOAD` admin verb to the worker pool: a disk read plus
-    /// dataset preparation must not stall every connection on the loop
-    /// thread. The job bypasses the queue bound (control verbs are never
-    /// shed) and raises the connection's input barrier
-    /// ([`Conn::control_inflight`]) until it completes.
+    /// Admits a heavy control verb (`LOAD`, `APPEND`, `DELETE`) to the
+    /// worker pool: disk reads and catalog mutations must not stall every
+    /// connection on the loop thread. The job bypasses the queue bound
+    /// (control verbs are never shed) and raises the connection's input
+    /// barrier ([`Conn::control_inflight`]) until it completes — so a
+    /// pipelined mutate→query sequence keeps its sequential semantics.
     #[allow(clippy::disallowed_methods)] // queue-age stamp; see R5 waiver inside
-    fn admit_load(&mut self, name: String, path: String, sh: &Shared) {
+    fn admit_control(&mut self, work: WorkItem, sh: &Shared) {
         let ticket = self.take_ticket();
         let job = SolveJob {
             conn: self.slot,
             generation: self.generation,
             ticket,
             batch_index: None,
-            work: WorkItem::Load { name, path },
+            work,
             // fairhms-lint: allow(R5) admission-control deadline stamp:
             // queue-age shedding must work with telemetry off.
             enqueued: Instant::now(),
@@ -474,10 +483,7 @@ impl Conn {
             Err(job) => {
                 // Only a closed queue refuses control jobs — the server
                 // is tearing down; answer inline, nobody left to stall.
-                let WorkItem::Load { name, path } = job.work else {
-                    unreachable!("admitted a LOAD")
-                };
-                let resp = server::handle_load(&sh.engine, &sh.opts, &name, &path);
+                let resp = job.work.run_control(&sh.engine, &sh.opts);
                 self.push_ready(&resp, sh);
             }
         }

@@ -196,6 +196,35 @@ pub(crate) enum WorkItem {
     /// connection. Operator-issued and rare, so it bypasses the queue
     /// bound ([`SolveQueue::push_control`]) and is never deadline-shed.
     Load { name: String, path: String },
+    /// The `APPEND` mutation verb: incremental skyline maintenance plus
+    /// delta cache invalidation — catalog work that must stay off the
+    /// event loop, admitted exactly like `Load`.
+    Append {
+        name: String,
+        row: Vec<f64>,
+        group: usize,
+    },
+    /// The `DELETE` mutation verb; see `Append`.
+    Delete { name: String, row: usize },
+}
+
+impl WorkItem {
+    /// Executes a *control* work item inline, producing its response.
+    /// Shared by the worker arm and the event loop's closed-queue
+    /// fallback so the two paths cannot drift.
+    ///
+    /// # Panics
+    /// On [`WorkItem::Solve`] — solves are not control verbs.
+    pub(crate) fn run_control(self, engine: &QueryEngine, opts: &ServeOptions) -> Response {
+        match self {
+            WorkItem::Load { name, path } => server::handle_load(engine, opts, &name, &path),
+            WorkItem::Append { name, row, group } => {
+                server::handle_append(engine, &name, &row, group)
+            }
+            WorkItem::Delete { name, row } => server::handle_delete(engine, &name, row),
+            WorkItem::Solve(_) => unreachable!("solves are not control verbs"),
+        }
+    }
 }
 
 /// One job admitted into the global queue, addressed back to its
@@ -398,9 +427,7 @@ impl WorkerPool {
                                     };
                                     WorkDone::Solve { query, result }
                                 }
-                                WorkItem::Load { name, path } => WorkDone::Control(
-                                    server::handle_load(&engine, &opts, &name, &path),
-                                ),
+                                control => WorkDone::Control(control.run_control(&engine, &opts)),
                             };
                             let out = SolveDone {
                                 conn: job.conn,

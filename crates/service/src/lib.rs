@@ -41,8 +41,10 @@
 //!   thread-per-connection loop and the event-driven multiplexer
 //!   (selected by [`FrontendKind`]), with streamed batch delivery,
 //!   admission control (bounded solve queue, per-connection quotas,
-//!   deadline shedding with `retry_after_ms`), and the `LOAD` admin
-//!   verb.
+//!   deadline shedding with `retry_after_ms`), the `LOAD` admin verb,
+//!   and the `APPEND`/`DELETE` mutation verbs (incremental skyline
+//!   maintenance with per-group generation digests and delta cache
+//!   invalidation — see `docs/ARCHITECTURE.md`).
 //!
 //! ```
 //! use fairhms_service::{Catalog, Query, QueryEngine};
@@ -79,10 +81,13 @@ pub mod server;
 pub mod warmstart;
 
 pub use cache::{CacheStats, SolutionCache};
-pub use catalog::{Catalog, CatalogConfig, PreparedDataset, ShardPrep, MAX_SHARDS};
+pub use catalog::{
+    Catalog, CatalogConfig, GroupGenerations, MutationOutcome, PreparedDataset, ShardPrep,
+    MAX_SHARDS,
+};
 pub use client::WireClient;
 pub use codec::{BinaryCodec, Codec, CodecKind, TextCodec};
-pub use engine::{Answer, QueryEngine, QueryResponse, StageTimings};
+pub use engine::{Answer, MutationReport, QueryEngine, QueryResponse, StageTimings};
 pub use executor::BatchExecutor;
 pub use metrics::{MetricsSnapshot, ServiceMetrics, TelemetryConfig};
 pub use protocol::{Request, Response, WireAnswer, WireHistogram};

@@ -118,6 +118,15 @@ pub struct ServiceMetrics {
     /// `shed.total` — requests refused by admission control (`ERR busy`).
     /// Always recorded (STATS reports it even with telemetry off).
     pub shed_total: Counter,
+    /// `mutations.total` — catalog mutations applied (`APPEND`/`DELETE`).
+    /// Always recorded (STATS reports it even with telemetry off).
+    pub mutations_total: Counter,
+    /// `cache.invalidated` — answer-cache entries dropped by mutation
+    /// delta sweeps. Always recorded.
+    pub cache_invalidated: Counter,
+    /// `warm.invalidated` — warm-start entries dropped by mutation delta
+    /// sweeps. Always recorded.
+    pub warm_invalidated: Counter,
     /// Exponential moving average of `engine.execute` wall time in
     /// microseconds (α = 1/8), always on: the basis for the
     /// `retry_after_ms` advice carried by shed responses.
@@ -150,6 +159,9 @@ impl ServiceMetrics {
             total_queries: Counter::new(),
             queue_depth: Gauge::new(),
             shed_total: Counter::new(),
+            mutations_total: Counter::new(),
+            cache_invalidated: Counter::new(),
+            warm_invalidated: Counter::new(),
             avg_execute_us: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -212,6 +224,9 @@ impl ServiceMetrics {
             ("queries.total".into(), self.total_queries.get()),
             ("queue.depth".into(), self.queue_depth.get().max(0) as u64),
             ("shed.total".into(), self.shed_total.get()),
+            ("mutations.total".into(), self.mutations_total.get()),
+            ("cache.invalidated".into(), self.cache_invalidated.get()),
+            ("warm.invalidated".into(), self.warm_invalidated.get()),
             (
                 "locks.recovered".into(),
                 fairhms_obs::sync::recovered_lock_count(),

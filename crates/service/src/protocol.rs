@@ -33,6 +33,9 @@
 //! >> QUERY …                                << OK seq=1 alg=…   (completion order,
 //! >> QUERY …                                << OK seq=0 alg=…    seq = request index)
 //! >> LOAD name=extra path=extra.csv         << OK loaded name=extra n=2000 d=3 groups=3 skyline=940
+//! >> APPEND name=extra row=0.5,0.9,0.1 group=2
+//!                                           << OK mutated name=extra op=append n=2001 skyline=940 sky_changed=false cache_dropped=1 warm_dropped=0
+//! >> DELETE name=extra row=17               << OK mutated name=extra op=delete n=2000 skyline=939 sky_changed=true cache_dropped=4 warm_dropped=2
 //! >> SHUTDOWN                               << OK bye
 //! ```
 //!
@@ -93,6 +96,29 @@ pub enum Request {
         name: String,
         /// Path relative to the server's `--load-root`.
         path: String,
+    },
+    /// `APPEND name=<name> row=<c1,...,cd> group=<idx>`: append one row
+    /// to a cataloged dataset in place, with incremental group-skyline
+    /// maintenance and delta cache invalidation (no re-prep, no full
+    /// cache flush).
+    Append {
+        /// Catalog key of the dataset to mutate.
+        name: String,
+        /// The new row's coordinates (must match the dataset's
+        /// dimensionality; finite, non-negative).
+        row: Vec<f64>,
+        /// 0-based group index of the new row (must be an existing
+        /// group).
+        group: usize,
+    },
+    /// `DELETE name=<name> row=<id>`: delete one row by its current
+    /// 0-based id. Ids above the deleted row shift down by one, exactly
+    /// as re-loading the edited CSV would renumber them.
+    Delete {
+        /// Catalog key of the dataset to mutate.
+        name: String,
+        /// Current 0-based row id to remove.
+        row: usize,
     },
     /// Report the telemetry snapshot (stage histograms, counters,
     /// gauges). Added after v2 shipped; old clients simply never send it.
@@ -162,6 +188,10 @@ pub enum Response {
         /// Connections currently open (absence-tolerant, defaulting
         /// to 0).
         conns_open: u64,
+        /// Catalog mutations (`APPEND`/`DELETE`) applied since start
+        /// (absence-tolerant, defaulting to 0 — pre-mutation transcripts
+        /// still decode).
+        mutations_total: u64,
     },
     /// `INFO` reply: server configuration.
     Info {
@@ -215,6 +245,25 @@ pub enum Response {
         groups: usize,
         /// Group-skyline size.
         skyline: usize,
+    },
+    /// `APPEND`/`DELETE` reply: the post-mutation dataset shape plus the
+    /// delta-invalidation fan-out.
+    Mutated {
+        /// Catalog key.
+        name: String,
+        /// Which mutation ran: `append` or `delete`.
+        op: String,
+        /// Row count after the mutation.
+        rows: usize,
+        /// Group-skyline size after the mutation.
+        skyline: usize,
+        /// Whether the group skyline changed (membership or row ids).
+        sky_changed: bool,
+        /// Answer-cache entries dropped by the delta sweep (entries for
+        /// untouched forms and other datasets survive).
+        cache_dropped: u64,
+        /// Warm-start entries dropped by the delta sweep.
+        warm_dropped: u64,
     },
     /// `METRICS` reply: the telemetry snapshot. `histograms` holds only
     /// non-empty stage histograms (durations in nanoseconds), so the
@@ -436,6 +485,55 @@ fn parse_load(tokens: &[&str]) -> Result<Request, ServiceError> {
     })
 }
 
+fn parse_append(tokens: &[&str]) -> Result<Request, ServiceError> {
+    let mut name: Option<String> = None;
+    let mut row: Option<Vec<f64>> = None;
+    let mut group: Option<usize> = None;
+    for (key, v) in parse_kv(tokens)? {
+        match key.as_str() {
+            "name" => name = Some(v),
+            "row" => {
+                let coords = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse_num("row", s))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                if coords.is_empty() {
+                    return Err(ServiceError::Protocol("row: empty coordinate list".into()));
+                }
+                row = Some(coords);
+            }
+            "group" => group = Some(parse_num("group", &v)?),
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(Request::Append {
+        name: name.ok_or_else(|| ServiceError::Protocol("missing name=".into()))?,
+        row: row.ok_or_else(|| ServiceError::Protocol("missing row=".into()))?,
+        group: group.ok_or_else(|| ServiceError::Protocol("missing group=".into()))?,
+    })
+}
+
+fn parse_delete(tokens: &[&str]) -> Result<Request, ServiceError> {
+    let mut name: Option<String> = None;
+    let mut row: Option<usize> = None;
+    for (key, v) in parse_kv(tokens)? {
+        match key.as_str() {
+            "name" => name = Some(v),
+            "row" => row = Some(parse_num("row", &v)?),
+            other => {
+                return Err(ServiceError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(Request::Delete {
+        name: name.ok_or_else(|| ServiceError::Protocol("missing name=".into()))?,
+        row: row.ok_or_else(|| ServiceError::Protocol("missing row=".into()))?,
+    })
+}
+
 /// Parses one request line (verbs are case-insensitive).
 pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -468,6 +566,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "BATCH" => parse_batch(rest),
         "QUERY" => Ok(Request::Query(Box::new(parse_query(rest)?))),
         "LOAD" => parse_load(rest),
+        "APPEND" => parse_append(rest),
+        "DELETE" => parse_delete(rest),
         "METRICS" => Ok(Request::Metrics),
         other => Err(ServiceError::Protocol(format!("unknown verb {other:?}"))),
     }
@@ -658,11 +758,13 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
             queue_depth,
             shed_total,
             conns_open,
+            mutations_total,
         } => format!(
             "OK hits={hits} misses={misses} entries={entries} evictions={evictions} \
              hit_rate={hit_rate} warm_hits={warm_hits} warm_misses={warm_misses} \
              warm_entries={warm_entries} uptime_secs={uptime_secs} total_queries={total_queries} \
-             queue_depth={queue_depth} shed_total={shed_total} conns_open={conns_open}"
+             queue_depth={queue_depth} shed_total={shed_total} conns_open={conns_open} \
+             mutations_total={mutations_total}"
         ),
         Response::Info {
             shards,
@@ -726,6 +828,23 @@ pub fn encode_response_line(resp: &Response) -> Result<String, ServiceError> {
         } => {
             check_wire_safe("name", name)?;
             format!("OK loaded name={name} n={rows} d={dim} groups={groups} skyline={skyline}")
+        }
+        Response::Mutated {
+            name,
+            op,
+            rows,
+            skyline,
+            sky_changed,
+            cache_dropped,
+            warm_dropped,
+        } => {
+            check_wire_safe("name", name)?;
+            check_wire_safe("op", op)?;
+            format!(
+                "OK mutated name={name} op={op} n={rows} skyline={skyline} \
+                 sky_changed={sky_changed} cache_dropped={cache_dropped} \
+                 warm_dropped={warm_dropped}"
+            )
         }
         Response::Bye => "OK bye".to_string(),
         Response::Busy {
@@ -926,6 +1045,24 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                 histograms,
             })
         }
+        "mutated" => {
+            let m = kv_map(&tokens[1..])?;
+            Ok(Response::Mutated {
+                name: m
+                    .get("name")
+                    .cloned()
+                    .ok_or_else(|| ServiceError::Protocol("missing field name=".into()))?,
+                op: m
+                    .get("op")
+                    .cloned()
+                    .ok_or_else(|| ServiceError::Protocol("missing field op=".into()))?,
+                rows: field(&m, "n")?,
+                skyline: field(&m, "skyline")?,
+                sky_changed: flag_or(&m, "sky_changed", false)?,
+                cache_dropped: field_or(&m, "cache_dropped", 0)?,
+                warm_dropped: field_or(&m, "warm_dropped", 0)?,
+            })
+        }
         "loaded" => {
             let m = kv_map(&tokens[1..])?;
             Ok(Response::Loaded {
@@ -973,6 +1110,7 @@ pub fn decode_response_line(line: &str) -> Result<Response, ServiceError> {
                     queue_depth: field_or(&m, "queue_depth", 0)?,
                     shed_total: field_or(&m, "shed_total", 0)?,
                     conns_open: field_or(&m, "conns_open", 0)?,
+                    mutations_total: field_or(&m, "mutations_total", 0)?,
                 })
             }
             Some(("shards", v)) if tokens.len() == 1 => {
@@ -1118,6 +1256,19 @@ mod tests {
             "LOAD name=x",
             "LOAD path=y",
             "LOAD name=x path=a b",
+            "APPEND",
+            "APPEND name=x",
+            "APPEND name=x row=0.5,0.9",
+            "APPEND name=x group=0",
+            "APPEND name=x row= group=0",
+            "APPEND name=x row=0.5,nope group=0",
+            "APPEND name=x row=0.5 group=z",
+            "APPEND name=x row=0.5 group=0 zz=1",
+            "DELETE",
+            "DELETE name=x",
+            "DELETE row=3",
+            "DELETE name=x row=-1",
+            "DELETE name=x row=3 zz=1",
         ] {
             assert!(
                 matches!(parse_request(bad), Err(ServiceError::Protocol(_))),
@@ -1307,6 +1458,63 @@ mod tests {
     }
 
     #[test]
+    fn append_and_delete_requests_parse() {
+        assert_eq!(
+            parse_request("APPEND name=extra row=0.5,0.9,0.1 group=2").unwrap(),
+            Request::Append {
+                name: "extra".into(),
+                row: vec![0.5, 0.9, 0.1],
+                group: 2
+            }
+        );
+        assert_eq!(
+            parse_request("delete name=extra row=17").unwrap(),
+            Request::Delete {
+                name: "extra".into(),
+                row: 17
+            }
+        );
+    }
+
+    #[test]
+    fn pre_mutation_stats_lines_still_decode() {
+        // Transcripts captured before the mutable catalog lack the
+        // mutations_total field: the appended-field compatibility
+        // pattern means they decode with a zero default, exactly like
+        // every tier extension before it.
+        match decode_response_line(
+            "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.5 \
+             warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3 \
+             queue_depth=2 shed_total=5 conns_open=7",
+        )
+        .unwrap()
+        {
+            Response::Stats {
+                conns_open,
+                mutations_total,
+                ..
+            } => assert_eq!((conns_open, mutations_total), (7, 0)),
+            other => panic!("{other:?}"),
+        }
+        // Malformed values in the new field are still typed errors.
+        assert!(decode_response_line(
+            "OK hits=1 misses=0 entries=0 evictions=0 hit_rate=1 mutations_total=x"
+        )
+        .is_err());
+        // A mutated line missing the optional tail fields also decodes
+        // (future-proofing the same pattern for this verb's own fields).
+        match decode_response_line("OK mutated name=t op=delete n=9 skyline=4").unwrap() {
+            Response::Mutated {
+                sky_changed,
+                cache_dropped,
+                warm_dropped,
+                ..
+            } => assert_eq!((sky_changed, cache_dropped, warm_dropped), (false, 0, 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn wire_unsafe_query_fields_error_instead_of_desync() {
         let mut q = Query::new("toy", 2);
         q.alg = "bigreedy cached=true".into(); // crafted: would inject a field
@@ -1418,7 +1626,7 @@ mod tests {
             (
                 "OK hits=2 misses=1 entries=1 evictions=0 hit_rate=0.6666666666666666 \
                  warm_hits=3 warm_misses=2 warm_entries=1 uptime_secs=12 total_queries=3 \
-                 queue_depth=2 shed_total=5 conns_open=7",
+                 queue_depth=2 shed_total=5 conns_open=7 mutations_total=4",
                 Response::Stats {
                     hits: 2,
                     misses: 1,
@@ -1433,6 +1641,20 @@ mod tests {
                     queue_depth: 2,
                     shed_total: 5,
                     conns_open: 7,
+                    mutations_total: 4,
+                },
+            ),
+            (
+                "OK mutated name=extra op=append n=2001 skyline=940 sky_changed=false \
+                 cache_dropped=1 warm_dropped=0",
+                Response::Mutated {
+                    name: "extra".into(),
+                    op: "append".into(),
+                    rows: 2001,
+                    skyline: 940,
+                    sky_changed: false,
+                    cache_dropped: 1,
+                    warm_dropped: 0,
                 },
             ),
             (

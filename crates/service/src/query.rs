@@ -74,8 +74,25 @@ impl Query {
     /// form (see [`Query::canonicalized`]); the engine's hot path calls
     /// this once per request and must not re-clone the query.
     pub fn fingerprint_for_epoch(&self, epoch: u64) -> u64 {
+        self.fingerprint_keyed(epoch, 0)
+    }
+
+    /// [`Query::fingerprint_for_epoch`] additionally folded with the
+    /// dataset's group-generation digest for the form this query solves
+    /// on (`sky_digest` when `skyline`, `full_digest` otherwise — see
+    /// `PreparedDataset::digest_for`). Mutations bump only the touched
+    /// groups' generations, so cached answers whose form the mutation
+    /// did not disturb keep fingerprinting (and verifying) identically
+    /// and survive as hits; disturbed forms re-key and the stale entries
+    /// age out or are swept by the engine's delta invalidation.
+    ///
+    /// Hashes `self` as-is — the caller must already hold the canonical
+    /// form (see [`Query::canonicalized`]); the engine's hot path calls
+    /// this once per request and must not re-clone the query.
+    pub fn fingerprint_keyed(&self, epoch: u64, digest: u64) -> u64 {
         let mut h = Fnv1a::new();
         h.write_u64(epoch);
+        h.write_u64(digest);
         h.write_str(&self.dataset);
         h.write_u64(self.k as u64);
         h.write_str(&self.alg);

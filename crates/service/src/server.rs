@@ -588,6 +588,7 @@ pub(crate) fn control_response(
                 queue_depth: m.queue_depth.get().max(0) as u64,
                 shed_total: m.shed_total.get(),
                 conns_open: m.conn_active.get().max(0) as u64,
+                mutations_total: m.mutations_total.get(),
             }
         }
         Request::Info => {
@@ -612,6 +613,8 @@ pub(crate) fn control_response(
             Response::Shards(shards)
         }
         Request::Load { name, path } => handle_load(engine, opts, name, path),
+        Request::Append { name, row, group } => handle_append(engine, name, row, *group),
+        Request::Delete { name, row } => handle_delete(engine, name, *row),
         Request::Hello { .. } | Request::Query(_) | Request::Batch { .. } | Request::Shutdown => {
             return None
         }
@@ -900,6 +903,46 @@ pub(crate) fn handle_load(
             dim: prep.dataset.dim(),
             groups: prep.dataset.num_groups(),
             skyline: prep.skyline_rows.len(),
+        },
+        Err(e) => Response::error(&e),
+    }
+}
+
+/// Handles the `APPEND` mutation verb: catalog append + delta cache
+/// invalidation, reported through one [`Response::Mutated`] frame.
+/// Mutations take no `--load-root` gate — they touch only datasets
+/// already registered, never the filesystem.
+pub(crate) fn handle_append(
+    engine: &QueryEngine,
+    name: &str,
+    row: &[f64],
+    group: usize,
+) -> Response {
+    match engine.append_row(name, row, group) {
+        Ok(rep) => Response::Mutated {
+            name: name.to_string(),
+            op: "append".to_string(),
+            rows: rep.rows,
+            skyline: rep.skyline,
+            sky_changed: rep.sky_changed,
+            cache_dropped: rep.cache_dropped,
+            warm_dropped: rep.warm_dropped,
+        },
+        Err(e) => Response::error(&e),
+    }
+}
+
+/// Handles the `DELETE` mutation verb; see [`handle_append`].
+pub(crate) fn handle_delete(engine: &QueryEngine, name: &str, row: usize) -> Response {
+    match engine.delete_row(name, row) {
+        Ok(rep) => Response::Mutated {
+            name: name.to_string(),
+            op: "delete".to_string(),
+            rows: rep.rows,
+            skyline: rep.skyline,
+            sky_changed: rep.sky_changed,
+            cache_dropped: rep.cache_dropped,
+            warm_dropped: rep.warm_dropped,
         },
         Err(e) => Response::error(&e),
     }

@@ -90,6 +90,13 @@ impl WarmConfig {
 pub struct WarmKey {
     /// Dataset registration epoch.
     pub epoch: u64,
+    /// Group-generation digest of the candidate form the query solves on
+    /// (`PreparedDataset::digest_for(skyline)`). Folding the per-form
+    /// digest — rather than one whole-dataset value — is what makes
+    /// mutation invalidation a *delta*: a mutation that leaves a form's
+    /// digest alone (e.g. a dominated append never moves `sky_digest`)
+    /// leaves that form's warm state reachable and verifiably current.
+    pub digest: u64,
     /// Solution size.
     pub k: usize,
     /// Canonical algorithm name.
@@ -253,6 +260,32 @@ impl WarmStartCache {
         lru.insert(tick, key);
     }
 
+    /// Delta invalidation after a mutation of the dataset registered at
+    /// `epoch`: drops exactly the entries keyed to that epoch whose form
+    /// digest the mutation moved — i.e. those matching neither the live
+    /// `sky_digest` nor the live `full_digest`. Entries for other
+    /// datasets (other epochs) and entries whose form survived the
+    /// mutation untouched are kept. Returns the number dropped.
+    ///
+    /// (Re-*registration* under the same name bumps the epoch instead;
+    /// those entries become unreachable and age out through the LRU, as
+    /// before — this sweep is the mutation path only.)
+    pub fn invalidate_stale(&self, epoch: u64, sky_digest: u64, full_digest: u64) -> u64 {
+        let mut inner = lock_or_recover(&self.inner);
+        let Inner { map, lru, .. } = &mut *inner;
+        let dead: Vec<(WarmKey, u64)> = map
+            .iter()
+            .filter(|(k, _)| k.epoch == epoch && k.digest != sky_digest && k.digest != full_digest)
+            .map(|(k, &(_, tick))| (k.clone(), tick))
+            .collect();
+        let dropped = dead.len() as u64;
+        for (k, tick) in dead {
+            map.remove(&k);
+            lru.remove(&tick);
+        }
+        dropped
+    }
+
     /// Records one component reused from the tier.
     pub fn note_hit(&self) {
         // ordering: independent stat counter, no cross-variable sync.
@@ -294,6 +327,7 @@ mod tests {
     fn key(epoch: u64, k: usize) -> WarmKey {
         WarmKey {
             epoch,
+            digest: 0,
             k,
             family: "bigreedy".into(),
         }
@@ -363,6 +397,31 @@ mod tests {
         assert!(e.bounds(false).is_none());
         e.set_bounds(false, pb);
         assert!(e.bounds(false).is_some());
+    }
+
+    #[test]
+    fn invalidate_stale_drops_only_moved_digests() {
+        let cache = WarmStartCache::new(8);
+        let k_at = |epoch: u64, digest: u64| WarmKey {
+            epoch,
+            digest,
+            k: 3,
+            family: "bigreedy".into(),
+        };
+        // Epoch 5: skyline-form state at digest 10, full-form at 20.
+        // Epoch 9: a different dataset, untouched by the mutation.
+        cache.insert(k_at(5, 10), WarmEntry::default());
+        cache.insert(k_at(5, 20), WarmEntry::default());
+        cache.insert(k_at(9, 77), WarmEntry::default());
+        // Mutation moved only the full digest (20 → 21): the skyline
+        // entry and the other dataset survive.
+        assert_eq!(cache.invalidate_stale(5, 10, 21), 1);
+        assert!(cache.get(&k_at(5, 10)).is_some());
+        assert!(cache.get(&k_at(5, 20)).is_none());
+        assert!(cache.get(&k_at(9, 77)).is_some());
+        // Everything-current sweep is a no-op.
+        assert_eq!(cache.invalidate_stale(5, 10, 21), 0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -355,6 +355,7 @@ fn all_response_variants_agree_across_codecs() {
             queue_depth: 3,
             shed_total: 9,
             conns_open: 2,
+            mutations_total: 6,
         },
         Response::Info {
             shards: 4,
@@ -390,6 +391,15 @@ fn all_response_variants_agree_across_codecs() {
             dim: 3,
             groups: 3,
             skyline: 940,
+        },
+        Response::Mutated {
+            name: "extra".into(),
+            op: "append".into(),
+            rows: 2001,
+            skyline: 941,
+            sky_changed: true,
+            cache_dropped: 2,
+            warm_dropped: 1,
         },
     ];
     for resp in variants {

@@ -86,6 +86,20 @@ FAIRHMS_TEST_KERNEL=scalar cargo test -p fairhms-service -q
 echo "==> overload + fault-injection smoke (crates/service/tests/overload.rs)"
 cargo test -p fairhms-service --test overload -q
 
+# Mutation-churn smoke: mixed APPEND/DELETE/QUERY workloads (random
+# interleavings vs. a from-scratch re-prep oracle, delta invalidation,
+# pipelined mutate→query ordering) over both front ends × both codecs —
+# the full matrix, since mutations ride the control path, whose routing
+# differs per front end, and the MUTATED frame differs per codec.
+echo "==> mutation churn smoke (crates/service/tests/mutation.rs, both front ends x both codecs)"
+for fe in threaded event; do
+  for codec in text binary; do
+    echo "    -- FAIRHMS_TEST_FRONTEND=$fe FAIRHMS_TEST_CODEC=$codec"
+    FAIRHMS_TEST_FRONTEND=$fe FAIRHMS_TEST_CODEC=$codec \
+      cargo test -p fairhms-service --test mutation -q
+  done
+done
+
 echo "==> bench smoke (service engine + shard prep + wire codecs + warm-start, tiny sizes)"
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench service
 FAIRHMS_BENCH_MS="${FAIRHMS_BENCH_MS:-25}" cargo bench -p fairhms-bench --bench shard
@@ -109,7 +123,13 @@ assert s['dataset_points'] > 0 and s['net_size'] > 0 \
 and s['points_per_sec'] > 0 and s['points_per_sec_scalar'] > 0 \
 and s['db_max_ms_scalar'] > 0 and s['db_max_ms_blocked'] > 0 \
 and s['bigreedy_cold_ms'] > 0 and s['bigreedy_cold_ms_scalar'] > 0, \
-'solver kernel section failed sanity checks'" \
+'solver kernel section failed sanity checks'; \
+m = d['mutation']; \
+assert m['append_us'] > 0 and m['delete_us'] > 0 and m['full_reprep_ms'] > 0 \
+and m['dropped_by_dominated_append'] < m['cached_entries_before'] \
+and m['dropped_by_skyline_append'] == m['cached_entries_before'], \
+'mutation section failed sanity checks (delta invalidation must spare \
+untouched entries on a dominated append)'" \
   || { echo "BENCH_service.json missing or malformed"; exit 1; }
 
 echo "CI OK"

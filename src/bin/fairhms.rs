@@ -47,6 +47,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
+        "append" => cmd_append(&opts),
+        "delete" => cmd_delete(&opts),
         "metrics" => cmd_metrics(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -78,6 +80,9 @@ USAGE:
   fairhms query --addr HOST:PORT (--dataset NAME --k K [--alg NAME] [--alpha A]
                 [--balanced] [--no-skyline] [--seed S] | --file FILE [--stream])
                 [--codec text|binary] [--show-stats]
+  fairhms append --addr HOST:PORT --dataset NAME --row C1,...,CD --group G
+                 [--codec text|binary]
+  fairhms delete --addr HOST:PORT --dataset NAME --row ID [--codec text|binary]
   fairhms metrics --addr HOST:PORT [--codec text|binary]
 
 ALGORITHMS (for --alg):
@@ -89,7 +94,10 @@ precomputes group skylines — partitioned across --shards parallel prep
 threads; answers are bit-identical for every shard count — and answers the
 protocol documented in docs/PROTOCOL.md. --load-root DIR allows the LOAD
 admin verb to register CSVs under DIR at runtime; --max-streams caps
-concurrent streamed batches (excess answered ERR busy). Near-miss queries
+concurrent streamed batches (excess answered ERR busy). `append` and
+`delete` mutate a served dataset in place through the APPEND/DELETE wire
+verbs: skylines are maintained incrementally and only cached answers
+whose digest the mutation moved are invalidated. Near-miss queries
 (same dataset, k and algorithm; different bounds) reuse warm-start state
 (BiGreedy δ-nets, prepared bounds scans) — answers are bit-identical
 either way; --no-warmstart disables the tier and --warm-capacity bounds
@@ -530,6 +538,74 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             encode_response_line(&stats).map_err(|e| e.to_string())?
         );
     }
+    Ok(())
+}
+
+/// Connects a [`fairhms::service::WireClient`] honouring `--codec`.
+fn connect_client(opts: &HashMap<String, String>) -> Result<fairhms::service::WireClient, String> {
+    use fairhms::service::{CodecKind, WireClient};
+    let addr = req(opts, "addr")?;
+    match opts.get("codec") {
+        None => WireClient::connect(addr),
+        Some(c) => {
+            let kind = CodecKind::parse(c)
+                .ok_or_else(|| format!("--codec: expected text|binary, got {c:?}"))?;
+            WireClient::negotiate(addr, kind)
+        }
+    }
+    .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// Prints one `Mutated` frame in the CLI's key/value style.
+fn print_mutated(resp: &fairhms::service::Response) {
+    if let fairhms::service::Response::Mutated {
+        name,
+        op,
+        rows,
+        skyline,
+        sky_changed,
+        cache_dropped,
+        warm_dropped,
+    } = resp
+    {
+        println!("dataset      : {name}");
+        println!("op           : {op}");
+        println!("rows         : {rows}");
+        println!("skyline      : {skyline}");
+        println!("sky changed  : {sky_changed}");
+        println!("cache dropped: {cache_dropped}");
+        println!("warm dropped : {warm_dropped}");
+    }
+}
+
+/// `fairhms append`: add one row to a served dataset's live catalog.
+fn cmd_append(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = req(opts, "dataset")?;
+    let row: Vec<f64> = req(opts, "row")?
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--row: cannot parse coordinate {c:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let group: usize = num(opts, "group")?.ok_or("missing --group")?;
+    let mut client = connect_client(opts)?;
+    let resp = client
+        .append(dataset, &row, group)
+        .map_err(|e| e.to_string())?;
+    print_mutated(&resp);
+    Ok(())
+}
+
+/// `fairhms delete`: remove one row (by current 0-based id) from a served
+/// dataset's live catalog.
+fn cmd_delete(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = req(opts, "dataset")?;
+    let row: usize = num(opts, "row")?.ok_or("missing --row")?;
+    let mut client = connect_client(opts)?;
+    let resp = client.delete(dataset, row).map_err(|e| e.to_string())?;
+    print_mutated(&resp);
     Ok(())
 }
 
